@@ -1,0 +1,38 @@
+// E8 — xDecimate XFU area accounting (Sec. 4.3): per-block kGE budget and
+// the overhead ratio against an RI5CY-class FPU-less core (paper: 5.0%
+// from 22nm synthesis), plus the paper's comparison point against SSR
+// (Scheffler et al.: 20-31 kGE, 20-44% overhead).
+
+#include "bench_util.hpp"
+#include "hw/xfu_area.hpp"
+
+using namespace decimate;
+using namespace decimate::bench;
+
+int main() {
+  std::cout << "=== xDecimate XFU area model ===\n\n";
+  const XfuAreaModel model;
+  Table t({"block", "kGE", "note"});
+  for (const auto& b : model.blocks()) {
+    t.add_row({b.name, Table::num(b.kge, 2), b.note});
+  }
+  t.add_row({"TOTAL XFU", Table::num(model.xfu_kge(), 2), ""});
+  std::cout << t << "\n";
+  std::cout << "core baseline (RI5CY-class, no FPU): "
+            << Table::num(model.core_kge, 1) << " kGE\n"
+            << "XFU overhead: "
+            << Table::num(100.0 * model.overhead_fraction(), 1)
+            << "%   (paper: 5.0% from Synopsys synthesis @22nm)\n\n";
+  std::cout << "comparison (paper Sec. 3): SSR/SSSR streaming registers are "
+               "20-31 kGE,\n"
+            << "i.e. 20-31% of an FPU-equipped RI5CY (102 kGE) and up to "
+               "~44% of an\n"
+            << "FPU-less core — an order of magnitude more than the XFU.\n\n";
+  const XfuPipelineModel with_fwd{.forwarding = true};
+  const XfuPipelineModel no_fwd{.forwarding = false};
+  std::cout << "pipeline model: 8 back-to-back xdecimate = "
+            << with_fwd.back_to_back_cycles(8) << " cycles with forwarding, "
+            << no_fwd.back_to_back_cycles(8) << " without (csr is a "
+            << "distance-1 WB->EX dependency).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E1 — Figure 8 (left): single convolutional layers, C in {32,64,128,256},
+// K = 256, 8x8 spatial, 3x3 filters, S=1, P=1. Reports dense-equivalent
+// MAC/cycle for the two dense baselines and the SW / ISA sparse kernels at
+// 1:4, 1:8 and 1:16, plus speedups over the dense 1x2 baseline.
+
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace decimate;
+using namespace decimate::bench;
+
+int main() {
+  std::cout << "=== Figure 8 (left): single conv layers, K=256, 8x8, 3x3 ===\n"
+            << "(paper shape: SW 1:4 slower than dense 1x2; SW 1:16 ~2.6x;\n"
+            << " ISA ~1.5x/2.4x/3.9x at 1:4/1:8/1:16 over dense 1x2)\n\n";
+  Table t({"C", "kernel", "MAC/cyc", "Mcyc", "speedup vs 1x2"});
+  std::map<std::string, double> avg;
+  std::vector<std::string> order;
+  int count = 0;
+  for (int c : {32, 64, 128, 256}) {
+    const ConvGeom g{.ix = 8, .iy = 8, .c = c, .k = 256, .fx = 3, .fy = 3,
+                     .stride = 1, .pad = 1};
+    const std::vector<int> in_shape = {8, 8, c};
+    struct Row {
+      std::string name;
+      NetworkRun run;
+    };
+    std::vector<Row> rows;
+    rows.push_back(
+        {"dense 1x2", deploy(single_conv_graph(g, 0), in_shape,
+                             dense_1x2_options())});
+    rows.push_back(
+        {"PULP-NN 4x2", deploy(single_conv_graph(g, 0), in_shape,
+                               pulpnn_options())});
+    for (int m : {4, 8, 16}) {
+      const std::string tag = "1:" + std::to_string(m);
+      rows.push_back({"SW " + tag, deploy(single_conv_graph(g, m), in_shape,
+                                          sparse_options(false))});
+      rows.push_back({"ISA " + tag, deploy(single_conv_graph(g, m), in_shape,
+                                           sparse_options(true))});
+    }
+    const uint64_t base = rows.front().run.total_cycles;
+    for (const auto& row : rows) {
+      t.add_row({std::to_string(c), row.name,
+                 Table::num(row.run.macs_per_cycle(), 2),
+                 mcyc(row.run.total_cycles),
+                 speedup(base, row.run.total_cycles)});
+      if (avg.find(row.name) == avg.end()) order.push_back(row.name);
+      avg[row.name] += static_cast<double>(base) /
+                       static_cast<double>(row.run.total_cycles);
+    }
+    ++count;
+  }
+  std::cout << t << "\n";
+  std::cout << "average speedups over dense 1x2 across C:\n";
+  for (const auto& name : order) {
+    std::cout << "  " << name << ": " << Table::num(avg[name] / count, 2)
+              << "x\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E2 — Figure 8 (right): single fully-connected layers, C in
+// {256,512,1024,2048}, K = 256. FC layers are memory-bound: the weight
+// transfers dominate, so even the 1:4 SW kernel gains from the smaller
+// sparse footprint at large C (paper: up to 1.2x at C=2048 with SW 1:4;
+// ISA ~1.8x/2.2x/2.9x at 1:4/1:8/1:16 on average).
+
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace decimate;
+using namespace decimate::bench;
+
+int main() {
+  std::cout << "=== Figure 8 (right): single FC layers, K=256 ===\n\n";
+  Table t({"C", "kernel", "MAC/cyc", "kcyc", "speedup vs dense"});
+  std::map<std::string, double> avg;
+  std::vector<std::string> order;
+  int count = 0;
+  for (int c : {256, 512, 1024, 2048}) {
+    const FcGeom g{.tokens = 1, .c = c, .k = 256};
+    const std::vector<int> in_shape = {1, c};
+    struct Row {
+      std::string name;
+      NetworkRun run;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"dense 1x2", deploy(single_fc_graph(g, 0), in_shape,
+                                        dense_1x2_options())});
+    for (int m : {4, 8, 16}) {
+      const std::string tag = "1:" + std::to_string(m);
+      rows.push_back({"SW " + tag, deploy(single_fc_graph(g, m), in_shape,
+                                          sparse_options(false))});
+      rows.push_back({"ISA " + tag, deploy(single_fc_graph(g, m), in_shape,
+                                           sparse_options(true))});
+    }
+    const uint64_t base = rows.front().run.total_cycles;
+    for (const auto& row : rows) {
+      t.add_row({std::to_string(c), row.name,
+                 Table::num(row.run.macs_per_cycle(), 2),
+                 Table::num(static_cast<double>(row.run.total_cycles) / 1e3, 1),
+                 speedup(base, row.run.total_cycles)});
+      if (avg.find(row.name) == avg.end()) order.push_back(row.name);
+      avg[row.name] += static_cast<double>(base) /
+                       static_cast<double>(row.run.total_cycles);
+    }
+    ++count;
+  }
+  std::cout << t << "\n";
+  std::cout << "average speedups over dense across C:\n";
+  for (const auto& name : order) {
+    std::cout << "  " << name << ": " << Table::num(avg[name] / count, 2)
+              << "x\n";
+  }
+  return 0;
+}

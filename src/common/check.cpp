@@ -1,0 +1,12 @@
+#include "common/check.hpp"
+
+namespace decimate::detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": check failed: (" << cond << ") " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace decimate::detail

@@ -1,0 +1,50 @@
+#pragma once
+// Error handling helpers. The library throws decimate::Error on contract
+// violations: configuration errors, unsupported layer geometries, and
+// simulator faults (misaligned access, out-of-range address, ...).
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace decimate {
+
+/// Exception type thrown by all DECIMATE_CHECK failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* cond,
+                              const std::string& msg);
+}  // namespace detail
+
+/// Check a precondition; throws decimate::Error with context on failure.
+/// The message argument is streamed, e.g.
+///   DECIMATE_CHECK(c % 4 == 0, "channels must be a multiple of 4, got " << c);
+#define DECIMATE_CHECK(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream oss_;                                          \
+      oss_ << msg; /* NOLINT */                                         \
+      ::decimate::detail::throw_error(__FILE__, __LINE__, #cond,        \
+                                      oss_.str());                      \
+    }                                                                   \
+  } while (false)
+
+/// Unconditional failure.
+#define DECIMATE_FAIL(msg) DECIMATE_CHECK(false, msg)
+
+/// Checked narrowing conversion (Core Guidelines ES.46 style).
+template <typename To, typename From>
+To narrow(From v) {
+  const To out = static_cast<To>(v);
+  if (static_cast<From>(out) != v) {
+    throw Error("narrowing conversion lost information");
+  }
+  return out;
+}
+
+}  // namespace decimate

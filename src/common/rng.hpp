@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic pseudo-random number generation. All weight synthesis,
+// pruning tie-breaking and test data use this generator so that every run
+// of the benchmarks and tests is bit-reproducible.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace decimate {
+
+/// xoshiro128** — small, fast, deterministic; good enough for synthetic
+/// weights and test vectors (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = static_cast<uint32_t>((z ^ (z >> 31)) & 0xFFFFFFFFull);
+    }
+  }
+
+  uint32_t next_u32() {
+    const uint32_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint32_t t = state_[1] << 9;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 11);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int32_t uniform_int(int32_t lo, int32_t hi) {
+    const uint32_t span = static_cast<uint32_t>(hi - lo) + 1u;
+    return lo + static_cast<int32_t>(next_u32() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return next_u32() * (1.0 / 4294967296.0); }
+
+  /// Approximate standard normal (sum of 12 uniforms, CLT).
+  double normal() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += uniform();
+    return s - 6.0;
+  }
+
+  /// Random int8 in [-127, 127] (avoids -128 so dense/sparse kernels can
+  /// negate weights without overflow in tests).
+  int8_t int8() { return static_cast<int8_t>(uniform_int(-127, 127)); }
+
+  /// Vector of random int8.
+  std::vector<int8_t> int8_vec(size_t n) {
+    std::vector<int8_t> v(n);
+    for (auto& x : v) x = int8();
+    return v;
+  }
+
+ private:
+  static constexpr uint32_t rotl(uint32_t x, int k) {
+    return (x << k) | (x >> (32 - k));
+  }
+  uint32_t state_[4]{};
+};
+
+}  // namespace decimate

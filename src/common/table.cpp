@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace decimate {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DECIMATE_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  DECIMATE_CHECK(row.size() == header_.size(),
+                 "row arity " << row.size() << " != header arity "
+                              << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(prec) << v;
+  return oss.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+          << row[c];
+    }
+    oss << " |\n";
+  };
+  emit(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    oss << (c == 0 ? "|" : "|") << std::string(width[c] + 2, '-');
+  }
+  oss << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+}  // namespace decimate

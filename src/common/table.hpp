@@ -1,0 +1,31 @@
+#pragma once
+// ASCII table printer used by the benchmark harnesses to render the
+// paper's tables and figure data as aligned text.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace decimate {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 2);
+
+  /// Render with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace decimate

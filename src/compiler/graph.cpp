@@ -1,0 +1,73 @@
+#include "compiler/graph.hpp"
+
+#include <cmath>
+
+namespace decimate {
+
+const char* op_name(OpType op) {
+  switch (op) {
+    case OpType::kInput: return "input";
+    case OpType::kConv2d: return "conv2d";
+    case OpType::kFc: return "fc";
+    case OpType::kMatmul: return "matmul";
+    case OpType::kRelu: return "relu";
+    case OpType::kAdd: return "add";
+    case OpType::kMaxPool2: return "maxpool2x2";
+    case OpType::kAvgPool: return "avgpool";
+    case OpType::kLut: return "lut";
+    case OpType::kSoftmax: return "softmax";
+    case OpType::kLayerNorm: return "layernorm";
+    case OpType::kReshape: return "reshape";
+    case OpType::kSlice: return "slice";
+    case OpType::kConcat: return "concat";
+  }
+  return "?";
+}
+
+Graph::Graph(std::vector<int> input_shape) {
+  Node in;
+  in.id = 0;
+  in.op = OpType::kInput;
+  in.name = "input";
+  in.out_shape = std::move(input_shape);
+  nodes_.push_back(std::move(in));
+}
+
+int Graph::add(Node node) {
+  node.id = static_cast<int>(nodes_.size());
+  for (int in : node.inputs) {
+    DECIMATE_CHECK(in >= 0 && in < node.id,
+                   "node " << node.name << " input " << in
+                           << " is not topologically earlier");
+  }
+  DECIMATE_CHECK(!node.out_shape.empty(), "node needs an output shape");
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+const Node& Graph::node(int id) const {
+  DECIMATE_CHECK(id >= 0 && id < size(), "bad node id " << id);
+  return nodes_[static_cast<size_t>(id)];
+}
+
+int64_t Graph::total_macs() const {
+  int64_t macs = 0;
+  for (const auto& n : nodes_) {
+    if (n.op == OpType::kConv2d) macs += n.conv.macs();
+    if (n.op == OpType::kFc || n.op == OpType::kMatmul) macs += n.fc.macs();
+  }
+  return macs;
+}
+
+Requant calibrate_requant(int fan_in) {
+  DECIMATE_CHECK(fan_in > 0, "fan_in must be positive");
+  // Accumulator std under iid uniform int8 inputs/weights is
+  // ~sqrt(fan_in) * 73 * 73; map ~2 sigma to the int8 range.
+  const double acc_std = std::sqrt(static_cast<double>(fan_in)) * 73.0 * 73.0;
+  const double scale = 64.0 / (2.0 * acc_std);
+  const auto max_abs =
+      static_cast<int64_t>(static_cast<double>(fan_in) * 127.0 * 127.0);
+  return make_requant(scale, max_abs);
+}
+
+}  // namespace decimate

@@ -1,0 +1,84 @@
+#pragma once
+// Small DNN graph IR for the MATCH-style compiler (Sec. 4.4).
+//
+// Nodes are appended in topological order; node inputs refer to earlier
+// node ids. Node 0 is the network input placeholder. Weights are stored
+// dense in the graph (pruned weights carry their zeros); the pattern
+// recognizer decides at compile time which kernel (and which N:M packing)
+// implements each node — exactly the role of MATCH's pattern table.
+
+#include <string>
+#include <vector>
+
+#include "nn/layer_geometry.hpp"
+#include "nn/quant.hpp"
+#include "nn/tensor.hpp"
+
+namespace decimate {
+
+enum class OpType : uint8_t {
+  kInput,
+  kConv2d,     // weights {K, FY*FX*C}
+  kFc,         // weights {K, C}; applied per token
+  kMatmul,     // B comes from a second producer node (attention)
+  kRelu,
+  kAdd,        // two producers, per-input requant
+  kMaxPool2,
+  kAvgPool,    // global, {H,W,C} -> {C}
+  kLut,        // unary int8 LUT (GELU)
+  kSoftmax,    // rows
+  kLayerNorm,  // rows
+  kReshape,    // free relabeling of the shape (no data movement)
+  kSlice,      // column slice of a {T, C} tensor (strided DMA marshalling)
+  kConcat,     // column concatenation of {T, C_i} tensors
+};
+
+const char* op_name(OpType op);
+
+struct Node {
+  int id = 0;
+  OpType op = OpType::kInput;
+  std::string name;
+  std::vector<int> inputs;      // producer node ids
+  std::vector<int> out_shape;
+
+  // op-specific payload
+  ConvGeom conv;                // kConv2d
+  FcGeom fc;                    // kFc / kMatmul
+  Requant rq;                   // conv/fc/matmul/avgpool; add: input 0
+  Requant rq2;                  // add: input 1
+  Tensor8 weights;              // conv/fc (dense master copy)
+  Tensor32 bias;                // conv/fc/matmul (matmul: zeros)
+  Tensor8 gamma, beta;          // layernorm
+  std::vector<int8_t> lut;      // kLut
+  std::vector<uint8_t> exp_lut; // kSoftmax
+  bool transpose_b = false;     // kMatmul: B must be transposed first
+  int slice_begin = 0;          // kSlice: column range [begin, end)
+  int slice_end = 0;
+};
+
+class Graph {
+ public:
+  /// Create the input placeholder (node 0).
+  explicit Graph(std::vector<int> input_shape);
+
+  /// Append a node; returns its id. Node.inputs must refer to prior ids.
+  int add(Node node);
+
+  const Node& node(int id) const;
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Total dense-equivalent MACs of conv/fc/matmul nodes.
+  int64_t total_macs() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// Pick a requant for a layer with `fan_in` accumulation terms so that
+/// int8 outputs occupy a healthy range under synthetic +/-127-uniform
+/// weights and activations (used by the model builders).
+Requant calibrate_requant(int fan_in);
+
+}  // namespace decimate

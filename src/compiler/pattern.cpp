@@ -1,0 +1,47 @@
+#include "compiler/pattern.hpp"
+
+#include "nn/prune.hpp"
+
+namespace decimate {
+
+KernelChoice select_kernel(const Node& node, const CompileOptions& opt) {
+  switch (node.op) {
+    case OpType::kConv2d: {
+      if (opt.enable_sparse) {
+        const int m = detect_one_to_m(node.weights.flat(), node.conv.k,
+                                      node.conv.fsz());
+        if (m != 0) {
+          return {opt.enable_isa ? KernelKind::kConvSparseIsa
+                                 : KernelKind::kConvSparseSw,
+                  m};
+        }
+      }
+      if (opt.pulpnn_dense && node.conv.k % 4 == 0) {
+        return {KernelKind::kConvDense4x2, 0};
+      }
+      return {KernelKind::kConvDense1x2, 0};
+    }
+    case OpType::kFc: {
+      if (opt.enable_sparse) {
+        const int m =
+            detect_one_to_m(node.weights.flat(), node.fc.k, node.fc.c);
+        // The pair-channel ISA kernel needs an even K; fall back to the
+        // SW sparse kernel otherwise.
+        if (m != 0) {
+          if (opt.enable_isa && node.fc.k % 2 == 0) {
+            return {KernelKind::kFcSparseIsa, m};
+          }
+          return {KernelKind::kFcSparseSw, m};
+        }
+      }
+      return {KernelKind::kFcDense, 0};
+    }
+    case OpType::kMatmul:
+      // Both operands are activations: always dense.
+      return {KernelKind::kFcDense, 0};
+    default:
+      DECIMATE_FAIL("select_kernel on non-GEMM node " << op_name(node.op));
+  }
+}
+
+}  // namespace decimate

@@ -1,0 +1,31 @@
+#pragma once
+// Sparse pattern recognition and kernel selection — the compiler's pattern
+// table (Sec. 4.4, feature 1). Conv/FC nodes whose weights match a 1:M
+// pattern (M in {4, 8, 16}) are mapped to the sparse kernels; everything
+// else falls back to the dense baselines.
+
+#include "compiler/graph.hpp"
+#include "kernels/abi.hpp"
+
+namespace decimate {
+
+struct CompileOptions {
+  bool enable_sparse = true;   // recognize N:M patterns at all
+  bool enable_isa = false;     // use the xDecimate kernels
+  bool pulpnn_dense = true;    // 4x2 PULP-NN for dense convs (else 1x2)
+  bool interleaved_weights = true;  // single-DMA weight+index layout (E10)
+  bool lockstep = false;       // TCDM-contention simulation mode
+  bool xdec_forwarding = true; // XFU forwarding path present
+  int num_cores = 8;
+};
+
+struct KernelChoice {
+  KernelKind kind = KernelKind::kConvDense1x2;
+  int m = 0;  // 0 = dense
+  bool sparse() const { return m != 0; }
+};
+
+/// Decide the kernel implementing a conv/fc/matmul node.
+KernelChoice select_kernel(const Node& node, const CompileOptions& opt);
+
+}  // namespace decimate

@@ -1,0 +1,198 @@
+#include "compiler/tiling.hpp"
+
+#include <set>
+
+#include "common/bitutil.hpp"
+#include "kernels/kernels.hpp"
+
+namespace decimate {
+
+namespace {
+
+/// Distinct balanced-chunk sizes ceil(total/n) for n = 1..total, aligned
+/// up to `grain`.
+std::vector<int> chunk_candidates(int total, int grain) {
+  std::set<int, std::greater<>> sizes;
+  for (int n = 1; n <= total; ++n) {
+    int t = static_cast<int>(ceil_div(total, n));
+    t = static_cast<int>(round_up(t, grain));
+    if (t > 0 && t <= static_cast<int>(round_up(total, grain))) {
+      sizes.insert(std::min(t, total));
+    }
+  }
+  return {sizes.begin(), sizes.end()};
+}
+
+
+/// Theoretical dense-equivalent MACs/instruction/core of a kernel choice
+/// (Sec. 4 analysis), used only to rank tilings.
+double theoretical_peak(const KernelChoice& c) {
+  const int len = expected_inner_loop_length(c.kind, c.m == 0 ? 8 : c.m);
+  const int macs = macs_per_inner_iter(c.kind, c.m == 0 ? 8 : c.m);
+  if (len <= 0) return 1.0;
+  return static_cast<double>(macs) * std::max(c.m, 1) /
+         static_cast<double>(len);
+}
+
+int nz_padded_for(int dense_cols, int m) {
+  const int nz = dense_cols / m;
+  return static_cast<int>(round_up(nz, m == 4 ? 8 : 4));
+}
+
+}  // namespace
+
+WeightRowBytes weight_row_bytes(const KernelChoice& choice, int dense_cols) {
+  WeightRowBytes out;
+  if (!choice.sparse()) {
+    out.values = static_cast<int>(round_up(dense_cols, 4));
+    out.offsets = 0;
+    return out;
+  }
+  const int m = choice.m;
+  const int nzp = nz_padded_for(dense_cols, m);
+  out.values = nzp;
+  const int bits = (m == 4) ? 2 : 4;
+  const bool doubled = kernel_uses_xdec(choice.kind) ||
+                       choice.kind == KernelKind::kFcSparseIsa;
+  // SW: one field per NZ. Conv-ISA: duplicated fields. FC-ISA: pair rows
+  // share a row of 2*nzp fields -> nzp fields per channel on average.
+  const int fields_per_row = doubled ? 2 * nzp : nzp;
+  out.offsets = static_cast<int>(
+      round_up(ceil_div(static_cast<int64_t>(fields_per_row) * bits, 8), 4));
+  if (choice.kind == KernelKind::kFcSparseIsa) {
+    out.offsets = (out.offsets + 1) / 2;  // per channel (pair row / 2)
+  }
+  return out;
+}
+
+double bits_per_dense_weight(const KernelChoice& choice, int dense_cols) {
+  const WeightRowBytes row = weight_row_bytes(choice, dense_cols);
+  return 8.0 * static_cast<double>(row.total()) /
+         static_cast<double>(dense_cols);
+}
+
+ConvTilePlan plan_conv_tiles(const ConvGeom& g, const KernelChoice& choice,
+                             int num_cores, int64_t l1_budget) {
+  g.validate();
+  const int oy = g.oy(), ox = g.ox();
+  const int ixp = g.ix + 2 * g.pad;
+  const WeightRowBytes row = weight_row_bytes(choice, g.fsz());
+  const int k_grain = (choice.kind == KernelKind::kConvDense4x2) ? 4 : 1;
+  const int args_bytes = ConvArgs::size_words(num_cores) * 4;
+  const int slack = choice.sparse()
+                        ? (nz_padded_for(g.fsz(), choice.m) -
+                           g.fsz() / choice.m) * choice.m
+                        : 0;
+  const int64_t buf_core = round_up(g.fsz() + slack, 4);
+  const int64_t imcol = static_cast<int64_t>(num_cores) * 2 * buf_core;
+
+  ConvTilePlan best;
+  double best_cost = 1e30;
+  // db = 2: ping-pong buffers for overlap; db = 1: fallback when L1 is too
+  // tight (DMA then serializes with compute).
+  for (int db_try : {2, 1}) {
+  if (best.oy_t != 0) break;
+  for (int oy_t : chunk_candidates(oy, 1)) {
+    for (int k_t : chunk_candidates(g.k, k_grain)) {
+      const int n_oy = static_cast<int>(ceil_div(oy, oy_t));
+      const int n_k = static_cast<int>(ceil_div(g.k, k_t));
+      const int iy_t = (oy_t - 1) * g.stride + g.fy;
+      const int64_t in_tile = static_cast<int64_t>(iy_t) * ixp * g.c;
+      const int64_t w_tile =
+          static_cast<int64_t>(k_t) * row.total() + 4ll * k_t;  // + bias
+      const int64_t out_tile = static_cast<int64_t>(oy_t) * ox * k_t;
+      const bool multi = n_oy * n_k > 1;
+      const int64_t db = multi ? db_try : 1;  // double buffering
+      const int64_t l1 = args_bytes + imcol + db * (in_tile + out_tile) +
+                         (n_k > 1 ? db : 1) * w_tile;
+      if (l1 > l1_budget) continue;
+      for (bool k_outer : {false, true}) {
+        // bytes moved
+        const int64_t in_total =
+            static_cast<int64_t>(k_outer ? n_k : 1) * n_oy * in_tile;
+        const int64_t w_total =
+            static_cast<int64_t>(k_outer ? 1 : n_oy) * n_k * w_tile;
+        const int64_t out_total = static_cast<int64_t>(n_oy) * n_k * out_tile;
+        // crude cost: DMA cycles at 8 B/cyc + 30 cyc per transfer vs
+        // compute at the kernel's theoretical peak; they overlap.
+        const double dma =
+            static_cast<double>(in_total + w_total + out_total) / 8.0 +
+            30.0 * static_cast<double>(n_oy * n_k);
+        const double peak =
+            static_cast<double>(theoretical_peak(choice));
+        const double compute =
+            static_cast<double>(g.macs()) / (peak * num_cores);
+        const double cost = std::max(dma, compute) +
+                            0.001 * static_cast<double>(n_oy * n_k);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = ConvTilePlan{oy_t, k_t, k_outer, l1, n_oy, n_k,
+                              in_total, w_total, out_total, db_try == 2};
+        }
+      }
+    }
+  }
+  }
+  DECIMATE_CHECK(best.oy_t != 0,
+                 "no conv tiling fits L1 for K=" << g.k << " C=" << g.c
+                                                 << " fsz=" << g.fsz());
+  return best;
+}
+
+FcTilePlan plan_fc_tiles(const FcGeom& g, const KernelChoice& choice,
+                         int num_cores, int64_t l1_budget) {
+  g.validate();
+  const WeightRowBytes row = weight_row_bytes(choice, g.c);
+  const int k_grain = (choice.kind == KernelKind::kFcSparseSw) ? 1 : 2;
+  const int args_bytes = FcArgs::size_words(num_cores) * 4;
+  const int slack = choice.sparse()
+                        ? nz_padded_for(g.c, choice.m) * choice.m - g.c + 64
+                        : 0;
+
+  FcTilePlan best;
+  double best_cost = 1e30;
+  for (int db_try : {2, 1}) {
+  if (best.tok_t != 0) break;
+  for (int tok_t : chunk_candidates(g.tokens, 1)) {
+    for (int k_t : chunk_candidates(g.k, k_grain)) {
+      const int n_tok = static_cast<int>(ceil_div(g.tokens, tok_t));
+      const int n_k = static_cast<int>(ceil_div(g.k, k_t));
+      const int64_t in_tile = static_cast<int64_t>(tok_t) * g.c + slack;
+      const int64_t w_tile =
+          static_cast<int64_t>(k_t) * row.total() + 4ll * k_t;
+      const int64_t out_tile = static_cast<int64_t>(tok_t) * k_t;
+      const bool multi = n_tok * n_k > 1;
+      const int64_t db = multi ? db_try : 1;
+      const int64_t l1 =
+          args_bytes + db * (in_tile + out_tile) + (multi ? db : 1) * w_tile;
+      if (l1 > l1_budget) continue;
+      for (bool k_outer : {false, true}) {
+        const int64_t in_total =
+            static_cast<int64_t>(k_outer ? n_k : 1) * n_tok * in_tile;
+        const int64_t w_total =
+            static_cast<int64_t>(k_outer ? 1 : n_tok) * n_k * w_tile;
+        const int64_t out_total = static_cast<int64_t>(n_tok) * n_k * out_tile;
+        const double dma =
+            static_cast<double>(in_total + w_total + out_total) / 8.0 +
+            30.0 * static_cast<double>(n_tok * n_k);
+        const double peak =
+            static_cast<double>(theoretical_peak(choice));
+        const double compute =
+            static_cast<double>(g.macs()) / (peak * num_cores);
+        const double cost = std::max(dma, compute) +
+                            0.001 * static_cast<double>(n_tok * n_k);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = FcTilePlan{tok_t, k_t, k_outer, l1, n_tok, n_k,
+                            in_total, w_total, out_total, db_try == 2};
+        }
+      }
+    }
+  }
+  }
+  DECIMATE_CHECK(best.tok_t != 0, "no fc tiling fits L1 for K=" << g.k
+                                                                << " C=" << g.c);
+  return best;
+}
+
+}  // namespace decimate

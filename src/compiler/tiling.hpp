@@ -1,0 +1,56 @@
+#pragma once
+// Sparsity-aware L1 tiling engine (Sec. 4.4, feature 2).
+//
+// The key paper idea: the tile search accounts the *actual* bits per
+// dense-equivalent weight of the chosen kernel (e.g. 1:4 with duplicated
+// offsets = 12 bits per NZ = 3 bits per dense weight), so sparse layers
+// fit larger K-tiles in L1, which reduces input re-reads and adds
+// end-to-end speedup on top of the kernel speedup.
+
+#include <cstdint>
+
+#include "compiler/pattern.hpp"
+#include "nn/layer_geometry.hpp"
+
+namespace decimate {
+
+/// Per-row weight storage of a kernel choice (values + packed offsets,
+/// padded the way the launcher lays them out).
+struct WeightRowBytes {
+  int values = 0;
+  int offsets = 0;
+  int total() const { return values + offsets; }
+};
+WeightRowBytes weight_row_bytes(const KernelChoice& choice, int dense_cols);
+
+/// Bits per dense-equivalent weight (the quantity the paper's modified
+/// tiling engine reasons in: 8 for dense; 3 for 1:4 ISA; etc).
+double bits_per_dense_weight(const KernelChoice& choice, int dense_cols);
+
+struct ConvTilePlan {
+  int oy_t = 0;         // output rows per tile
+  int k_t = 0;          // output channels per tile
+  bool k_outer = false; // loop order: K tiles outer (input re-read per pass)
+  int64_t l1_bytes = 0; // peak L1 footprint
+  int n_oy = 0, n_k = 0;
+  int64_t dma_in_bytes = 0, dma_w_bytes = 0, dma_out_bytes = 0;  // totals
+  bool double_buffered = true;  // false: L1 too tight, DMA serializes
+};
+
+ConvTilePlan plan_conv_tiles(const ConvGeom& g, const KernelChoice& choice,
+                             int num_cores, int64_t l1_budget);
+
+struct FcTilePlan {
+  int tok_t = 0;
+  int k_t = 0;
+  bool k_outer = false;  // K tiles outer: activations re-read per pass
+  int64_t l1_bytes = 0;
+  int n_tok = 0, n_k = 0;
+  int64_t dma_in_bytes = 0, dma_w_bytes = 0, dma_out_bytes = 0;
+  bool double_buffered = true;  // false: L1 too tight, DMA serializes
+};
+
+FcTilePlan plan_fc_tiles(const FcGeom& g, const KernelChoice& choice,
+                         int num_cores, int64_t l1_budget);
+
+}  // namespace decimate

@@ -1,0 +1,54 @@
+#include "hw/energy.hpp"
+
+namespace decimate {
+
+double EnergyModel::op_pj(Opcode op) const {
+  switch (op) {
+    case Opcode::kMul:
+    case Opcode::kMulh:
+      return cfg_.mul_pj;
+    case Opcode::kDiv:
+    case Opcode::kDivu:
+    case Opcode::kRem:
+      return cfg_.div_pj;
+    case Opcode::kLb: case Opcode::kLbu: case Opcode::kLh: case Opcode::kLhu:
+    case Opcode::kLw: case Opcode::kSb: case Opcode::kSh: case Opcode::kSw:
+    case Opcode::kLbPi: case Opcode::kLbuPi: case Opcode::kLhuPi:
+    case Opcode::kLwPi: case Opcode::kSbPi: case Opcode::kSwPi:
+    case Opcode::kLbRr: case Opcode::kLbuRr: case Opcode::kLwRr:
+    case Opcode::kPvLbIns:
+      return cfg_.mem_l1_pj;
+    case Opcode::kPvSdotspB:
+    case Opcode::kPvAddB:
+    case Opcode::kPvMaxB:
+      return cfg_.simd_pj;
+    case Opcode::kXdec:
+      return cfg_.xdec_pj;
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt: case Opcode::kBge:
+    case Opcode::kBltu: case Opcode::kBgeu: case Opcode::kJal:
+    case Opcode::kJalr:
+      return cfg_.branch_pj;
+    default:
+      return cfg_.alu_pj;
+  }
+}
+
+EnergyBreakdown EnergyModel::kernel_energy(const RunResult& run) const {
+  EnergyBreakdown e;
+  for (const auto& cs : run.per_core) {
+    double core_pj = 0.0;
+    for (int op = 0; op < kNumOpcodes; ++op) {
+      core_pj += static_cast<double>(cs.opcode_histogram[static_cast<size_t>(op)]) *
+                 op_pj(static_cast<Opcode>(op));
+    }
+    e.compute_nj += core_pj * 1e-3;
+    // cycles a core spends stalled or waiting on the barrier relative to
+    // the wall time of the run
+    const uint64_t busy = cs.cycles;
+    const uint64_t idle = run.wall_cycles > busy ? run.wall_cycles - busy : 0;
+    e.idle_nj += static_cast<double>(idle) * cfg_.idle_pj_per_cycle * 1e-3;
+  }
+  return e;
+}
+
+}  // namespace decimate

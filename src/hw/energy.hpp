@@ -1,0 +1,64 @@
+#pragma once
+// Energy model (extension; paper Sec. 6 future work: "prototype our
+// hardware extension on FPGA to enable an estimation of the energy
+// savings").
+//
+// First-order per-instruction-class energy for a Vega-class 22nm cluster
+// core, applied to the ISS opcode histograms. Absolute pJ values are
+// literature-scale estimates (Rossi et al. 2021 report ~1.7-3 pJ/op core
+// energy at the efficiency point); the reproduced quantity is the
+// *relative* energy of dense vs sparse executions — fewer executed
+// instructions and fewer transferred bytes translate directly into energy
+// at roughly constant power.
+
+#include <cstdint>
+
+#include "sim/cluster.hpp"
+
+namespace decimate {
+
+struct EnergyConfig {
+  // pJ per executed instruction, by class
+  double alu_pj = 1.0;
+  double mul_pj = 1.5;
+  double div_pj = 6.0;
+  double mem_l1_pj = 2.5;   // L1 load/store (incl. post-increment)
+  double simd_pj = 2.0;     // pv.* dot products / lane ops
+  double xdec_pj = 2.8;     // xDecimate: L1 byte load + unpack + insert
+  double branch_pj = 1.2;
+  double idle_pj_per_cycle = 0.4;  // stalled / barrier-waiting core
+  // DMA energy per byte moved
+  double dma_l2_pj_per_byte = 1.2;
+  double dma_l3_pj_per_byte = 12.0;  // off-chip HyperRAM-class access
+};
+
+struct EnergyBreakdown {
+  double compute_nj = 0.0;
+  double idle_nj = 0.0;
+  double dma_nj = 0.0;
+  double total_nj() const { return compute_nj + idle_nj + dma_nj; }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const EnergyConfig& cfg = {}) : cfg_(cfg) {}
+
+  const EnergyConfig& config() const { return cfg_; }
+
+  /// Instruction class energy of one opcode.
+  double op_pj(Opcode op) const;
+
+  /// Energy of a cluster run (opcode histograms + idle cycles).
+  EnergyBreakdown kernel_energy(const RunResult& run) const;
+
+  /// DMA transfer energy for bytes moved at a hierarchy level.
+  double dma_nj(uint64_t l2_bytes, uint64_t l3_bytes) const {
+    return (static_cast<double>(l2_bytes) * cfg_.dma_l2_pj_per_byte +
+            static_cast<double>(l3_bytes) * cfg_.dma_l3_pj_per_byte) * 1e-3;
+  }
+
+ private:
+  EnergyConfig cfg_;
+};
+
+}  // namespace decimate

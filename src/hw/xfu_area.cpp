@@ -1,0 +1,31 @@
+#include "hw/xfu_area.hpp"
+
+namespace decimate {
+
+std::vector<AreaBlock> XfuAreaModel::blocks() const {
+  // First-order NAND2-equivalent estimates for the Fig. 7 micro-
+  // architecture. One kGE = 1000 NAND2-equivalent gates.
+  return {
+      {"decoder", 0.15,
+       "R-type decode of the three xdecimate flavors + clear"},
+      {"offset-unpack mux", 0.45,
+       "32:4 nibble / 32:2 bit-pair selection driven by csr[3:0]"},
+      {"address adder", 0.55,
+       "rs1 + M*csr[15:1] + o; 32-bit carry-lookahead + shift of csr"},
+      {"csr register + increment", 0.30, "16-bit csr, +1 incrementer, clear"},
+      {"byte-insert mux", 0.40,
+       "4-lane byte write-enable into rd (WB stage)"},
+      {"WB->EX forwarding", 0.20,
+       "csr/rd bypass comparators and muxes for back-to-back xdecimate"},
+      {"pipeline registers/control", 0.30,
+       "EX/WB flops for lane select, LSU handshake"},
+  };
+}
+
+double XfuAreaModel::xfu_kge() const {
+  double total = 0.0;
+  for (const auto& b : blocks()) total += b.kge;
+  return total;
+}
+
+}  // namespace decimate

@@ -1,0 +1,117 @@
+#include "isa/builder.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+
+namespace decimate {
+
+void KernelBuilder::bind(const std::string& name) {
+  DECIMATE_CHECK(labels_.count(name) == 0, "duplicate label: " << name);
+  labels_[name] = next_index();
+}
+
+void KernelBuilder::marker(const std::string& name) {
+  markers_.emplace_back(name, next_index());
+}
+
+std::string KernelBuilder::fresh_label(const std::string& stem) {
+  return stem + "$" + std::to_string(fresh_counter_++);
+}
+
+void KernelBuilder::li(uint8_t rd, int32_t value) {
+  if (value >= -2048 && value < 2048) {
+    addi(rd, reg::zero, value);
+    return;
+  }
+  // lui loads bits [31:12]; addi adds a signed 12-bit value. Round the
+  // upper part so that the signed addi correction lands on `value`.
+  const int32_t lo = sign_extend(static_cast<uint32_t>(value) & 0xFFF, 12);
+  const int32_t hi = (value - lo) >> 12;
+  lui(rd, hi);
+  if (lo != 0) addi(rd, rd, lo);
+}
+
+void KernelBuilder::jal(uint8_t rd, const std::string& target) {
+  fixups_.push_back({next_index(), target});
+  emit(Instr{Opcode::kJal, rd, 0, 0, 0, 0, 0});
+}
+
+void KernelBuilder::i(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm) {
+  DECIMATE_CHECK(imm >= -2048 && imm < 2048,
+                 "imm out of I-type range for " << opcode_name(op) << ": "
+                                                << imm);
+  emit(Instr{op, rd, rs1, 0, 0, imm, 0});
+}
+
+void KernelBuilder::s(Opcode op, uint8_t rs1, uint8_t rs2, int32_t imm) {
+  DECIMATE_CHECK(imm >= -2048 && imm < 2048,
+                 "imm out of S-type range for " << opcode_name(op) << ": "
+                                                << imm);
+  emit(Instr{op, 0, rs1, rs2, 0, imm, 0});
+}
+
+void KernelBuilder::b(Opcode op, uint8_t rs1, uint8_t rs2,
+                      const std::string& target) {
+  fixups_.push_back({next_index(), target});
+  emit(Instr{op, 0, rs1, rs2, 0, 0, 0});
+}
+
+void KernelBuilder::pv_lb_ins(uint8_t rd, int lane, uint8_t rs1, uint8_t rs2,
+                              int m) {
+  DECIMATE_CHECK(lane >= 0 && lane < 4, "SIMD lane must be 0..3: " << lane);
+  DECIMATE_CHECK(m == 0 || m == 4 || m == 8 || m == 16,
+                 "pv.lb.ins lane stride must be 0/4/8/16, got " << m);
+  // aux = lane | (log2(m) << 2); log2(m) == 0 encodes "no addend".
+  const auto aux = static_cast<uint8_t>(lane | (m ? ceil_log2(m) << 2 : 0));
+  emit(Instr{Opcode::kPvLbIns, rd, rs1, rs2, aux, 0, 0});
+}
+
+void KernelBuilder::xdec(uint8_t rd, uint8_t rs1, uint8_t rs2, int m) {
+  DECIMATE_CHECK(m == 4 || m == 8 || m == 16,
+                 "xdecimate supports M in {4,8,16}, got " << m);
+  emit(Instr{Opcode::kXdec, rd, rs1, rs2, static_cast<uint8_t>(m), 0, 0});
+}
+
+void KernelBuilder::hw_loop(int id, uint8_t count_reg,
+                            const std::function<void()>& body) {
+  DECIMATE_CHECK(id == 0 || id == 1, "hardware loop id must be 0 or 1");
+  const int setup_idx = next_index();
+  emit(Instr{Opcode::kLpSetup, 0, count_reg, 0, static_cast<uint8_t>(id), 0, 0});
+  body();
+  const int end = next_index() - 1;  // index of last body instruction
+  DECIMATE_CHECK(end >= setup_idx + 2,
+                 "hardware loop body needs at least 2 instructions");
+  code_[setup_idx].imm = end;
+}
+
+void KernelBuilder::hw_loop_imm(int id, int32_t count,
+                                const std::function<void()>& body) {
+  DECIMATE_CHECK(id == 0 || id == 1, "hardware loop id must be 0 or 1");
+  DECIMATE_CHECK(count >= 1, "lp.setupi trip count must be >= 1");
+  const int setup_idx = next_index();
+  emit(Instr{Opcode::kLpSetupImm, 0, 0, 0, static_cast<uint8_t>(id), 0, count});
+  body();
+  const int end = next_index() - 1;
+  DECIMATE_CHECK(end >= setup_idx + 2,
+                 "hardware loop body needs at least 2 instructions");
+  code_[setup_idx].imm = end;
+}
+
+Program KernelBuilder::build() {
+  Program prog;
+  for (const auto& fx : fixups_) {
+    auto it = labels_.find(fx.label);
+    DECIMATE_CHECK(it != labels_.end(), "undefined label: " << fx.label);
+    code_[fx.index].imm = it->second;
+  }
+  prog.code = std::move(code_);
+  prog.labels = std::move(labels_);
+  for (const auto& [name, idx] : markers_) prog.set_marker(name, idx);
+  code_.clear();
+  labels_.clear();
+  markers_.clear();
+  fixups_.clear();
+  return prog;
+}
+
+}  // namespace decimate

@@ -1,0 +1,155 @@
+#pragma once
+// KernelBuilder: a tiny assembler used to construct kernel programs.
+//
+// Supports forward-referenced string labels, the two nested XpulpV2
+// hardware loops, `li` pseudo-instruction expansion, and named markers used
+// by the instruction-count tests (Sec. 4 analysis of the paper).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace decimate {
+
+class KernelBuilder {
+ public:
+  // --- labels & markers ---------------------------------------------------
+  /// Bind a label at the next emitted instruction.
+  void bind(const std::string& name);
+  /// Record a named marker at the next emitted instruction.
+  void marker(const std::string& name);
+  /// Create a unique label name (for helper-generated control flow).
+  std::string fresh_label(const std::string& stem);
+
+  // --- ALU -----------------------------------------------------------------
+  void add(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kAdd, rd, rs1, rs2); }
+  void sub(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kSub, rd, rs1, rs2); }
+  void and_(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kAnd, rd, rs1, rs2); }
+  void or_(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kOr, rd, rs1, rs2); }
+  void xor_(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kXor, rd, rs1, rs2); }
+  void sll(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kSll, rd, rs1, rs2); }
+  void srl(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kSrl, rd, rs1, rs2); }
+  void sra(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kSra, rd, rs1, rs2); }
+  void slt(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kSlt, rd, rs1, rs2); }
+  void sltu(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kSltu, rd, rs1, rs2); }
+  void mul(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kMul, rd, rs1, rs2); }
+  void mulh(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kMulh, rd, rs1, rs2); }
+  void div(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kDiv, rd, rs1, rs2); }
+  void divu(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kDivu, rd, rs1, rs2); }
+  void rem(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kRem, rd, rs1, rs2); }
+  void pmax(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kPMax, rd, rs1, rs2); }
+  void pmin(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kPMin, rd, rs1, rs2); }
+
+  void addi(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kAddi, rd, rs1, imm); }
+  void andi(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kAndi, rd, rs1, imm); }
+  void ori(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kOri, rd, rs1, imm); }
+  void xori(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kXori, rd, rs1, imm); }
+  void slli(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kSlli, rd, rs1, imm); }
+  void srli(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kSrli, rd, rs1, imm); }
+  void srai(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kSrai, rd, rs1, imm); }
+  void slti(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kSlti, rd, rs1, imm); }
+  void lui(uint8_t rd, int32_t imm20) {
+    emit(Instr{Opcode::kLui, rd, 0, 0, 0, imm20, 0});
+  }
+  void pclip(uint8_t rd, uint8_t rs1, int bits_) {
+    Instr in{Opcode::kPClip, rd, rs1, 0, static_cast<uint8_t>(bits_), 0, 0};
+    emit(in);
+  }
+
+  /// Load-immediate pseudo-instruction (1 or 2 instructions).
+  void li(uint8_t rd, int32_t value);
+  /// Register move pseudo-instruction.
+  void mv(uint8_t rd, uint8_t rs) { addi(rd, rs, 0); }
+  void nop() { addi(0, 0, 0); }
+
+  // --- memory ---------------------------------------------------------------
+  void lb(uint8_t rd, int32_t imm, uint8_t rs1) { i(Opcode::kLb, rd, rs1, imm); }
+  void lbu(uint8_t rd, int32_t imm, uint8_t rs1) { i(Opcode::kLbu, rd, rs1, imm); }
+  void lh(uint8_t rd, int32_t imm, uint8_t rs1) { i(Opcode::kLh, rd, rs1, imm); }
+  void lhu(uint8_t rd, int32_t imm, uint8_t rs1) { i(Opcode::kLhu, rd, rs1, imm); }
+  void lw(uint8_t rd, int32_t imm, uint8_t rs1) { i(Opcode::kLw, rd, rs1, imm); }
+  void sb(uint8_t rs2, int32_t imm, uint8_t rs1) { s(Opcode::kSb, rs1, rs2, imm); }
+  void sh(uint8_t rs2, int32_t imm, uint8_t rs1) { s(Opcode::kSh, rs1, rs2, imm); }
+  void sw(uint8_t rs2, int32_t imm, uint8_t rs1) { s(Opcode::kSw, rs1, rs2, imm); }
+  // post-increment: access mem[rs1], then rs1 += imm
+  void lb_pi(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kLbPi, rd, rs1, imm); }
+  void lbu_pi(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kLbuPi, rd, rs1, imm); }
+  void lhu_pi(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kLhuPi, rd, rs1, imm); }
+  void lw_pi(uint8_t rd, uint8_t rs1, int32_t imm) { i(Opcode::kLwPi, rd, rs1, imm); }
+  void sb_pi(uint8_t rs2, uint8_t rs1, int32_t imm) { s(Opcode::kSbPi, rs1, rs2, imm); }
+  void sw_pi(uint8_t rs2, uint8_t rs1, int32_t imm) { s(Opcode::kSwPi, rs1, rs2, imm); }
+  // register-register addressing: mem[rs1 + rs2]
+  void lb_rr(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kLbRr, rd, rs1, rs2); }
+  void lbu_rr(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kLbuRr, rd, rs1, rs2); }
+  void lw_rr(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kLwRr, rd, rs1, rs2); }
+
+  // --- control flow ----------------------------------------------------------
+  void beq(uint8_t rs1, uint8_t rs2, const std::string& target) { b(Opcode::kBeq, rs1, rs2, target); }
+  void bne(uint8_t rs1, uint8_t rs2, const std::string& target) { b(Opcode::kBne, rs1, rs2, target); }
+  void blt(uint8_t rs1, uint8_t rs2, const std::string& target) { b(Opcode::kBlt, rs1, rs2, target); }
+  void bge(uint8_t rs1, uint8_t rs2, const std::string& target) { b(Opcode::kBge, rs1, rs2, target); }
+  void bltu(uint8_t rs1, uint8_t rs2, const std::string& target) { b(Opcode::kBltu, rs1, rs2, target); }
+  void bgeu(uint8_t rs1, uint8_t rs2, const std::string& target) { b(Opcode::kBgeu, rs1, rs2, target); }
+  void j(const std::string& target) { jal(reg::zero, target); }
+  void jal(uint8_t rd, const std::string& target);
+  void jalr(uint8_t rd, uint8_t rs1, int32_t imm = 0) {
+    Instr in{Opcode::kJalr, rd, rs1, 0, 0, imm, 0};
+    emit(in);
+  }
+  void call(const std::string& target) { jal(reg::ra, target); }
+  void ret() { jalr(reg::zero, reg::ra, 0); }
+
+  // --- hardware loops ---------------------------------------------------------
+  /// Emit lp.setup(id) with trip count from `count_reg`, then the body.
+  /// The loop body must emit at least 2 instructions and runs count times
+  /// (count must be >= 1 at runtime; guard externally if it can be 0).
+  void hw_loop(int id, uint8_t count_reg, const std::function<void()>& body);
+  /// Same with a compile-time trip count.
+  void hw_loop_imm(int id, int32_t count, const std::function<void()>& body);
+
+  // --- SIMD / custom ------------------------------------------------------------
+  void sdotsp_b(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kPvSdotspB, rd, rs1, rs2); }
+  void pv_add_b(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kPvAddB, rd, rs1, rs2); }
+  void pv_max_b(uint8_t rd, uint8_t rs1, uint8_t rs2) { r(Opcode::kPvMaxB, rd, rs1, rs2); }
+  /// rd.byte[lane] = mem8[rs1 + rs2 + (m ? lane*m : 0)]. The lane-scaled
+  /// addend models the per-lane M-block stride of the sparse kernels'
+  /// byte-gather slot (see DESIGN.md); pass m = 0 for a plain rs1+rs2 load.
+  void pv_lb_ins(uint8_t rd, int lane, uint8_t rs1, uint8_t rs2, int m = 0);
+  /// xdecimate for sparsity M in {4, 8, 16}
+  void xdec(uint8_t rd, uint8_t rs1, uint8_t rs2, int m);
+  void xdec_clear() { emit(Instr{Opcode::kXdecClear, 0, 0, 0, 0, 0, 0}); }
+
+  // --- system -------------------------------------------------------------------
+  void hartid(uint8_t rd) { emit(Instr{Opcode::kHartid, rd, 0, 0, 0, 0, 0}); }
+  void barrier() { emit(Instr{Opcode::kBarrier, 0, 0, 0, 0, 0, 0}); }
+  void halt() { emit(Instr{Opcode::kHalt, 0, 0, 0, 0, 0, 0}); }
+
+  // --- finalize -------------------------------------------------------------------
+  int next_index() const { return static_cast<int>(code_.size()); }
+  /// Resolve all fixups and return the program. Builder is left empty.
+  Program build();
+
+ private:
+  void emit(const Instr& in) { code_.push_back(in); }
+  void r(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2) {
+    emit(Instr{op, rd, rs1, rs2, 0, 0, 0});
+  }
+  void i(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm);
+  void s(Opcode op, uint8_t rs1, uint8_t rs2, int32_t imm);
+  void b(Opcode op, uint8_t rs1, uint8_t rs2, const std::string& target);
+
+  struct Fixup {
+    int index;          // instruction needing its imm patched
+    std::string label;  // target label
+  };
+
+  std::vector<Instr> code_;
+  std::unordered_map<std::string, int> labels_;
+  std::vector<std::pair<std::string, int>> markers_;
+  std::vector<Fixup> fixups_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace decimate

@@ -1,0 +1,100 @@
+#include "isa/disasm.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace decimate {
+
+std::string disassemble(const Instr& in, int pc) {
+  (void)pc;
+  std::ostringstream oss;
+  oss << opcode_name(in.op);
+  const auto rd = reg_name(in.rd);
+  const auto rs1 = reg_name(in.rs1);
+  const auto rs2 = reg_name(in.rs2);
+  switch (opcode_format(in.op)) {
+    case Format::kFmtR:
+      oss << " " << rd << ", " << rs1 << ", " << rs2;
+      break;
+    case Format::kFmtI:
+      oss << " " << rd << ", " << rs1 << ", " << in.imm;
+      break;
+    case Format::kFmtU:
+      oss << " " << rd << ", " << in.imm;
+      break;
+    case Format::kFmtClip:
+      oss << " " << rd << ", " << rs1 << ", " << int(in.aux);
+      break;
+    case Format::kFmtLoad:
+      oss << " " << rd << ", " << in.imm << "(" << rs1 << ")";
+      break;
+    case Format::kFmtStore:
+      oss << " " << rs2 << ", " << in.imm << "(" << rs1 << ")";
+      break;
+    case Format::kFmtLoadPi:
+      oss << " " << rd << ", " << in.imm << "(" << rs1 << "!)";
+      break;
+    case Format::kFmtStorePi:
+      oss << " " << rs2 << ", " << in.imm << "(" << rs1 << "!)";
+      break;
+    case Format::kFmtLoadRr:
+      oss << " " << rd << ", " << rs2 << "(" << rs1 << ")";
+      break;
+    case Format::kFmtB:
+      oss << " " << rs1 << ", " << rs2 << ", @" << in.imm;
+      break;
+    case Format::kFmtJ:
+      oss << " " << rd << ", @" << in.imm;
+      break;
+    case Format::kFmtJr:
+      oss << " " << rd << ", " << rs1 << ", " << in.imm;
+      break;
+    case Format::kFmtLp:
+      oss << " l" << int(in.aux) << ", " << rs1 << ", @" << in.imm;
+      break;
+    case Format::kFmtLpI:
+      oss << " l" << int(in.aux) << ", " << in.imm2 << ", @" << in.imm;
+      break;
+    case Format::kFmtPvLbIns: {
+      const int lane = in.aux & 3;
+      const int lm = in.aux >> 2;
+      oss << " " << rd << "[" << lane << "], " << rs2 << "(" << rs1 << ")";
+      if (lm) oss << "+" << lane << "*" << (1 << lm);
+      break;
+    }
+    case Format::kFmtXdec:
+      oss << ".m" << int(in.aux) << " " << rd << ", " << rs1 << ", " << rs2;
+      break;
+    case Format::kFmtRdOnly:
+      oss << " " << rd;
+      break;
+    case Format::kFmtNone:
+      break;
+  }
+  return oss.str();
+}
+
+std::string disassemble(const Program& prog) {
+  // invert label map for annotation
+  std::map<int, std::string> at;
+  for (const auto& [name, idx] : prog.labels) {
+    auto it = at.find(idx);
+    if (it == at.end()) {
+      at[idx] = name;
+    } else {
+      it->second += ", " + name;
+    }
+  }
+  std::ostringstream oss;
+  for (int pc = 0; pc < prog.size(); ++pc) {
+    auto it = at.find(pc);
+    if (it != at.end()) oss << it->second << ":\n";
+    oss << "  " << pc << ":\t"
+        << disassemble(prog.code[static_cast<size_t>(pc)], pc) << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace decimate

@@ -1,0 +1,18 @@
+#pragma once
+// Textual disassembly of programs, for debugging, the ISA demo example and
+// golden tests.
+
+#include <string>
+
+#include "isa/instr.hpp"
+
+namespace decimate {
+
+/// Disassemble one instruction (pc used to print absolute branch targets).
+std::string disassemble(const Instr& in, int pc = 0);
+
+/// Disassemble a whole program, one instruction per line with indices and
+/// label annotations.
+std::string disassemble(const Program& prog);
+
+}  // namespace decimate

@@ -1,0 +1,441 @@
+#include "isa/encoding.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+
+namespace decimate {
+
+namespace {
+
+// Major opcodes (bits [6:0]).
+constexpr uint32_t kOpcLoad = 0x03;
+constexpr uint32_t kOpcMiscMem = 0x0F;
+constexpr uint32_t kOpcOpImm = 0x13;
+constexpr uint32_t kOpcStore = 0x23;
+constexpr uint32_t kOpcOp = 0x33;
+constexpr uint32_t kOpcLui = 0x37;
+constexpr uint32_t kOpcBranch = 0x63;
+constexpr uint32_t kOpcJalr = 0x67;
+constexpr uint32_t kOpcJal = 0x6F;
+constexpr uint32_t kOpcSystem = 0x73;
+constexpr uint32_t kOpcPulpLoad = 0x0B;   // custom-0: post-inc / rr loads
+constexpr uint32_t kOpcPulpStore = 0x2B;  // custom-1: post-inc stores, clip/max/min
+constexpr uint32_t kOpcSimd = 0x57;       // SIMD (vector opcode space)
+constexpr uint32_t kOpcXdec = 0x5B;       // custom-3: xDecimate
+constexpr uint32_t kOpcHwloop = 0x7B;     // hardware loops
+
+uint32_t enc_r(uint32_t opc, uint32_t f3, uint32_t f7, uint32_t rd,
+               uint32_t rs1, uint32_t rs2) {
+  return opc | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) | (f7 << 25);
+}
+
+uint32_t enc_i(uint32_t opc, uint32_t f3, uint32_t rd, uint32_t rs1,
+               int32_t imm) {
+  DECIMATE_CHECK(imm >= -2048 && imm < 2048, "I-type imm out of range: " << imm);
+  return opc | (rd << 7) | (f3 << 12) | (rs1 << 15) |
+         ((static_cast<uint32_t>(imm) & 0xFFF) << 20);
+}
+
+uint32_t enc_s(uint32_t opc, uint32_t f3, uint32_t rs1, uint32_t rs2,
+               int32_t imm) {
+  DECIMATE_CHECK(imm >= -2048 && imm < 2048, "S-type imm out of range: " << imm);
+  const uint32_t u = static_cast<uint32_t>(imm) & 0xFFF;
+  return opc | ((u & 0x1F) << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) |
+         ((u >> 5) << 25);
+}
+
+uint32_t enc_b(uint32_t opc, uint32_t f3, uint32_t rs1, uint32_t rs2,
+               int32_t off_bytes) {
+  DECIMATE_CHECK(off_bytes >= -4096 && off_bytes < 4096 && (off_bytes & 1) == 0,
+                 "B-type offset out of range: " << off_bytes);
+  const uint32_t u = static_cast<uint32_t>(off_bytes);
+  uint32_t w = opc | (f3 << 12) | (rs1 << 15) | (rs2 << 20);
+  w |= bits(u, 11, 11) << 7;
+  w |= bits(u, 4, 1) << 8;
+  w |= bits(u, 10, 5) << 25;
+  w |= bits(u, 12, 12) << 31;
+  return w;
+}
+
+int32_t dec_b_off(uint32_t w) {
+  uint32_t u = 0;
+  u |= bits(w, 7, 7) << 11;
+  u |= bits(w, 11, 8) << 1;
+  u |= bits(w, 30, 25) << 5;
+  u |= bits(w, 31, 31) << 12;
+  return sign_extend(u, 13);
+}
+
+uint32_t enc_j(uint32_t opc, uint32_t rd, int32_t off_bytes) {
+  DECIMATE_CHECK(off_bytes >= -(1 << 20) && off_bytes < (1 << 20),
+                 "J-type offset out of range: " << off_bytes);
+  const uint32_t u = static_cast<uint32_t>(off_bytes);
+  uint32_t w = opc | (rd << 7);
+  w |= bits(u, 19, 12) << 12;
+  w |= bits(u, 11, 11) << 20;
+  w |= bits(u, 10, 1) << 21;
+  w |= bits(u, 20, 20) << 31;
+  return w;
+}
+
+int32_t dec_j_off(uint32_t w) {
+  uint32_t u = 0;
+  u |= bits(w, 19, 12) << 12;
+  u |= bits(w, 20, 20) << 11;
+  u |= bits(w, 30, 21) << 1;
+  u |= bits(w, 31, 31) << 20;
+  return sign_extend(u, 21);
+}
+
+int32_t dec_i_imm(uint32_t w) { return sign_extend(bits(w, 31, 20), 12); }
+int32_t dec_s_imm(uint32_t w) {
+  return sign_extend((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+}
+
+struct F3F7 {
+  uint32_t f3, f7;
+};
+
+F3F7 alu_f3f7(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return {0, 0x00};
+    case Opcode::kSub: return {0, 0x20};
+    case Opcode::kSll: return {1, 0x00};
+    case Opcode::kSlt: return {2, 0x00};
+    case Opcode::kSltu: return {3, 0x00};
+    case Opcode::kXor: return {4, 0x00};
+    case Opcode::kSrl: return {5, 0x00};
+    case Opcode::kSra: return {5, 0x20};
+    case Opcode::kOr: return {6, 0x00};
+    case Opcode::kAnd: return {7, 0x00};
+    case Opcode::kMul: return {0, 0x01};
+    case Opcode::kMulh: return {1, 0x01};
+    case Opcode::kDiv: return {4, 0x01};
+    case Opcode::kDivu: return {5, 0x01};
+    case Opcode::kRem: return {6, 0x01};
+    default: DECIMATE_FAIL("not an OP-format opcode");
+  }
+}
+
+}  // namespace
+
+uint32_t encode(const Instr& in, int pc) {
+  using enum Opcode;
+  switch (in.op) {
+    case kAdd: case kSub: case kSll: case kSlt: case kSltu: case kXor:
+    case kSrl: case kSra: case kOr: case kAnd: case kMul: case kMulh:
+    case kDiv: case kDivu: case kRem: {
+      const auto [f3, f7] = alu_f3f7(in.op);
+      return enc_r(kOpcOp, f3, f7, in.rd, in.rs1, in.rs2);
+    }
+    case kAddi: return enc_i(kOpcOpImm, 0, in.rd, in.rs1, in.imm);
+    case kSlti: return enc_i(kOpcOpImm, 2, in.rd, in.rs1, in.imm);
+    case kSltiu: return enc_i(kOpcOpImm, 3, in.rd, in.rs1, in.imm);
+    case kXori: return enc_i(kOpcOpImm, 4, in.rd, in.rs1, in.imm);
+    case kOri: return enc_i(kOpcOpImm, 6, in.rd, in.rs1, in.imm);
+    case kAndi: return enc_i(kOpcOpImm, 7, in.rd, in.rs1, in.imm);
+    case kSlli: return enc_r(kOpcOpImm, 1, 0x00, in.rd, in.rs1, in.imm & 31);
+    case kSrli: return enc_r(kOpcOpImm, 5, 0x00, in.rd, in.rs1, in.imm & 31);
+    case kSrai: return enc_r(kOpcOpImm, 5, 0x20, in.rd, in.rs1, in.imm & 31);
+    case kLui:
+      return kOpcLui | (static_cast<uint32_t>(in.rd) << 7) |
+             ((static_cast<uint32_t>(in.imm) & 0xFFFFF) << 12);
+    case kLb: return enc_i(kOpcLoad, 0, in.rd, in.rs1, in.imm);
+    case kLh: return enc_i(kOpcLoad, 1, in.rd, in.rs1, in.imm);
+    case kLw: return enc_i(kOpcLoad, 2, in.rd, in.rs1, in.imm);
+    case kLbu: return enc_i(kOpcLoad, 4, in.rd, in.rs1, in.imm);
+    case kLhu: return enc_i(kOpcLoad, 5, in.rd, in.rs1, in.imm);
+    case kSb: return enc_s(kOpcStore, 0, in.rs1, in.rs2, in.imm);
+    case kSh: return enc_s(kOpcStore, 1, in.rs1, in.rs2, in.imm);
+    case kSw: return enc_s(kOpcStore, 2, in.rs1, in.rs2, in.imm);
+    case kLbPi: return enc_i(kOpcPulpLoad, 0, in.rd, in.rs1, in.imm);
+    case kLwPi: return enc_i(kOpcPulpLoad, 2, in.rd, in.rs1, in.imm);
+    case kLbuPi: return enc_i(kOpcPulpLoad, 4, in.rd, in.rs1, in.imm);
+    case kLhuPi: return enc_i(kOpcPulpLoad, 5, in.rd, in.rs1, in.imm);
+    case kLbRr: return enc_r(kOpcPulpLoad, 7, 0x00, in.rd, in.rs1, in.rs2);
+    case kLbuRr: return enc_r(kOpcPulpLoad, 7, 0x01, in.rd, in.rs1, in.rs2);
+    case kLwRr: return enc_r(kOpcPulpLoad, 7, 0x02, in.rd, in.rs1, in.rs2);
+    case kSbPi: return enc_s(kOpcPulpStore, 0, in.rs1, in.rs2, in.imm);
+    case kSwPi: return enc_s(kOpcPulpStore, 2, in.rs1, in.rs2, in.imm);
+    case kPClip: return enc_r(kOpcPulpStore, 7, 0x60, in.rd, in.rs1, in.aux);
+    case kPMax: return enc_r(kOpcPulpStore, 7, 0x61, in.rd, in.rs1, in.rs2);
+    case kPMin: return enc_r(kOpcPulpStore, 7, 0x62, in.rd, in.rs1, in.rs2);
+    case kBeq: return enc_b(kOpcBranch, 0, in.rs1, in.rs2, (in.imm - pc) * 4);
+    case kBne: return enc_b(kOpcBranch, 1, in.rs1, in.rs2, (in.imm - pc) * 4);
+    case kBlt: return enc_b(kOpcBranch, 4, in.rs1, in.rs2, (in.imm - pc) * 4);
+    case kBge: return enc_b(kOpcBranch, 5, in.rs1, in.rs2, (in.imm - pc) * 4);
+    case kBltu: return enc_b(kOpcBranch, 6, in.rs1, in.rs2, (in.imm - pc) * 4);
+    case kBgeu: return enc_b(kOpcBranch, 7, in.rs1, in.rs2, (in.imm - pc) * 4);
+    case kJal: return enc_j(kOpcJal, in.rd, (in.imm - pc) * 4);
+    case kJalr: return enc_i(kOpcJalr, 0, in.rd, in.rs1, in.imm);
+    case kLpSetup: {
+      const int32_t end_off = in.imm - pc;
+      DECIMATE_CHECK(end_off >= 0 && end_off < 4096,
+                     "lp.setup end offset out of range: " << end_off);
+      return enc_i(kOpcHwloop, 0, in.aux & 1, in.rs1, end_off);
+    }
+    case kLpSetupImm: {
+      // Custom layout: [6:0]=0x7B, f3[14:12]=1, [7]=loop id,
+      // count (8 bits) in [11:8]|[24:21], end offset (13 bits) in
+      // [17:15]|[20:18]|[31:25]. Mirrored exactly in decode().
+      const int32_t end_off = in.imm - pc;
+      DECIMATE_CHECK(end_off >= 0 && end_off < (1 << 13),
+                     "lp.setupi end offset out of range: " << end_off);
+      DECIMATE_CHECK(in.imm2 >= 1 && in.imm2 < 256,
+                     "lp.setupi count out of range: " << in.imm2);
+      const auto count = static_cast<uint32_t>(in.imm2);
+      const auto off = static_cast<uint32_t>(end_off);
+      uint32_t w = kOpcHwloop | (1u << 12);
+      w = set_bits(w, 7, 7, in.aux & 1);
+      w = set_bits(w, 11, 8, count & 0xF);
+      w = set_bits(w, 24, 21, (count >> 4) & 0xF);
+      w = set_bits(w, 17, 15, off & 0x7);
+      w = set_bits(w, 20, 18, (off >> 3) & 0x7);
+      w = set_bits(w, 31, 25, off >> 6);
+      return w;
+    }
+    case kPvAddB: return enc_r(kOpcSimd, 0, 0x01, in.rd, in.rs1, in.rs2);
+    case kPvMaxB: return enc_r(kOpcSimd, 0, 0x02, in.rd, in.rs1, in.rs2);
+    case kPvSdotspB: return enc_r(kOpcSimd, 0, 0x03, in.rd, in.rs1, in.rs2);
+    case kPvLbIns:
+      // funct7 = 0x20 | aux (lane in [1:0], log2(lane stride) in [4:2])
+      return enc_r(kOpcSimd, 0, 0x20u | (in.aux & 0x1F), in.rd, in.rs1,
+                   in.rs2);
+    case kXdec:
+      return enc_r(kOpcXdec, 0, ceil_log2(in.aux), in.rd, in.rs1, in.rs2);
+    case kXdecClear: return enc_r(kOpcXdec, 0, 0x7F, 0, 0, 0);
+    case kHartid: return enc_i(kOpcSystem, 2, in.rd, 0, 0xF14 - 4096);
+    case kHalt: return enc_i(kOpcSystem, 0, 0, 0, 1);
+    case kBarrier: return enc_i(kOpcMiscMem, 0, 0, 0, 0);
+    case kCount: break;
+  }
+  DECIMATE_FAIL("cannot encode opcode");
+}
+
+Instr decode(uint32_t w, int pc) {
+  using enum Opcode;
+  Instr in;
+  const uint32_t opc = bits(w, 6, 0);
+  const uint32_t f3 = bits(w, 14, 12);
+  const uint32_t f7 = bits(w, 31, 25);
+  in.rd = static_cast<uint8_t>(bits(w, 11, 7));
+  in.rs1 = static_cast<uint8_t>(bits(w, 19, 15));
+  in.rs2 = static_cast<uint8_t>(bits(w, 24, 20));
+
+  auto r_op = [&](Opcode op) {
+    in.op = op;
+    return in;
+  };
+  auto i_op = [&](Opcode op) {
+    in.op = op;
+    in.rs2 = 0;
+    in.imm = dec_i_imm(w);
+    return in;
+  };
+  auto s_op = [&](Opcode op) {
+    in.op = op;
+    in.rd = 0;
+    in.imm = dec_s_imm(w);
+    return in;
+  };
+  auto b_op = [&](Opcode op) {
+    in.op = op;
+    in.rd = 0;
+    in.imm = pc + dec_b_off(w) / 4;
+    return in;
+  };
+
+  switch (opc) {
+    case kOpcOp:
+      switch (f3 | (f7 << 3)) {
+        case 0 | (0x00 << 3): return r_op(kAdd);
+        case 0 | (0x20 << 3): return r_op(kSub);
+        case 1 | (0x00 << 3): return r_op(kSll);
+        case 2 | (0x00 << 3): return r_op(kSlt);
+        case 3 | (0x00 << 3): return r_op(kSltu);
+        case 4 | (0x00 << 3): return r_op(kXor);
+        case 5 | (0x00 << 3): return r_op(kSrl);
+        case 5 | (0x20 << 3): return r_op(kSra);
+        case 6 | (0x00 << 3): return r_op(kOr);
+        case 7 | (0x00 << 3): return r_op(kAnd);
+        case 0 | (0x01 << 3): return r_op(kMul);
+        case 1 | (0x01 << 3): return r_op(kMulh);
+        case 4 | (0x01 << 3): return r_op(kDiv);
+        case 5 | (0x01 << 3): return r_op(kDivu);
+        case 6 | (0x01 << 3): return r_op(kRem);
+        default: DECIMATE_FAIL("bad OP encoding");
+      }
+      break;
+    case kOpcOpImm:
+      switch (f3) {
+        case 0: return i_op(kAddi);
+        case 2: return i_op(kSlti);
+        case 3: return i_op(kSltiu);
+        case 4: return i_op(kXori);
+        case 6: return i_op(kOri);
+        case 7: return i_op(kAndi);
+        case 1: in.op = kSlli; in.imm = in.rs2; in.rs2 = 0; return in;
+        case 5:
+          in.op = (f7 == 0x20) ? kSrai : kSrli;
+          in.imm = in.rs2;
+          in.rs2 = 0;
+          return in;
+        default: DECIMATE_FAIL("bad OP-IMM encoding");
+      }
+      break;
+    case kOpcLui:
+      in.op = kLui;
+      in.imm = static_cast<int32_t>(bits(w, 31, 12));
+      in.rs1 = in.rs2 = 0;
+      return in;
+    case kOpcLoad:
+      switch (f3) {
+        case 0: return i_op(kLb);
+        case 1: return i_op(kLh);
+        case 2: return i_op(kLw);
+        case 4: return i_op(kLbu);
+        case 5: return i_op(kLhu);
+        default: DECIMATE_FAIL("bad LOAD encoding");
+      }
+      break;
+    case kOpcStore:
+      switch (f3) {
+        case 0: return s_op(kSb);
+        case 1: return s_op(kSh);
+        case 2: return s_op(kSw);
+        default: DECIMATE_FAIL("bad STORE encoding");
+      }
+      break;
+    case kOpcPulpLoad:
+      if (f3 == 7) {
+        switch (f7) {
+          case 0x00: return r_op(kLbRr);
+          case 0x01: return r_op(kLbuRr);
+          case 0x02: return r_op(kLwRr);
+          default: DECIMATE_FAIL("bad p.l*.rr encoding");
+        }
+      }
+      switch (f3) {
+        case 0: return i_op(kLbPi);
+        case 2: return i_op(kLwPi);
+        case 4: return i_op(kLbuPi);
+        case 5: return i_op(kLhuPi);
+        default: DECIMATE_FAIL("bad p.l*! encoding");
+      }
+      break;
+    case kOpcPulpStore:
+      if (f3 == 7) {
+        switch (f7) {
+          case 0x60:
+            in.op = kPClip;
+            in.aux = static_cast<uint8_t>(in.rs2);
+            in.rs2 = 0;
+            return in;
+          case 0x61: return r_op(kPMax);
+          case 0x62: return r_op(kPMin);
+          default: DECIMATE_FAIL("bad custom-1 encoding");
+        }
+      }
+      switch (f3) {
+        case 0: return s_op(kSbPi);
+        case 2: return s_op(kSwPi);
+        default: DECIMATE_FAIL("bad p.s*! encoding");
+      }
+      break;
+    case kOpcBranch:
+      switch (f3) {
+        case 0: return b_op(kBeq);
+        case 1: return b_op(kBne);
+        case 4: return b_op(kBlt);
+        case 5: return b_op(kBge);
+        case 6: return b_op(kBltu);
+        case 7: return b_op(kBgeu);
+        default: DECIMATE_FAIL("bad BRANCH encoding");
+      }
+      break;
+    case kOpcJal:
+      in.op = kJal;
+      in.rs1 = in.rs2 = 0;
+      in.imm = pc + dec_j_off(w) / 4;
+      return in;
+    case kOpcJalr: return i_op(kJalr);
+    case kOpcHwloop:
+      if (f3 == 0) {
+        in.op = kLpSetup;
+        in.aux = in.rd & 1;
+        in.rd = 0;
+        in.imm = pc + dec_i_imm(w);
+        in.rs2 = 0;
+        return in;
+      } else {
+        in.op = kLpSetupImm;
+        in.aux = static_cast<uint8_t>(bits(w, 7, 7));
+        in.rd = in.rs1 = in.rs2 = 0;
+        in.imm2 = static_cast<int32_t>(bits(w, 11, 8) | (bits(w, 24, 21) << 4));
+        const uint32_t end_off =
+            bits(w, 17, 15) | (bits(w, 20, 18) << 3) | (bits(w, 31, 25) << 6);
+        in.imm = pc + static_cast<int32_t>(end_off);
+        return in;
+      }
+      break;
+    case kOpcSimd:
+      switch (f7) {
+        case 0x01: return r_op(kPvAddB);
+        case 0x02: return r_op(kPvMaxB);
+        case 0x03: return r_op(kPvSdotspB);
+        default:
+          if (f7 >= 0x20 && f7 <= 0x3F) {
+            in.op = kPvLbIns;
+            in.aux = static_cast<uint8_t>(f7 & 0x1F);
+            return in;
+          }
+          DECIMATE_FAIL("bad SIMD encoding");
+      }
+      break;
+    case kOpcXdec:
+      if (f7 == 0x7F) {
+        in = Instr{};
+        in.op = kXdecClear;
+        return in;
+      }
+      DECIMATE_CHECK(f7 >= 2 && f7 <= 4, "bad xdecimate M encoding");
+      in.op = kXdec;
+      in.aux = static_cast<uint8_t>(1u << f7);
+      return in;
+    case kOpcSystem:
+      if (f3 == 2) {
+        in.op = kHartid;
+        in.rs1 = in.rs2 = 0;
+        in.imm = 0;
+        return in;
+      }
+      in = Instr{};
+      in.op = kHalt;
+      return in;
+    case kOpcMiscMem:
+      in = Instr{};
+      in.op = kBarrier;
+      return in;
+    default: DECIMATE_FAIL("unknown major opcode: " << opc);
+  }
+}
+
+std::vector<uint32_t> encode_program(const Program& prog) {
+  std::vector<uint32_t> words;
+  words.reserve(prog.code.size());
+  for (int pc = 0; pc < prog.size(); ++pc) {
+    words.push_back(encode(prog.code[static_cast<size_t>(pc)], pc));
+  }
+  return words;
+}
+
+std::vector<Instr> decode_program(const std::vector<uint32_t>& words) {
+  std::vector<Instr> out;
+  out.reserve(words.size());
+  for (int pc = 0; pc < static_cast<int>(words.size()); ++pc) {
+    out.push_back(decode(words[static_cast<size_t>(pc)], pc));
+  }
+  return out;
+}
+
+}  // namespace decimate

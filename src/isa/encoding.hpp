@@ -1,0 +1,34 @@
+#pragma once
+// Binary encoding of the instruction set into 32-bit words.
+//
+// Base RV32IM instructions use the standard RISC-V formats and opcodes.
+// XpulpV2-class instructions (hardware loops, post-increment loads, SIMD)
+// use the custom opcode spaces (0x0B, 0x2B, 0x57, 0x7B) with layouts
+// *inspired by* XpulpV2 — self-consistent, round-trip tested, but not
+// bit-identical to the RI5CY implementation. The xDecimate extension uses
+// custom-3 (0x5B) with funct7 = log2(M), matching the paper's R-type
+// encoding description (Sec. 4.3).
+//
+// Control-flow targets inside `Instr` are absolute instruction indices;
+// the encoder converts them to pc-relative byte offsets and back.
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace decimate {
+
+/// Encode one instruction located at instruction index `pc`.
+uint32_t encode(const Instr& in, int pc);
+
+/// Decode one 32-bit word located at instruction index `pc`.
+Instr decode(uint32_t word, int pc);
+
+/// Encode a whole program to its binary image.
+std::vector<uint32_t> encode_program(const Program& prog);
+
+/// Decode a binary image back to instructions (labels/markers are lost).
+std::vector<Instr> decode_program(const std::vector<uint32_t>& words);
+
+}  // namespace decimate

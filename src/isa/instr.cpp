@@ -1,0 +1,44 @@
+#include "isa/instr.hpp"
+
+#include "common/check.hpp"
+
+namespace decimate {
+
+const char* reg_name(uint8_t r) {
+  static const char* kNames[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  DECIMATE_CHECK(r < 32, "register index out of range: " << int(r));
+  return kNames[r];
+}
+
+int Program::label(const std::string& name) const {
+  auto it = labels.find(name);
+  DECIMATE_CHECK(it != labels.end(), "unknown label: " << name);
+  return it->second;
+}
+
+void Program::set_marker(const std::string& name, int index) {
+  markers_[name] = index;
+}
+
+bool Program::has_marker(const std::string& name) const {
+  return markers_.count(name) > 0;
+}
+
+int Program::marker(const std::string& name) const {
+  auto it = markers_.find(name);
+  DECIMATE_CHECK(it != markers_.end(), "unknown marker: " << name);
+  return it->second;
+}
+
+int Program::region_length(const std::string& begin,
+                           const std::string& end) const {
+  const int b = marker(begin);
+  const int e = marker(end);
+  DECIMATE_CHECK(e >= b, "marker region inverted: " << begin << ".." << end);
+  return e - b;
+}
+
+}  // namespace decimate

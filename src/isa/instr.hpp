@@ -1,0 +1,68 @@
+#pragma once
+// Pre-decoded instruction representation and program container.
+//
+// The simulator executes pre-decoded `Instr` structs for speed; the binary
+// 32-bit encoding layer (encoding.hpp) is provided for fidelity, the
+// disassembler and round-trip tests. Branch/jump targets and hardware-loop
+// end points are *absolute instruction indices* within the program.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/opcode.hpp"
+
+namespace decimate {
+
+/// Symbolic register names (RV32 ABI).
+namespace reg {
+constexpr uint8_t zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+constexpr uint8_t t0 = 5, t1 = 6, t2 = 7;
+constexpr uint8_t s0 = 8, s1 = 9;
+constexpr uint8_t a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15,
+                  a6 = 16, a7 = 17;
+constexpr uint8_t s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23,
+                  s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+constexpr uint8_t t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+}  // namespace reg
+
+const char* reg_name(uint8_t r);
+
+struct Instr {
+  Opcode op = Opcode::kHalt;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  uint8_t aux = 0;   // SIMD lane (pv.lb.ins), M (xdecimate), loop id, clip bits
+  int32_t imm = 0;   // immediate / branch target (instruction index)
+  int32_t imm2 = 0;  // second immediate (lp.setupi count)
+};
+
+/// A kernel program: instructions plus symbols and named markers.
+/// Markers delimit regions of interest (e.g. the innermost loop) so tests
+/// can assert the paper's instruction-count analysis (Sec. 4).
+class Program {
+ public:
+  std::vector<Instr> code;
+  std::unordered_map<std::string, int> labels;
+
+  int size() const { return static_cast<int>(code.size()); }
+
+  /// Instruction index of a label; throws if absent.
+  int label(const std::string& name) const;
+
+  /// Record/get a marker (named instruction index).
+  void set_marker(const std::string& name, int index);
+  bool has_marker(const std::string& name) const;
+  int marker(const std::string& name) const;
+
+  /// Number of instructions in [marker(begin), marker(end)) — used by the
+  /// instruction-count tests for the kernels' inner loops.
+  int region_length(const std::string& begin, const std::string& end) const;
+
+ private:
+  std::unordered_map<std::string, int> markers_;
+};
+
+}  // namespace decimate

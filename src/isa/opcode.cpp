@@ -1,0 +1,69 @@
+#include "isa/opcode.hpp"
+
+namespace decimate {
+
+namespace {
+constexpr const char* kNames[] = {
+#define X(op, name, fmt) name,
+    DECIMATE_OPCODE_LIST(X)
+#undef X
+};
+constexpr Format kFormats[] = {
+#define X(op, name, fmt) Format::fmt,
+    DECIMATE_OPCODE_LIST(X)
+#undef X
+};
+}  // namespace
+
+const char* opcode_name(Opcode op) {
+  return kNames[static_cast<int>(op)];
+}
+
+Format opcode_format(Opcode op) {
+  return kFormats[static_cast<int>(op)];
+}
+
+bool is_memory_op(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kLw:
+    case Opcode::kSb:
+    case Opcode::kSh:
+    case Opcode::kSw:
+    case Opcode::kLbPi:
+    case Opcode::kLbuPi:
+    case Opcode::kLhuPi:
+    case Opcode::kLwPi:
+    case Opcode::kSbPi:
+    case Opcode::kSwPi:
+    case Opcode::kLbRr:
+    case Opcode::kLbuRr:
+    case Opcode::kLwRr:
+    case Opcode::kPvLbIns:
+    case Opcode::kXdec:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch_or_jump(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+    case Opcode::kJal:
+    case Opcode::kJalr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace decimate

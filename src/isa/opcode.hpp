@@ -1,0 +1,139 @@
+#pragma once
+// Instruction set of the simulated PULP-class core.
+//
+// The set is the subset of RV32IM + XpulpV2 actually used by the dense and
+// sparse DNN kernels of the paper, plus the paper's custom xDecimate
+// extension (Sec. 4.3):
+//  - base ALU / loads / stores / branches (RV32I), MUL/DIV (RV32M)
+//  - XpulpV2: hardware loops (lp.setup), post-increment and register-
+//    register addressed loads/stores, p.clip/p.max/p.min, and the 4x8-bit
+//    SIMD dot product pv.sdotsp.b
+//  - pv.lb.ins: load byte + insert into a SIMD lane. This models the
+//    XpulpV2 byte-gather slot that the paper budgets as one instruction
+//    when filling vB1/vB2 ("8 instructions for loading data").
+//  - xdecimate.{m4,m8,m16} and xdecimate.clear, as specified in Sec. 4.3.
+
+#include <cstdint>
+
+namespace decimate {
+
+// X-macro: opcode, mnemonic, format
+#define DECIMATE_OPCODE_LIST(X)                      \
+  /* RV32I ALU register-register */                  \
+  X(kAdd, "add", kFmtR)                              \
+  X(kSub, "sub", kFmtR)                              \
+  X(kAnd, "and", kFmtR)                              \
+  X(kOr, "or", kFmtR)                                \
+  X(kXor, "xor", kFmtR)                              \
+  X(kSll, "sll", kFmtR)                              \
+  X(kSrl, "srl", kFmtR)                              \
+  X(kSra, "sra", kFmtR)                              \
+  X(kSlt, "slt", kFmtR)                              \
+  X(kSltu, "sltu", kFmtR)                            \
+  /* RV32M */                                        \
+  X(kMul, "mul", kFmtR)                              \
+  X(kMulh, "mulh", kFmtR)                            \
+  X(kDiv, "div", kFmtR)                              \
+  X(kDivu, "divu", kFmtR)                            \
+  X(kRem, "rem", kFmtR)                              \
+  /* RV32I ALU immediate */                          \
+  X(kAddi, "addi", kFmtI)                            \
+  X(kAndi, "andi", kFmtI)                            \
+  X(kOri, "ori", kFmtI)                              \
+  X(kXori, "xori", kFmtI)                            \
+  X(kSlli, "slli", kFmtI)                            \
+  X(kSrli, "srli", kFmtI)                            \
+  X(kSrai, "srai", kFmtI)                            \
+  X(kSlti, "slti", kFmtI)                            \
+  X(kSltiu, "sltiu", kFmtI)                          \
+  X(kLui, "lui", kFmtU)                              \
+  /* XpulpV2 scalar */                               \
+  X(kPClip, "p.clip", kFmtClip)                      \
+  X(kPMax, "p.max", kFmtR)                           \
+  X(kPMin, "p.min", kFmtR)                           \
+  /* RV32I loads / stores */                         \
+  X(kLb, "lb", kFmtLoad)                             \
+  X(kLbu, "lbu", kFmtLoad)                           \
+  X(kLh, "lh", kFmtLoad)                             \
+  X(kLhu, "lhu", kFmtLoad)                           \
+  X(kLw, "lw", kFmtLoad)                             \
+  X(kSb, "sb", kFmtStore)                            \
+  X(kSh, "sh", kFmtStore)                            \
+  X(kSw, "sw", kFmtStore)                            \
+  /* XpulpV2 post-increment (rs1 += imm after access) */ \
+  X(kLbPi, "p.lb!", kFmtLoadPi)                      \
+  X(kLbuPi, "p.lbu!", kFmtLoadPi)                    \
+  X(kLhuPi, "p.lhu!", kFmtLoadPi)                    \
+  X(kLwPi, "p.lw!", kFmtLoadPi)                      \
+  X(kSbPi, "p.sb!", kFmtStorePi)                     \
+  X(kSwPi, "p.sw!", kFmtStorePi)                     \
+  /* XpulpV2 register-register addressing (addr = rs1 + rs2) */ \
+  X(kLbRr, "p.lb.rr", kFmtLoadRr)                    \
+  X(kLbuRr, "p.lbu.rr", kFmtLoadRr)                  \
+  X(kLwRr, "p.lw.rr", kFmtLoadRr)                    \
+  /* Branches / jumps */                             \
+  X(kBeq, "beq", kFmtB)                              \
+  X(kBne, "bne", kFmtB)                              \
+  X(kBlt, "blt", kFmtB)                              \
+  X(kBge, "bge", kFmtB)                              \
+  X(kBltu, "bltu", kFmtB)                            \
+  X(kBgeu, "bgeu", kFmtB)                            \
+  X(kJal, "jal", kFmtJ)                              \
+  X(kJalr, "jalr", kFmtJr)                           \
+  /* XpulpV2 hardware loops */                       \
+  X(kLpSetup, "lp.setup", kFmtLp)                    \
+  X(kLpSetupImm, "lp.setupi", kFmtLpI)               \
+  /* XpulpV2 SIMD */                                 \
+  X(kPvSdotspB, "pv.sdotsp.b", kFmtR)                \
+  X(kPvAddB, "pv.add.b", kFmtR)                      \
+  X(kPvMaxB, "pv.max.b", kFmtR)                      \
+  X(kPvLbIns, "pv.lb.ins", kFmtPvLbIns)              \
+  /* xDecimate extension (this paper) */             \
+  X(kXdec, "xdecimate", kFmtXdec)                    \
+  X(kXdecClear, "xdecimate.clear", kFmtNone)         \
+  /* System */                                       \
+  X(kHartid, "csrr.hartid", kFmtRdOnly)              \
+  X(kBarrier, "p.barrier", kFmtNone)                 \
+  X(kHalt, "halt", kFmtNone)
+
+enum class Opcode : uint8_t {
+#define X(op, name, fmt) op,
+  DECIMATE_OPCODE_LIST(X)
+#undef X
+      kCount
+};
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount);
+
+/// Operand formats, used by the encoder and the disassembler.
+enum class Format : uint8_t {
+  kFmtR,        // rd, rs1, rs2
+  kFmtI,        // rd, rs1, imm12
+  kFmtU,        // rd, imm20
+  kFmtClip,     // rd, rs1, bit-width imm
+  kFmtLoad,     // rd, imm(rs1)
+  kFmtStore,    // rs2, imm(rs1)
+  kFmtLoadPi,   // rd, imm(rs1!)
+  kFmtStorePi,  // rs2, imm(rs1!)
+  kFmtLoadRr,   // rd, rs2(rs1)
+  kFmtB,        // rs1, rs2, target (absolute instruction index)
+  kFmtJ,        // rd, target
+  kFmtJr,       // rd, rs1, imm
+  kFmtLp,       // loop(aux), rs1=count, imm=end index
+  kFmtLpI,      // loop(aux), imm2=count, imm=end index
+  kFmtPvLbIns,  // rd[lane=aux] <- mem8[rs1 + rs2]
+  kFmtXdec,     // rd, rs1, rs2 with aux = M (4/8/16)
+  kFmtRdOnly,   // rd
+  kFmtNone,     // no operands
+};
+
+const char* opcode_name(Opcode op);
+Format opcode_format(Opcode op);
+
+/// True for instructions that access data memory.
+bool is_memory_op(Opcode op);
+
+/// True for control-flow instructions with a taken-branch penalty.
+bool is_branch_or_jump(Opcode op);
+
+}  // namespace decimate

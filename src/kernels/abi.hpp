@@ -1,0 +1,96 @@
+#pragma once
+// ABI between the host-side launcher and the ISS kernels.
+//
+// Kernel programs are generic over layer geometry: every dimension, stride
+// and pointer is read from an args block in L1 whose address is passed in
+// a0. A per-core work descriptor array assigns each core a rectangle of
+// the output space (the host computes the split; the kernels contain no
+// division). Programs therefore depend only on (kernel kind, M), which
+// lets the schedule executor cache cycle measurements per geometry.
+
+#include <cstdint>
+
+#include "isa/instr.hpp"
+
+namespace decimate {
+
+/// Word indices inside the convolution args block.
+struct ConvArgs {
+  enum : int {
+    kInPtr = 0,       // padded input tile, HWC {IYP, IXP, C}
+    kOutPtr,          // output tile, HWC {OY, OX, K}
+    kWPtr,            // weight rows (dense: padded fsz; sparse: NZ values)
+    kOffPtr,          // packed NZ offsets (0 for dense)
+    kBiasPtr,         // int32 bias, K entries
+    kImcolPtr,        // im2col area: num_cores * 2 * buf_bytes
+    kC,
+    kK,               // output channels in this tile (output row stride)
+    kFy,
+    kOx,
+    kStride,
+    kQmult,
+    kQshift,
+    kInnerIters,      // hw-loop trips: dense fsz/4, sparse nz/4 (m=4 ISA: nz/8)
+    kWRowBytes,       // stride between weight rows
+    kOffRowBytes,     // stride between offset rows
+    kRowCopyIters,    // fx*c/4 (im2col word copies per filter row)
+    kInRowBytes,      // IXP * C
+    kImcolBufBytes,   // round_up(fsz, 4)
+    kImcolStride,     // per-core im2col area stride (2*buf; ablation: 4*buf)
+    kOxPairs,         // ox / 2
+    kSxC,             // stride * C (src1 offset from src0)
+    kWorkBase,        // per-core work rects start here
+    kWorkWords = 6,   // {oy_s, oy_e, xp_s, xp_e, k_s, k_e}
+  };
+  static constexpr int size_words(int num_cores) {
+    return kWorkBase + kWorkWords * num_cores;
+  }
+};
+
+/// Word indices inside the fully-connected args block.
+struct FcArgs {
+  enum : int {
+    kInPtr = 0,      // activations {T, C}
+    kOutPtr,         // output {T, K} (row stride = kOutRowBytes)
+    kWPtr,
+    kOffPtr,
+    kBiasPtr,
+    kC,              // input features (= dense weight row content)
+    kQmult,
+    kQshift,
+    kInnerIters,     // dense: C/4; sparse: nz/4 (m=4 ISA: nz/8)
+    kWRowBytes,
+    kOffRowBytes,    // SW: per channel row; ISA: per channel-pair row
+    kOutRowBytes,    // output row stride in bytes (K of the tile)
+    kInRowBytes,     // C
+    kWorkBase,
+    kWorkWords = 4,  // {tok_s, tok_e, k_s, k_e}
+  };
+  static constexpr int size_words(int num_cores) {
+    return kWorkBase + kWorkWords * num_cores;
+  }
+};
+
+/// The kernel families of the paper (Sec. 4.1/4.2) plus the sparse-im2col
+/// ablation variant (Sec. 4.1.2, strategy 2).
+enum class KernelKind : uint8_t {
+  kConvDense4x2,       // PULP-NN baseline (4 output channels x 2 pixels)
+  kConvDense1x2,       // dense baseline with 1x2 unrolling
+  kConvSparseSw,       // N:M, XpulpV2 only
+  kConvSparseIsa,      // N:M with xDecimate
+  kConvSparseIm2col,   // ablation: per-channel sparse im2col (strategy 2)
+  kFcDense,            // dense FC, K unrolled by 2
+  kFcSparseSw,         // N:M, XpulpV2 only (one channel at a time)
+  kFcSparseIsa,        // N:M with xDecimate (channel pairs, Fig. 6)
+};
+
+const char* kernel_kind_name(KernelKind kind);
+bool kernel_is_sparse(KernelKind kind);
+bool kernel_is_conv(KernelKind kind);
+bool kernel_uses_xdec(KernelKind kind);
+
+/// Markers bracketing the innermost-loop body in every kernel program.
+inline constexpr const char* kInnerBegin = "inner_begin";
+inline constexpr const char* kInnerEnd = "inner_end";
+
+}  // namespace decimate

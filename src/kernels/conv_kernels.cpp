@@ -1,0 +1,481 @@
+// Convolution kernel programs (Sec. 4.1 of the paper).
+//
+// Shared structure (all conv kinds):
+//   for oy in [oy_s, oy_e):                (per-core rectangle)
+//     for xp in [xp_s, xp_e):              (pairs of output pixels)
+//       partial im2col of 2 patches into the per-core buffers
+//       for k in [k_s, k_e):               (output channels; 4x2 steps by 4)
+//         accumulate over the patch (innermost hardware loop)
+//         requantize, store 2 (or 8) outputs
+//
+// The input tile is stored padding-materialized ({IYP, IXP, C}), so the
+// im2col is FY unconditional row copies of FX*C bytes per patch.
+
+#include "common/check.hpp"
+#include "isa/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace decimate {
+
+namespace {
+
+using namespace reg;
+
+// Register roles shared by the 1x2-family conv kernels (dense 1x2 and all
+// sparse variants). The 4x2 kernel re-allocates (documented inline).
+//   s0 xp_s | s1 oy_e | s2 k_s | s3 k_e | s4 imc1 | s5 imc2
+//   s6 oy   | s7 xp   | s8 xp_e| s9 qmult | s10 qshift | s11 scratch/count
+//   t0 bias cursor | t1 out p1 | t2 out p2 | t3 acc1 | t4 acc2
+//   t5 buf1 cursor | t6 buf2 cursor
+//   a1 k | a2 w row | a3 w row bytes | a4 w cursor | a5 off row
+//   a6 off row bytes | a7 off cursor | ra/gp/tp body scratch (wv/vB1/vB2)
+
+void emit_work_prologue(KernelBuilder& b) {
+  b.hartid(t0);
+  b.li(t1, ConvArgs::kWorkWords * 4);
+  b.mul(t0, t0, t1);
+  b.addi(t1, a0, ConvArgs::kWorkBase * 4);
+  b.add(t1, t1, t0);
+  b.lw(s6, 0, t1);   // oy_s (becomes the oy counter)
+  b.lw(s1, 4, t1);   // oy_e
+  b.lw(s0, 8, t1);   // xp_s
+  b.lw(s8, 12, t1);  // xp_e
+  b.lw(s2, 16, t1);  // k_s
+  b.lw(s3, 20, t1);  // k_e
+  b.bge(s6, s1, "done");
+  b.bge(s0, s8, "done");
+  b.bge(s2, s3, "done");
+  // per-core im2col buffers
+  b.lw(t2, ConvArgs::kImcolPtr * 4, a0);
+  b.lw(t3, ConvArgs::kImcolBufBytes * 4, a0);
+  b.lw(t5, ConvArgs::kImcolStride * 4, a0);
+  b.hartid(t4);
+  b.mul(t4, t4, t5);
+  b.add(s4, t2, t4);  // imc1
+  b.add(s5, s4, t3);  // imc2
+  b.mv(s7, s0);       // xp = xp_s
+}
+
+/// Partial im2col: copy the two patches at (oy=s6, ox=2*s7, 2*s7+1) into
+/// imc1/imc2. Clobbers t0, t6, a1..a6, ra, gp, tp.
+void emit_im2col(KernelBuilder& b) {
+  b.lw(t0, ConvArgs::kInPtr * 4, a0);
+  b.lw(ra, ConvArgs::kStride * 4, a0);
+  b.mul(gp, s6, ra);  // oy * stride
+  b.lw(tp, ConvArgs::kInRowBytes * 4, a0);
+  b.mul(gp, gp, tp);
+  b.add(t0, t0, gp);  // input row base
+  b.lw(gp, ConvArgs::kSxC * 4, a0);  // stride * C
+  b.slli(tp, s7, 1);                 // xp * 2
+  b.mul(tp, tp, gp);
+  b.add(t0, t0, tp);  // src0
+  b.add(t6, t0, gp);  // src1 = src0 + stride*C
+  b.mv(a1, s4);       // dst1
+  b.mv(a2, s5);       // dst2
+  b.lw(a3, ConvArgs::kFy * 4, a0);
+  b.lw(a4, ConvArgs::kRowCopyIters * 4, a0);
+  const std::string fy_loop = b.fresh_label("fy_loop");
+  b.bind(fy_loop);
+  b.mv(a5, t0);
+  b.hw_loop(0, a4, [&] {
+    b.lw_pi(a6, a5, 4);
+    b.sw_pi(a6, a1, 4);
+  });
+  b.mv(a5, t6);
+  b.hw_loop(0, a4, [&] {
+    b.lw_pi(a6, a5, 4);
+    b.sw_pi(a6, a2, 4);
+  });
+  b.lw(a6, ConvArgs::kInRowBytes * 4, a0);
+  b.add(t0, t0, a6);
+  b.add(t6, t6, a6);
+  b.addi(a3, a3, -1);
+  b.bne(a3, zero, fy_loop);
+}
+
+/// Compute the output cursor p1 (t1) = out + ((oy*OX)+2*xp)*K + k_s.
+/// Clobbers ra, gp, tp.
+void emit_out_ptr(KernelBuilder& b) {
+  b.lw(t1, ConvArgs::kOutPtr * 4, a0);
+  b.lw(ra, ConvArgs::kOx * 4, a0);
+  b.mul(gp, s6, ra);
+  b.slli(tp, s7, 1);
+  b.add(gp, gp, tp);
+  b.lw(ra, ConvArgs::kK * 4, a0);
+  b.mul(gp, gp, ra);
+  b.add(t1, t1, gp);
+  b.add(t1, t1, s2);
+}
+
+/// Loop-closing control flow after the k loop.
+void emit_epilogue_loops(KernelBuilder& b, const std::string& pair_loop,
+                         const std::string& oy_loop) {
+  b.addi(s7, s7, 1);
+  b.blt(s7, s8, pair_loop);
+  b.mv(s7, s0);
+  b.addi(s6, s6, 1);
+  b.blt(s6, s1, oy_loop);
+  b.bind("done");
+  b.barrier();
+  b.halt();
+}
+
+// --- inner-loop bodies -----------------------------------------------------
+
+/// Dense 1x2 body: 5 instructions / 8 MACs.
+void body_dense_1x2(KernelBuilder& b) {
+  b.lw_pi(gp, t5, 4);  // activations word, pixel 0
+  b.lw_pi(tp, t6, 4);  // activations word, pixel 1
+  b.lw_pi(ra, a4, 4);  // weights word
+  b.sdotsp_b(t3, ra, gp);
+  b.sdotsp_b(t4, ra, tp);
+}
+
+/// Sparse SW body for M=8/16: 22 instructions / 8 MACs.
+/// OFFSETS stream: 4-bit fields, one per NZ; lhu grabs 4 per iteration.
+void body_sparse_sw_m8_16(KernelBuilder& b, int m) {
+  // ra carries the packed offsets during the gather phase and is reused
+  // for the weights word afterwards (s0/s8 hold the pair-loop bounds).
+  b.lhu_pi(ra, a7, 2);  // 4 packed offsets
+  for (int lane = 0; lane < 4; ++lane) {
+    b.srli(s11, ra, 4 * lane);
+    b.andi(s11, s11, 0xF);
+    b.pv_lb_ins(gp, lane, t5, s11, m);  // vB1[lane] <- buf1[lane*M + o]
+    b.pv_lb_ins(tp, lane, t6, s11, m);  // vB2[lane]
+  }
+  b.addi(t5, t5, 4 * m);
+  b.addi(t6, t6, 4 * m);
+  b.lw_pi(ra, a4, 4);  // 4 NZ weights
+  b.sdotsp_b(t3, ra, gp);
+  b.sdotsp_b(t4, ra, tp);
+}
+
+/// Sparse SW body for M=4: 23 instructions / 8 MACs. 2-bit offsets, 4 per
+/// byte; lanes 1..3 fold the block index into the gather index with ori.
+void body_sparse_sw_m4(KernelBuilder& b) {
+  b.lbu_pi(ra, a7, 1);  // 4 packed 2-bit offsets
+  // lane 0: index = o0
+  b.andi(s11, ra, 0x3);
+  b.pv_lb_ins(gp, 0, t5, s11, 0);
+  b.pv_lb_ins(tp, 0, t6, s11, 0);
+  // lanes 1..2: index = o | lane*4
+  for (int lane = 1; lane <= 2; ++lane) {
+    b.srli(ra, ra, 2);
+    b.andi(s11, ra, 0x3);
+    b.ori(s11, s11, lane * 4);
+    b.pv_lb_ins(gp, lane, t5, s11, 0);
+    b.pv_lb_ins(tp, lane, t6, s11, 0);
+  }
+  // lane 3: top 2 bits are already isolated after the shift
+  b.srli(ra, ra, 2);
+  b.ori(s11, ra, 12);
+  b.pv_lb_ins(gp, 3, t5, s11, 0);
+  b.pv_lb_ins(tp, 3, t6, s11, 0);
+  b.addi(t5, t5, 16);
+  b.addi(t6, t6, 16);
+  b.lw_pi(ra, a4, 4);
+  b.sdotsp_b(t3, ra, gp);
+  b.sdotsp_b(t4, ra, tp);
+}
+
+/// Sparse ISA body for M=8/16: 12 instructions / 8 MACs. The im2col base
+/// registers stay fixed; the xDecimate csr advances the block index.
+void body_sparse_isa_m8_16(KernelBuilder& b, int m) {
+  b.lw_pi(ra, a7, 4);  // duplicated offsets word (8 fields = 4 blocks)
+  for (int j = 0; j < 4; ++j) {
+    b.xdec(gp, t5, ra, m);
+    b.xdec(tp, t6, ra, m);
+  }
+  b.lw_pi(ra, a4, 4);
+  b.sdotsp_b(t3, ra, gp);
+  b.sdotsp_b(t4, ra, tp);
+}
+
+/// Sparse ISA body for M=4: one offsets word carries 16 2-bit fields =
+/// 8 duplicated blocks = 2 logical iterations; 23 instructions / 16 MACs.
+void body_sparse_isa_m4(KernelBuilder& b) {
+  // s11 keeps the offsets word alive across both halves (ra is clobbered
+  // by the first weights load).
+  b.lw_pi(s11, a7, 4);
+  for (int half = 0; half < 2; ++half) {
+    for (int j = 0; j < 4; ++j) {
+      b.xdec(gp, t5, s11, 4);
+      b.xdec(tp, t6, s11, 4);
+    }
+    b.lw_pi(ra, a4, 4);
+    b.sdotsp_b(t3, ra, gp);
+    b.sdotsp_b(t4, ra, tp);
+  }
+}
+
+/// The k-loop shared by the 1x2-family kernels.
+void emit_k_loop_1x2(KernelBuilder& b, KernelKind kind, int m) {
+  b.mv(a1, s2);  // k
+  b.lw(a2, ConvArgs::kWPtr * 4, a0);
+  b.lw(a3, ConvArgs::kWRowBytes * 4, a0);
+  b.mul(ra, s2, a3);
+  b.add(a2, a2, ra);
+  b.lw(a5, ConvArgs::kOffPtr * 4, a0);
+  b.lw(a6, ConvArgs::kOffRowBytes * 4, a0);
+  b.mul(ra, s2, a6);
+  b.add(a5, a5, ra);
+  b.lw(t0, ConvArgs::kBiasPtr * 4, a0);
+  b.slli(ra, s2, 2);
+  b.add(t0, t0, ra);
+  b.lw(ra, ConvArgs::kK * 4, a0);
+  b.add(t2, t1, ra);  // p2 = p1 + K
+  const std::string k_loop = b.fresh_label("k_loop");
+  b.bind(k_loop);
+  b.lw_pi(t3, t0, 4);  // acc1 = bias[k]
+  b.mv(t4, t3);        // acc2
+  b.mv(t5, s4);
+  b.mv(t6, s5);
+  b.mv(a4, a2);
+  b.mv(a7, a5);
+  if (kernel_uses_xdec(kind)) b.xdec_clear();
+  b.lw(s11, ConvArgs::kInnerIters * 4, a0);
+  b.hw_loop(0, s11, [&] {
+    b.marker(kInnerBegin);
+    switch (kind) {
+      case KernelKind::kConvDense1x2: body_dense_1x2(b); break;
+      case KernelKind::kConvSparseSw:
+        if (m == 4) {
+          body_sparse_sw_m4(b);
+        } else {
+          body_sparse_sw_m8_16(b, m);
+        }
+        break;
+      case KernelKind::kConvSparseIsa:
+        if (m == 4) {
+          body_sparse_isa_m4(b);
+        } else {
+          body_sparse_isa_m8_16(b, m);
+        }
+        break;
+      default: DECIMATE_FAIL("not a 1x2-family conv kind");
+    }
+    b.marker(kInnerEnd);
+  });
+  // requantize and store the two outputs
+  b.mul(t3, t3, s9);
+  b.mul(t4, t4, s9);
+  b.sra(t3, t3, s10);
+  b.sra(t4, t4, s10);
+  b.pclip(t3, t3, 8);
+  b.pclip(t4, t4, 8);
+  b.sb_pi(t3, t1, 1);
+  b.sb_pi(t4, t2, 1);
+  b.add(a2, a2, a3);
+  b.add(a5, a5, a6);
+  b.addi(a1, a1, 1);
+  b.blt(a1, s3, k_loop);
+}
+
+/// 4x2 PULP-NN k-loop. Register re-allocation for 8 accumulators:
+///   accs pixel0 = {t3, a5, s9, sp}, pixel1 = {t4, a6, s10, t2};
+///   weight cursors = {a4, a7, s11, t0}; buf cursors t5/t6; out p1 = t1.
+void emit_k_loop_4x2(KernelBuilder& b) {
+  b.mv(a1, s2);  // k
+  b.lw(a2, ConvArgs::kWPtr * 4, a0);
+  b.lw(a3, ConvArgs::kWRowBytes * 4, a0);
+  b.mul(ra, s2, a3);
+  b.add(a2, a2, ra);
+  const std::string k_loop = b.fresh_label("k_loop4");
+  b.bind(k_loop);
+  // four weight-row cursors
+  b.mv(a4, a2);
+  b.add(a7, a4, a3);
+  b.add(s11, a7, a3);
+  b.add(t0, s11, a3);
+  // biases for 4 channels -> 8 accumulators
+  b.lw(ra, ConvArgs::kBiasPtr * 4, a0);
+  b.slli(gp, a1, 2);
+  b.add(ra, ra, gp);
+  b.lw(t3, 0, ra);
+  b.lw(a5, 4, ra);
+  b.lw(s9, 8, ra);
+  b.lw(sp, 12, ra);
+  b.mv(t4, t3);
+  b.mv(a6, a5);
+  b.mv(s10, s9);
+  b.mv(t2, sp);
+  b.mv(t5, s4);
+  b.mv(t6, s5);
+  b.lw(ra, ConvArgs::kInnerIters * 4, a0);
+  b.hw_loop(0, ra, [&] {
+    b.marker(kInnerBegin);
+    b.lw_pi(gp, t5, 4);
+    b.lw_pi(tp, t6, 4);
+    b.lw_pi(ra, a4, 4);
+    b.sdotsp_b(t3, ra, gp);
+    b.sdotsp_b(t4, ra, tp);
+    b.lw_pi(ra, a7, 4);
+    b.sdotsp_b(a5, ra, gp);
+    b.sdotsp_b(a6, ra, tp);
+    b.lw_pi(ra, s11, 4);
+    b.sdotsp_b(s9, ra, gp);
+    b.sdotsp_b(s10, ra, tp);
+    b.lw_pi(ra, t0, 4);
+    b.sdotsp_b(sp, ra, gp);
+    b.sdotsp_b(t2, ra, tp);
+    b.marker(kInnerEnd);
+  });
+  // requantize all 8 accumulators
+  b.lw(ra, ConvArgs::kQmult * 4, a0);
+  for (uint8_t acc : {t3, t4, a5, a6, s9, s10, sp, t2}) b.mul(acc, acc, ra);
+  b.lw(ra, ConvArgs::kQshift * 4, a0);
+  for (uint8_t acc : {t3, t4, a5, a6, s9, s10, sp, t2}) b.sra(acc, acc, ra);
+  for (uint8_t acc : {t3, t4, a5, a6, s9, s10, sp, t2}) b.pclip(acc, acc, 8);
+  // stores: pixel0 channels k..k+3 at p1, pixel1 at p1 + K
+  b.lw(gp, ConvArgs::kK * 4, a0);
+  b.add(gp, t1, gp);
+  b.sb_pi(t3, t1, 1);
+  b.sb_pi(a5, t1, 1);
+  b.sb_pi(s9, t1, 1);
+  b.sb_pi(sp, t1, 1);
+  b.sb_pi(t4, gp, 1);
+  b.sb_pi(a6, gp, 1);
+  b.sb_pi(s10, gp, 1);
+  b.sb_pi(t2, gp, 1);
+  // next group of 4 channels
+  b.slli(ra, a3, 2);
+  b.add(a2, a2, ra);
+  b.addi(a1, a1, 4);
+  b.blt(a1, s3, k_loop);
+}
+
+/// Ablation (Sec. 4.1.2, strategy 2): per-output-channel sparse gather.
+/// For every k, the NZ activations are first gathered into two compact
+/// buffers (the per-channel "sparse im2col"), then a dense dot product
+/// runs over the compact buffers. The gather repeats for every channel.
+void emit_k_loop_sparse_im2col(KernelBuilder& b, int m) {
+  b.mv(a1, s2);
+  b.lw(a2, ConvArgs::kWPtr * 4, a0);
+  b.lw(a3, ConvArgs::kWRowBytes * 4, a0);
+  b.mul(ra, s2, a3);
+  b.add(a2, a2, ra);
+  b.lw(a5, ConvArgs::kOffPtr * 4, a0);
+  b.lw(a6, ConvArgs::kOffRowBytes * 4, a0);
+  b.mul(ra, s2, a6);
+  b.add(a5, a5, ra);
+  b.lw(t0, ConvArgs::kBiasPtr * 4, a0);
+  b.slli(ra, s2, 2);
+  b.add(t0, t0, ra);
+  b.lw(ra, ConvArgs::kK * 4, a0);
+  b.add(t2, t1, ra);
+  const std::string k_loop = b.fresh_label("k_loop_si");
+  b.bind(k_loop);
+  // --- gather phase: compact buffers live after the two im2col buffers ---
+  b.lw(gp, ConvArgs::kImcolBufBytes * 4, a0);
+  b.add(t3, s5, gp);  // compact buf 1 = imc2 + buf_bytes
+  b.add(t4, t3, gp);  // compact buf 2
+  b.mv(t5, s4);
+  b.mv(t6, s5);
+  b.mv(a7, a5);
+  b.mv(a4, t3);  // compact cursor 1
+  b.mv(gp, t4);  // compact cursor 2
+  b.lw(s11, ConvArgs::kInnerIters * 4, a0);
+  b.hw_loop(0, s11, [&] {
+    // unpack 4 offsets, copy the 4 selected bytes of each buffer
+    // (t3 doubles as offset scratch; the compact-buffer base is
+    // recomputed after the gather loop)
+    b.lhu_pi(t3, a7, 2);
+    for (int lane = 0; lane < 4; ++lane) {
+      b.srli(s11, t3, 4 * lane);
+      b.andi(s11, s11, 0xF);
+      b.pv_lb_ins(tp, lane, t5, s11, m);
+      b.pv_lb_ins(ra, lane, t6, s11, m);
+    }
+    b.addi(t5, t5, 4 * m);
+    b.addi(t6, t6, 4 * m);
+    b.sw_pi(tp, a4, 4);
+    b.sw_pi(ra, gp, 4);
+  });
+  // --- dense dot product over the compact buffers ---
+  b.lw(s11, ConvArgs::kImcolBufBytes * 4, a0);
+  b.add(t3, s5, s11);  // recompute compact buf 1 (t3 was gather scratch)
+  b.lw_pi(t5, t0, 4);  // acc1 = bias (t5 reused)
+  b.mv(t6, t5);
+  b.mv(a4, a2);
+  b.mv(a7, t3);
+  b.mv(gp, t4);
+  b.lw(s11, ConvArgs::kInnerIters * 4, a0);
+  b.hw_loop(1, s11, [&] {
+    b.lw_pi(ra, a4, 4);
+    b.lw_pi(t3, a7, 4);
+    b.lw_pi(t4, gp, 4);
+    b.sdotsp_b(t5, ra, t3);
+    b.sdotsp_b(t6, ra, t4);
+  });
+  b.mul(t5, t5, s9);
+  b.mul(t6, t6, s9);
+  b.sra(t5, t5, s10);
+  b.sra(t6, t6, s10);
+  b.pclip(t5, t5, 8);
+  b.pclip(t6, t6, 8);
+  b.sb_pi(t5, t1, 1);
+  b.sb_pi(t6, t2, 1);
+  b.add(a2, a2, a3);
+  b.add(a5, a5, a6);
+  b.addi(a1, a1, 1);
+  b.blt(a1, s3, k_loop);
+}
+
+}  // namespace
+
+Program build_conv_kernel(KernelKind kind, int m) {
+  DECIMATE_CHECK(kernel_is_conv(kind), "not a conv kernel kind");
+  if (kernel_is_sparse(kind)) {
+    DECIMATE_CHECK(m == 4 || m == 8 || m == 16,
+                   "sparse conv kernel needs M in {4,8,16}");
+  }
+  KernelBuilder b;
+  emit_work_prologue(b);
+  if (kind != KernelKind::kConvDense4x2) {
+    b.lw(s9, ConvArgs::kQmult * 4, a0);
+    b.lw(s10, ConvArgs::kQshift * 4, a0);
+  }
+  const std::string oy_loop = b.fresh_label("oy_loop");
+  const std::string pair_loop = b.fresh_label("pair_loop");
+  b.bind(oy_loop);
+  b.bind(pair_loop);
+  emit_im2col(b);
+  emit_out_ptr(b);
+  switch (kind) {
+    case KernelKind::kConvDense4x2: emit_k_loop_4x2(b); break;
+    case KernelKind::kConvSparseIm2col: emit_k_loop_sparse_im2col(b, m); break;
+    default: emit_k_loop_1x2(b, kind, m); break;
+  }
+  emit_epilogue_loops(b, pair_loop, oy_loop);
+  return b.build();
+}
+
+int expected_inner_loop_length(KernelKind kind, int m) {
+  switch (kind) {
+    case KernelKind::kConvDense4x2: return 14;
+    case KernelKind::kConvDense1x2: return 5;
+    case KernelKind::kConvSparseSw: return m == 4 ? 23 : 22;
+    case KernelKind::kConvSparseIsa: return m == 4 ? 23 : 12;
+    case KernelKind::kFcDense: return 5;
+    case KernelKind::kFcSparseSw: return m == 4 ? 17 : 16;
+    case KernelKind::kFcSparseIsa: return m == 4 ? 25 : 13;
+    case KernelKind::kConvSparseIm2col: return -1;  // two loops; not a peak
+  }
+  DECIMATE_FAIL("bad kind");
+}
+
+int macs_per_inner_iter(KernelKind kind, int m) {
+  switch (kind) {
+    case KernelKind::kConvDense4x2: return 32;
+    case KernelKind::kConvDense1x2: return 8;
+    case KernelKind::kConvSparseSw: return 8;
+    case KernelKind::kConvSparseIsa: return m == 4 ? 16 : 8;
+    case KernelKind::kFcDense: return 8;
+    case KernelKind::kFcSparseSw: return 4;
+    case KernelKind::kFcSparseIsa: return m == 4 ? 16 : 8;
+    case KernelKind::kConvSparseIm2col: return 8;
+  }
+  DECIMATE_FAIL("bad kind");
+}
+
+}  // namespace decimate

@@ -1,0 +1,260 @@
+// Fully-connected kernel programs (Sec. 4.2 of the paper).
+//
+// Structure (all kinds):
+//   for tok in [tok_s, tok_e):     (per-core rectangle; tokens = batch rows)
+//     for k in [k_s, k_e):         (output channels; dense/ISA step by 2)
+//       accumulate over C (innermost hardware loop)
+//       requantize, store 1 or 2 outputs
+//
+// The dense kernel unrolls by 2 over K (weight reuse of the activation
+// word); the SW sparse kernel processes one channel at a time (different
+// channels gather different activations); the ISA kernel recovers the K=2
+// unrolling through the offline interleaving of NZ offsets (Fig. 6).
+
+#include "common/check.hpp"
+#include "isa/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace decimate {
+
+namespace {
+
+using namespace reg;
+
+// Register roles:
+//   t0 tok | s1 tok_e | s2 k_s | s3 k_e
+//   s4 in_ptr | s6 w_row_bytes | s7 off_row_bytes | s8 inner_iters
+//   s9 qmult | s10 qshift
+//   a1 act base | a2 out cursor | a3 k | a4 w cursor ch k | a5 w cursor ch k+1
+//   a6 off cursor | t1..t4 scratch/accs | t5 act cursor
+//   gp/tp vB1/vB2 | ra/s11 weight words | s0 packed offsets
+
+void body_fc_dense(KernelBuilder& b) {
+  b.lw_pi(gp, t5, 4);   // activation word
+  b.lw_pi(ra, a4, 4);   // weights ch k
+  b.lw_pi(s11, a5, 4);  // weights ch k+1
+  b.sdotsp_b(t3, ra, gp);
+  b.sdotsp_b(t4, s11, gp);
+}
+
+void body_fc_sparse_sw_m8_16(KernelBuilder& b, int m) {
+  b.lhu_pi(s0, a6, 2);
+  for (int lane = 0; lane < 4; ++lane) {
+    b.srli(s11, s0, 4 * lane);
+    b.andi(s11, s11, 0xF);
+    b.pv_lb_ins(gp, lane, t5, s11, m);
+  }
+  b.addi(t5, t5, 4 * m);
+  b.lw_pi(ra, a4, 4);
+  b.sdotsp_b(t3, ra, gp);
+}
+
+void body_fc_sparse_sw_m4(KernelBuilder& b) {
+  b.lbu_pi(s0, a6, 1);
+  b.andi(s11, s0, 0x3);
+  b.pv_lb_ins(gp, 0, t5, s11, 0);
+  for (int lane = 1; lane <= 2; ++lane) {
+    b.srli(s0, s0, 2);
+    b.andi(s11, s0, 0x3);
+    b.ori(s11, s11, lane * 4);
+    b.pv_lb_ins(gp, lane, t5, s11, 0);
+  }
+  b.srli(s0, s0, 2);
+  b.ori(s11, s0, 12);
+  b.pv_lb_ins(gp, 3, t5, s11, 0);
+  b.addi(t5, t5, 16);
+  b.lw_pi(ra, a4, 4);
+  b.sdotsp_b(t3, ra, gp);
+}
+
+void body_fc_sparse_isa_m8_16(KernelBuilder& b, int m) {
+  b.lw_pi(s0, a6, 4);  // interleaved offsets (4 blocks x 2 channels)
+  for (int j = 0; j < 4; ++j) {
+    b.xdec(gp, a1, s0, m);  // channel k   -> vB1
+    b.xdec(tp, a1, s0, m);  // channel k+1 -> vB2
+  }
+  b.lw_pi(ra, a4, 4);
+  b.lw_pi(s11, a5, 4);
+  b.sdotsp_b(t3, ra, gp);
+  b.sdotsp_b(t4, s11, tp);
+}
+
+void body_fc_sparse_isa_m4(KernelBuilder& b) {
+  b.lw_pi(s0, a6, 4);  // 16 2-bit fields = 8 blocks x 2 channels = 2 iters
+  for (int half = 0; half < 2; ++half) {
+    for (int j = 0; j < 4; ++j) {
+      b.xdec(gp, a1, s0, 4);
+      b.xdec(tp, a1, s0, 4);
+    }
+    b.lw_pi(ra, a4, 4);
+    b.lw_pi(s11, a5, 4);
+    b.sdotsp_b(t3, ra, gp);
+    b.sdotsp_b(t4, s11, tp);
+  }
+}
+
+}  // namespace
+
+Program build_fc_kernel(KernelKind kind, int m) {
+  DECIMATE_CHECK(!kernel_is_conv(kind), "not an fc kernel kind");
+  if (kernel_is_sparse(kind)) {
+    DECIMATE_CHECK(m == 4 || m == 8 || m == 16,
+                   "sparse fc kernel needs M in {4,8,16}");
+  }
+  const bool pair = (kind != KernelKind::kFcSparseSw);  // 2 channels / iter
+
+  KernelBuilder b;
+  // --- prologue: work rectangle and cached parameters ---
+  b.hartid(t0);
+  b.li(t1, FcArgs::kWorkWords * 4);
+  b.mul(t0, t0, t1);
+  b.addi(t1, a0, FcArgs::kWorkBase * 4);
+  b.add(t1, t1, t0);
+  b.lw(t0, 0, t1);   // tok_s (becomes counter)
+  b.lw(s1, 4, t1);   // tok_e
+  b.lw(s2, 8, t1);   // k_s
+  b.lw(s3, 12, t1);  // k_e
+  b.bge(t0, s1, "done");
+  b.bge(s2, s3, "done");
+  b.lw(s4, FcArgs::kInPtr * 4, a0);
+  b.lw(s6, FcArgs::kWRowBytes * 4, a0);
+  b.lw(s7, FcArgs::kOffRowBytes * 4, a0);
+  b.lw(s8, FcArgs::kInnerIters * 4, a0);
+  b.lw(s9, FcArgs::kQmult * 4, a0);
+  b.lw(s10, FcArgs::kQshift * 4, a0);
+  // act base for tok_s
+  b.lw(t2, FcArgs::kInRowBytes * 4, a0);
+  b.mul(a1, t0, t2);
+  b.add(a1, a1, s4);
+  // out cursor for (tok_s, k_s)
+  b.lw(t3, FcArgs::kOutPtr * 4, a0);
+  b.lw(t4, FcArgs::kOutRowBytes * 4, a0);
+  b.mul(a2, t0, t4);
+  b.add(a2, a2, t3);
+  b.add(a2, a2, s2);
+
+  const std::string tok_loop = b.fresh_label("tok_loop");
+  const std::string k_loop = b.fresh_label("k_loop");
+  b.bind(tok_loop);
+  b.mv(a3, s2);  // k
+  b.bind(k_loop);
+  // weight cursor(s)
+  b.lw(t2, FcArgs::kWPtr * 4, a0);
+  b.mul(t3, a3, s6);
+  b.add(a4, t2, t3);
+  if (pair) b.add(a5, a4, s6);
+  // offsets cursor (sparse)
+  if (kernel_is_sparse(kind)) {
+    b.lw(t2, FcArgs::kOffPtr * 4, a0);
+    if (kind == KernelKind::kFcSparseIsa) {
+      b.srli(t3, a3, 1);  // pair-row index
+      b.mul(t3, t3, s7);
+    } else {
+      b.mul(t3, a3, s7);
+    }
+    b.add(a6, t2, t3);
+  }
+  // bias -> accumulators
+  b.lw(t2, FcArgs::kBiasPtr * 4, a0);
+  b.slli(t3, a3, 2);
+  b.add(t2, t2, t3);
+  b.lw(t3, 0, t2);            // acc1
+  if (pair) b.lw(t4, 4, t2);  // acc2
+  b.mv(t5, a1);               // act cursor
+  if (kernel_uses_xdec(kind)) b.xdec_clear();
+  b.hw_loop(0, s8, [&] {
+    b.marker(kInnerBegin);
+    switch (kind) {
+      case KernelKind::kFcDense: body_fc_dense(b); break;
+      case KernelKind::kFcSparseSw:
+        if (m == 4) {
+          body_fc_sparse_sw_m4(b);
+        } else {
+          body_fc_sparse_sw_m8_16(b, m);
+        }
+        break;
+      case KernelKind::kFcSparseIsa:
+        if (m == 4) {
+          body_fc_sparse_isa_m4(b);
+        } else {
+          body_fc_sparse_isa_m8_16(b, m);
+        }
+        break;
+      default: DECIMATE_FAIL("bad fc kind");
+    }
+    b.marker(kInnerEnd);
+  });
+  // requantize and store
+  b.mul(t3, t3, s9);
+  b.sra(t3, t3, s10);
+  b.pclip(t3, t3, 8);
+  b.sb_pi(t3, a2, 1);
+  if (pair) {
+    b.mul(t4, t4, s9);
+    b.sra(t4, t4, s10);
+    b.pclip(t4, t4, 8);
+    b.sb_pi(t4, a2, 1);
+  }
+  b.addi(a3, a3, pair ? 2 : 1);
+  b.blt(a3, s3, k_loop);
+  // token epilogue: advance act base and realign the out cursor
+  b.lw(t2, FcArgs::kInRowBytes * 4, a0);
+  b.add(a1, a1, t2);
+  b.lw(t2, FcArgs::kOutRowBytes * 4, a0);
+  b.sub(t3, s3, s2);  // channels written this token
+  b.sub(t2, t2, t3);
+  b.add(a2, a2, t2);
+  b.addi(t0, t0, 1);
+  b.blt(t0, s1, tok_loop);
+  b.bind("done");
+  b.barrier();
+  b.halt();
+  return b.build();
+}
+
+const char* kernel_kind_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kConvDense4x2: return "conv-dense-4x2(pulp-nn)";
+    case KernelKind::kConvDense1x2: return "conv-dense-1x2";
+    case KernelKind::kConvSparseSw: return "conv-sparse-sw";
+    case KernelKind::kConvSparseIsa: return "conv-sparse-isa";
+    case KernelKind::kConvSparseIm2col: return "conv-sparse-im2col(ablation)";
+    case KernelKind::kFcDense: return "fc-dense-1x2";
+    case KernelKind::kFcSparseSw: return "fc-sparse-sw";
+    case KernelKind::kFcSparseIsa: return "fc-sparse-isa";
+  }
+  return "?";
+}
+
+bool kernel_is_sparse(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kConvSparseSw:
+    case KernelKind::kConvSparseIsa:
+    case KernelKind::kConvSparseIm2col:
+    case KernelKind::kFcSparseSw:
+    case KernelKind::kFcSparseIsa:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool kernel_is_conv(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kConvDense4x2:
+    case KernelKind::kConvDense1x2:
+    case KernelKind::kConvSparseSw:
+    case KernelKind::kConvSparseIsa:
+    case KernelKind::kConvSparseIm2col:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool kernel_uses_xdec(KernelKind kind) {
+  return kind == KernelKind::kConvSparseIsa ||
+         kind == KernelKind::kFcSparseIsa;
+}
+
+}  // namespace decimate

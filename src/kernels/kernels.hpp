@@ -1,0 +1,36 @@
+#pragma once
+// Builders for the dense and sparse DNN kernel programs (Sec. 4 of the
+// paper). Programs are generic over layer geometry (everything is read
+// from the args block, see abi.hpp) and depend only on (kind, M), so one
+// program serves every layer of a given kernel family.
+//
+// Inner-loop instruction budgets (asserted in tests, Sec. 4 analysis):
+//   conv dense 4x2 (PULP-NN) : 14 instr / 32 MACs  (2.28 MACs/instr)
+//   conv dense 1x2           :  5 instr /  8 MACs  (1.60)
+//   conv sparse SW, M=8/16   : 22 instr /  8 MACs  (0.36)
+//   conv sparse SW, M=4      : 23 instr /  8 MACs  (0.35)
+//   conv sparse ISA          : 12 instr /  8 MACs  (0.66; M=4: 23 per 2 iters)
+//   fc dense 1x2             :  5 instr /  8 MACs  (1.60)
+//   fc sparse SW, M=8/16     : 16 instr /  4 MACs  (0.25)
+//   fc sparse ISA            : 13 instr /  8 MACs  (0.61; M=4: 25 per 2 iters)
+
+#include "isa/instr.hpp"
+#include "kernels/abi.hpp"
+
+namespace decimate {
+
+/// Build a convolution kernel program. `m` is the sparsity block size
+/// (4/8/16) for sparse kinds and ignored (pass 0) for dense kinds.
+Program build_conv_kernel(KernelKind kind, int m = 0);
+
+/// Build a fully-connected kernel program.
+Program build_fc_kernel(KernelKind kind, int m = 0);
+
+/// Static inner-loop body length for (kind, m), as listed above.
+int expected_inner_loop_length(KernelKind kind, int m);
+
+/// Logical MACs performed per inner-loop iteration (dense-equivalent MACs
+/// are macs_per_iter * m for sparse kernels).
+int macs_per_inner_iter(KernelKind kind, int m);
+
+}  // namespace decimate

@@ -1,0 +1,323 @@
+#include "kernels/launch.hpp"
+
+#include <cstring>
+#include <map>
+
+#include "common/bitutil.hpp"
+#include "kernels/work_split.hpp"
+
+namespace decimate {
+
+namespace {
+
+/// Simple bump allocator over the L1 data region.
+class L1Alloc {
+ public:
+  explicit L1Alloc(uint32_t limit) : cur_(MemoryMap::kL1Base), limit_(limit) {}
+  uint32_t take(int64_t bytes, const char* what) {
+    const auto aligned = static_cast<uint32_t>(round_up(bytes, 4));
+    DECIMATE_CHECK(cur_ + aligned <= limit_,
+                   "L1 overflow allocating " << bytes << " bytes for " << what
+                                             << " (used "
+                                             << (cur_ - MemoryMap::kL1Base)
+                                             << ", limit "
+                                             << (limit_ - MemoryMap::kL1Base)
+                                             << ")");
+    const uint32_t addr = cur_;
+    cur_ += aligned;
+    return addr;
+  }
+
+ private:
+  uint32_t cur_;
+  uint32_t limit_;
+};
+
+Tensor8 pad_input_hwc(const Tensor8& input, const ConvGeom& g) {
+  if (g.pad == 0) return input;
+  const int iyp = g.iy + 2 * g.pad, ixp = g.ix + 2 * g.pad;
+  Tensor8 padded({iyp, ixp, g.c});
+  for (int y = 0; y < g.iy; ++y) {
+    for (int x = 0; x < g.ix; ++x) {
+      for (int c = 0; c < g.c; ++c) {
+        padded.at({y + g.pad, x + g.pad, c}) = input.at({y, x, c});
+      }
+    }
+  }
+  return padded;
+}
+
+void write_i32(SocMemory& mem, uint32_t addr, std::span<const int32_t> words) {
+  mem.write_block(addr, {reinterpret_cast<const uint8_t*>(words.data()),
+                         words.size() * 4});
+}
+
+}  // namespace
+
+const Program& KernelLauncher::program_for(KernelKind kind, int m) {
+  static std::map<std::pair<KernelKind, int>, Program> cache;
+  const auto key = std::make_pair(kind, kernel_is_sparse(kind) ? m : 0);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Program prog = kernel_is_conv(kind) ? build_conv_kernel(kind, key.second)
+                                        : build_fc_kernel(kind, key.second);
+    it = cache.emplace(key, std::move(prog)).first;
+  }
+  return it->second;
+}
+
+NmLayout KernelLauncher::layout_for(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kConvSparseSw:
+    case KernelKind::kConvSparseIm2col:
+    case KernelKind::kFcSparseSw:
+      return NmLayout::kSw;
+    case KernelKind::kConvSparseIsa:
+      return NmLayout::kConvIsaDup;
+    case KernelKind::kFcSparseIsa:
+      return NmLayout::kFcIsaInterleaved;
+    default:
+      DECIMATE_FAIL("dense kernels have no NmLayout");
+  }
+}
+
+int KernelLauncher::inner_iters(KernelKind kind, int m, int dense_cols,
+                                int nz_padded) {
+  if (!kernel_is_sparse(kind)) {
+    DECIMATE_CHECK(dense_cols % 4 == 0, "dense row length must be 4-aligned");
+    return dense_cols / 4;
+  }
+  const bool isa = kernel_uses_xdec(kind);
+  if (isa && m == 4) {
+    DECIMATE_CHECK(nz_padded % 8 == 0, "nz_padded must be 8-aligned for M=4");
+    return nz_padded / 8;
+  }
+  DECIMATE_CHECK(nz_padded % 4 == 0, "nz_padded must be 4-aligned");
+  return nz_padded / 4;
+}
+
+KernelRun KernelLauncher::conv(KernelKind kind, const ConvGeom& g,
+                               const Requant& rq, const Tensor8& input,
+                               const Tensor8* dense_w, const NmPacked* packed,
+                               const Tensor32& bias) {
+  g.validate();
+  DECIMATE_CHECK(kernel_is_conv(kind), "conv() needs a conv kernel kind");
+  DECIMATE_CHECK(g.c % 4 == 0, "conv kernels need C % 4 == 0 (pad channels)");
+  DECIMATE_CHECK(g.ox() % 2 == 0, "conv kernels need an even OX");
+  DECIMATE_CHECK(bias.numel() == g.k, "bias size mismatch");
+  const bool sparse = kernel_is_sparse(kind);
+  int m = 0, nz_padded = 0, w_row_bytes = 0, off_row_bytes = 0;
+  if (sparse) {
+    DECIMATE_CHECK(packed != nullptr, "sparse conv needs packed weights");
+    DECIMATE_CHECK(packed->layout == layout_for(kind),
+                   "packed layout " << nm_layout_name(packed->layout)
+                                    << " does not match kernel "
+                                    << kernel_kind_name(kind));
+    DECIMATE_CHECK(packed->rows == g.k && packed->cols == g.fsz(),
+                   "packed dims mismatch with geometry");
+    m = packed->m;
+    nz_padded = packed->nz_padded;
+    w_row_bytes = packed->values_row_bytes;
+    off_row_bytes = packed->offsets_row_bytes;
+  } else {
+    DECIMATE_CHECK(dense_w != nullptr, "dense conv needs dense weights");
+    DECIMATE_CHECK(dense_w->shape() == (std::vector<int>{g.k, g.fsz()}),
+                   "dense weight shape mismatch");
+    if (kind == KernelKind::kConvDense4x2) {
+      DECIMATE_CHECK(g.k % 4 == 0, "4x2 kernel needs K % 4 == 0");
+    }
+    w_row_bytes = static_cast<int>(round_up(g.fsz(), 4));
+  }
+
+  const Tensor8 padded = pad_input_hwc(input, g);
+  const int ixp = g.ix + 2 * g.pad;
+  const int oy = g.oy(), ox = g.ox();
+  const int ncores = cluster_->num_cores();
+  const int buf_core =
+      static_cast<int>(round_up(g.fsz() + (sparse ? packed->gather_slack_bytes() : 0), 4));
+  const int imcol_stride =
+      (kind == KernelKind::kConvSparseIm2col) ? 4 * buf_core : 2 * buf_core;
+
+  L1Alloc alloc(cluster_->l1_data_limit());
+  const uint32_t args_addr = alloc.take(ConvArgs::size_words(ncores) * 4, "args");
+  const uint32_t in_addr = alloc.take(padded.numel(), "input");
+  uint32_t w_addr = 0, off_addr = 0;
+  if (sparse) {
+    w_addr = alloc.take(packed->values_bytes(), "nz values");
+    off_addr = alloc.take(packed->offsets_bytes(), "nz offsets");
+  } else {
+    w_addr = alloc.take(static_cast<int64_t>(g.k) * w_row_bytes, "weights");
+  }
+  const uint32_t bias_addr = alloc.take(static_cast<int64_t>(g.k) * 4, "bias");
+  const uint32_t out_addr =
+      alloc.take(static_cast<int64_t>(oy) * ox * g.k, "output");
+  const uint32_t imcol_addr =
+      alloc.take(static_cast<int64_t>(ncores) * imcol_stride, "im2col");
+
+  auto& mem = cluster_->mem();
+  mem.write_block(in_addr, padded.bytes());
+  if (sparse) {
+    mem.write_block(w_addr, {reinterpret_cast<const uint8_t*>(
+                                 packed->values.data()),
+                             packed->values.size()});
+    mem.write_block(off_addr, packed->offsets);
+  } else {
+    // dense rows, padded to w_row_bytes
+    std::vector<uint8_t> wbuf(static_cast<size_t>(g.k) * w_row_bytes, 0);
+    for (int k = 0; k < g.k; ++k) {
+      std::memcpy(wbuf.data() + static_cast<size_t>(k) * w_row_bytes,
+                  dense_w->data() + static_cast<int64_t>(k) * g.fsz(),
+                  static_cast<size_t>(g.fsz()));
+    }
+    mem.write_block(w_addr, wbuf);
+  }
+  write_i32(mem, bias_addr, bias.flat());
+  mem.fill(out_addr, static_cast<uint32_t>(oy) * ox * g.k, 0);
+
+  // --- args block ---
+  std::vector<int32_t> args(static_cast<size_t>(ConvArgs::size_words(ncores)), 0);
+  args[ConvArgs::kInPtr] = static_cast<int32_t>(in_addr);
+  args[ConvArgs::kOutPtr] = static_cast<int32_t>(out_addr);
+  args[ConvArgs::kWPtr] = static_cast<int32_t>(w_addr);
+  args[ConvArgs::kOffPtr] = static_cast<int32_t>(off_addr);
+  args[ConvArgs::kBiasPtr] = static_cast<int32_t>(bias_addr);
+  args[ConvArgs::kImcolPtr] = static_cast<int32_t>(imcol_addr);
+  args[ConvArgs::kC] = g.c;
+  args[ConvArgs::kK] = g.k;
+  args[ConvArgs::kFy] = g.fy;
+  args[ConvArgs::kOx] = ox;
+  args[ConvArgs::kStride] = g.stride;
+  args[ConvArgs::kQmult] = rq.mult;
+  args[ConvArgs::kQshift] = rq.shift;
+  args[ConvArgs::kInnerIters] = inner_iters(kind, m, g.fsz(), nz_padded);
+  args[ConvArgs::kWRowBytes] = w_row_bytes;
+  args[ConvArgs::kOffRowBytes] = off_row_bytes;
+  args[ConvArgs::kRowCopyIters] = g.fx * g.c / 4;
+  args[ConvArgs::kInRowBytes] = ixp * g.c;
+  args[ConvArgs::kImcolBufBytes] = buf_core;
+  args[ConvArgs::kImcolStride] = imcol_stride;
+  args[ConvArgs::kOxPairs] = ox / 2;
+  args[ConvArgs::kSxC] = g.stride * g.c;
+  const auto work = split_conv_work(oy, ox / 2, g.k, ncores);
+  for (int i = 0; i < ncores; ++i) {
+    const auto& wk = work[static_cast<size_t>(i)];
+    int32_t* dst = args.data() + ConvArgs::kWorkBase + i * ConvArgs::kWorkWords;
+    dst[0] = wk.oy_s; dst[1] = wk.oy_e;
+    dst[2] = wk.xp_s; dst[3] = wk.xp_e;
+    dst[4] = wk.k_s;  dst[5] = wk.k_e;
+  }
+  write_i32(mem, args_addr, args);
+
+  KernelRun run;
+  run.result = cluster_->run(program_for(kind, m), args_addr);
+  run.dense_macs = g.macs();
+  run.output = Tensor8({oy, ox, g.k});
+  mem.read_block(out_addr,
+                 {reinterpret_cast<uint8_t*>(run.output.data()),
+                  static_cast<size_t>(run.output.numel())});
+  return run;
+}
+
+KernelRun KernelLauncher::fc(KernelKind kind, const FcGeom& g,
+                             const Requant& rq, const Tensor8& input,
+                             const Tensor8* dense_w, const NmPacked* packed,
+                             const Tensor32& bias) {
+  g.validate();
+  DECIMATE_CHECK(!kernel_is_conv(kind), "fc() needs an fc kernel kind");
+  DECIMATE_CHECK(g.c % 4 == 0, "fc kernels need C % 4 == 0");
+  DECIMATE_CHECK(input.shape() == (std::vector<int>{g.tokens, g.c}),
+                 "fc input shape mismatch");
+  DECIMATE_CHECK(bias.numel() == g.k, "fc bias size mismatch");
+  const bool sparse = kernel_is_sparse(kind);
+  const bool pair_kind = (kind != KernelKind::kFcSparseSw);
+  if (pair_kind) {
+    DECIMATE_CHECK(g.k % 2 == 0, "fc pair kernels need K % 2 == 0");
+  }
+  int m = 0, nz_padded = 0, w_row_bytes = 0, off_row_bytes = 0;
+  int64_t slack = 0;
+  if (sparse) {
+    DECIMATE_CHECK(packed != nullptr, "sparse fc needs packed weights");
+    DECIMATE_CHECK(packed->layout == layout_for(kind), "packed layout mismatch");
+    DECIMATE_CHECK(packed->rows == g.k && packed->cols == g.c,
+                   "packed dims mismatch with geometry");
+    m = packed->m;
+    nz_padded = packed->nz_padded;
+    w_row_bytes = packed->values_row_bytes;
+    off_row_bytes = packed->offsets_row_bytes;
+    slack = packed->gather_slack_bytes();
+  } else {
+    DECIMATE_CHECK(dense_w != nullptr, "dense fc needs dense weights");
+    DECIMATE_CHECK(dense_w->shape() == (std::vector<int>{g.k, g.c}),
+                   "dense fc weight shape mismatch");
+    w_row_bytes = static_cast<int>(round_up(g.c, 4));
+  }
+
+  const int ncores = cluster_->num_cores();
+  L1Alloc alloc(cluster_->l1_data_limit());
+  const uint32_t args_addr = alloc.take(FcArgs::size_words(ncores) * 4, "args");
+  const uint32_t in_addr =
+      alloc.take(static_cast<int64_t>(g.tokens) * g.c + slack, "input");
+  uint32_t w_addr = 0, off_addr = 0;
+  if (sparse) {
+    w_addr = alloc.take(packed->values_bytes(), "nz values");
+    off_addr = alloc.take(packed->offsets_bytes(), "nz offsets");
+  } else {
+    w_addr = alloc.take(static_cast<int64_t>(g.k) * w_row_bytes, "weights");
+  }
+  const uint32_t bias_addr = alloc.take(static_cast<int64_t>(g.k) * 4, "bias");
+  const uint32_t out_addr =
+      alloc.take(static_cast<int64_t>(g.tokens) * g.k, "output");
+
+  auto& mem = cluster_->mem();
+  mem.write_block(in_addr, input.bytes());
+  if (sparse) {
+    mem.write_block(w_addr, {reinterpret_cast<const uint8_t*>(
+                                 packed->values.data()),
+                             packed->values.size()});
+    mem.write_block(off_addr, packed->offsets);
+  } else {
+    std::vector<uint8_t> wbuf(static_cast<size_t>(g.k) * w_row_bytes, 0);
+    for (int k = 0; k < g.k; ++k) {
+      std::memcpy(wbuf.data() + static_cast<size_t>(k) * w_row_bytes,
+                  dense_w->data() + static_cast<int64_t>(k) * g.c,
+                  static_cast<size_t>(g.c));
+    }
+    mem.write_block(w_addr, wbuf);
+  }
+  write_i32(mem, bias_addr, bias.flat());
+  mem.fill(out_addr, static_cast<uint32_t>(g.tokens) * static_cast<uint32_t>(g.k), 0);
+
+  std::vector<int32_t> args(static_cast<size_t>(FcArgs::size_words(ncores)), 0);
+  args[FcArgs::kInPtr] = static_cast<int32_t>(in_addr);
+  args[FcArgs::kOutPtr] = static_cast<int32_t>(out_addr);
+  args[FcArgs::kWPtr] = static_cast<int32_t>(w_addr);
+  args[FcArgs::kOffPtr] = static_cast<int32_t>(off_addr);
+  args[FcArgs::kBiasPtr] = static_cast<int32_t>(bias_addr);
+  args[FcArgs::kC] = g.c;
+  args[FcArgs::kQmult] = rq.mult;
+  args[FcArgs::kQshift] = rq.shift;
+  args[FcArgs::kInnerIters] = inner_iters(kind, m, g.c, nz_padded);
+  args[FcArgs::kWRowBytes] = w_row_bytes;
+  args[FcArgs::kOffRowBytes] = off_row_bytes;
+  args[FcArgs::kOutRowBytes] = g.k;
+  args[FcArgs::kInRowBytes] = g.c;
+  const auto work = split_fc_work(g.tokens, g.k, ncores, pair_kind ? 2 : 1);
+  for (int i = 0; i < ncores; ++i) {
+    const auto& wk = work[static_cast<size_t>(i)];
+    int32_t* dst = args.data() + FcArgs::kWorkBase + i * FcArgs::kWorkWords;
+    dst[0] = wk.tok_s; dst[1] = wk.tok_e;
+    dst[2] = wk.k_s;   dst[3] = wk.k_e;
+  }
+  write_i32(mem, args_addr, args);
+
+  KernelRun run;
+  run.result = cluster_->run(program_for(kind, m), args_addr);
+  run.dense_macs = g.macs();
+  run.output = Tensor8({g.tokens, g.k});
+  mem.read_block(out_addr,
+                 {reinterpret_cast<uint8_t*>(run.output.data()),
+                  static_cast<size_t>(run.output.numel())});
+  return run;
+}
+
+}  // namespace decimate

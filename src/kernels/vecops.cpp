@@ -1,0 +1,514 @@
+#include "kernels/vecops.hpp"
+
+#include <functional>
+#include <map>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+#include "isa/builder.hpp"
+#include "sim/memory_map.hpp"
+
+namespace decimate {
+
+namespace {
+
+using namespace reg;
+
+/// Shared prologue: s0 = range start, s1 = range end for this core.
+void emit_vec_prologue(KernelBuilder& b) {
+  b.hartid(t0);
+  b.slli(t0, t0, 3);  // kWorkWords * 4 bytes
+  b.addi(t1, a0, VecArgs::kWorkBase * 4);
+  b.add(t1, t1, t0);
+  b.lw(s0, 0, t1);
+  b.lw(s1, 4, t1);
+  b.bge(s0, s1, "done");
+}
+
+void emit_done(KernelBuilder& b) {
+  b.bind("done");
+  b.barrier();
+  b.halt();
+}
+
+void emit_relu(KernelBuilder& b) {
+  // range is in words; out[i] = max(a[i], 0) on 4 int8 lanes
+  emit_vec_prologue(b);
+  b.lw(a1, VecArgs::kAPtr * 4, a0);
+  b.lw(a2, VecArgs::kOutPtr * 4, a0);
+  b.slli(t0, s0, 2);
+  b.add(a1, a1, t0);
+  b.add(a2, a2, t0);
+  b.sub(t1, s1, s0);  // word count
+  b.hw_loop(0, t1, [&] {
+    b.lw_pi(t2, a1, 4);
+    b.pv_max_b(t2, t2, zero);
+    b.sw_pi(t2, a2, 4);
+  });
+  emit_done(b);
+}
+
+void emit_add(KernelBuilder& b) {
+  // range in elements; out = clip8((a*m1 >> s1) + (b*m2 >> s2))
+  emit_vec_prologue(b);
+  b.lw(a1, VecArgs::kAPtr * 4, a0);
+  b.lw(a2, VecArgs::kBPtr * 4, a0);
+  b.lw(a3, VecArgs::kOutPtr * 4, a0);
+  b.add(a1, a1, s0);
+  b.add(a2, a2, s0);
+  b.add(a3, a3, s0);
+  b.lw(s2, VecArgs::kM1 * 4, a0);
+  b.lw(s3, VecArgs::kS1 * 4, a0);
+  b.lw(s4, VecArgs::kM2 * 4, a0);
+  b.lw(s5, VecArgs::kS2 * 4, a0);
+  b.sub(t1, s1, s0);
+  b.hw_loop(0, t1, [&] {
+    b.lb_pi(t2, a1, 1);
+    b.mul(t2, t2, s2);
+    b.sra(t2, t2, s3);
+    b.lb_pi(t3, a2, 1);
+    b.mul(t3, t3, s4);
+    b.sra(t3, t3, s5);
+    b.add(t2, t2, t3);
+    b.pclip(t2, t2, 8);
+    b.sb_pi(t2, a3, 1);
+  });
+  emit_done(b);
+}
+
+void emit_lut(KernelBuilder& b) {
+  // range in elements; out[i] = lut[(uint8)a[i]]
+  emit_vec_prologue(b);
+  b.lw(a1, VecArgs::kAPtr * 4, a0);
+  b.lw(a3, VecArgs::kOutPtr * 4, a0);
+  b.lw(a4, VecArgs::kLutPtr * 4, a0);
+  b.add(a1, a1, s0);
+  b.add(a3, a3, s0);
+  b.sub(t1, s1, s0);
+  b.hw_loop(0, t1, [&] {
+    b.lbu_pi(t2, a1, 1);
+    b.add(t2, a4, t2);
+    b.lbu(t2, 0, t2);
+    b.sb_pi(t2, a3, 1);
+  });
+  emit_done(b);
+}
+
+void emit_avgpool(KernelBuilder& b) {
+  // range over channels; kLen = H*W, kStride = C; out[k] = rq(sum_k)
+  emit_vec_prologue(b);
+  b.lw(a1, VecArgs::kAPtr * 4, a0);
+  b.lw(a3, VecArgs::kOutPtr * 4, a0);
+  b.add(a3, a3, s0);  // out cursor at first owned channel
+  b.lw(s2, VecArgs::kLen * 4, a0);
+  b.lw(s3, VecArgs::kStride * 4, a0);
+  b.lw(s4, VecArgs::kM1 * 4, a0);
+  b.lw(s5, VecArgs::kS1 * 4, a0);
+  b.mv(t0, s0);  // k
+  const std::string k_loop = b.fresh_label("avg_k");
+  b.bind(k_loop);
+  b.add(t1, a1, t0);  // strided cursor
+  b.li(t2, 0);        // acc
+  b.hw_loop(0, s2, [&] {
+    b.lb(t3, 0, t1);
+    b.add(t2, t2, t3);
+    b.add(t1, t1, s3);
+  });
+  b.mul(t2, t2, s4);
+  b.sra(t2, t2, s5);
+  b.pclip(t2, t2, 8);
+  b.sb_pi(t2, a3, 1);
+  b.addi(t0, t0, 1);
+  b.blt(t0, s1, k_loop);
+  emit_done(b);
+}
+
+void emit_maxpool2(KernelBuilder& b) {
+  // range over output rows; kLen = C, kStride = W*C, kAux = W/2
+  emit_vec_prologue(b);
+  b.lw(s2, VecArgs::kLen * 4, a0);     // C
+  b.lw(s3, VecArgs::kStride * 4, a0);  // W*C
+  b.lw(s4, VecArgs::kAux * 4, a0);     // W/2
+  b.mv(s5, s0);                        // y
+  const std::string y_loop = b.fresh_label("mp_y");
+  b.bind(y_loop);
+  // source cursors for row pair 2y
+  b.lw(a1, VecArgs::kAPtr * 4, a0);
+  b.slli(t0, s5, 1);
+  b.mul(t0, t0, s3);
+  b.add(a1, a1, t0);       // p00
+  b.add(a2, a1, s2);       // p01
+  b.add(a4, a1, s3);       // p10
+  b.add(a5, a4, s2);       // p11
+  // output cursor
+  b.lw(a6, VecArgs::kOutPtr * 4, a0);
+  b.mul(t0, s4, s2);       // (W/2)*C
+  b.mul(t0, t0, s5);
+  b.add(a6, a6, t0);
+  b.li(s6, 0);             // x
+  const std::string x_loop = b.fresh_label("mp_x");
+  b.bind(x_loop);
+  b.hw_loop(0, s2, [&] {
+    b.lb_pi(t1, a1, 1);
+    b.lb_pi(t2, a2, 1);
+    b.lb_pi(t3, a4, 1);
+    b.lb_pi(t4, a5, 1);
+    b.pmax(t1, t1, t2);
+    b.pmax(t3, t3, t4);
+    b.pmax(t1, t1, t3);
+    b.sb_pi(t1, a6, 1);
+  });
+  // skip the already-consumed odd column
+  b.add(a1, a1, s2);
+  b.add(a2, a2, s2);
+  b.add(a4, a4, s2);
+  b.add(a5, a5, s2);
+  b.addi(s6, s6, 1);
+  b.blt(s6, s4, x_loop);
+  b.addi(s5, s5, 1);
+  b.blt(s5, s1, y_loop);
+  emit_done(b);
+}
+
+void emit_softmax(KernelBuilder& b) {
+  // range over rows; kLen = L (= row stride), per-core scratch at
+  // kTmpPtr + hart*L. Mirrors softmax_s8_row() exactly.
+  emit_vec_prologue(b);
+  b.lw(s2, VecArgs::kLen * 4, a0);   // L
+  b.lw(s3, VecArgs::kLutPtr * 4, a0);
+  b.lw(s4, VecArgs::kTmpPtr * 4, a0);
+  b.hartid(t0);
+  b.mul(t0, t0, s2);
+  b.add(s4, s4, t0);  // per-core exp scratch
+  b.mv(s5, s0);       // row t
+  const std::string row_loop = b.fresh_label("sm_row");
+  b.bind(row_loop);
+  b.lw(a1, VecArgs::kAPtr * 4, a0);
+  b.mul(t0, s5, s2);
+  b.add(a1, a1, t0);  // row base
+  b.lw(a2, VecArgs::kOutPtr * 4, a0);
+  b.add(a2, a2, t0);  // out row
+  // pass 1: max
+  b.mv(t1, a1);
+  b.li(s6, -128);
+  b.hw_loop(0, s2, [&] {
+    b.lb_pi(t2, t1, 1);
+    b.pmax(s6, s6, t2);
+  });
+  // pass 2: exp LUT + sum
+  b.mv(t1, a1);
+  b.mv(t3, s4);
+  b.li(s7, 0);  // sum
+  b.hw_loop(0, s2, [&] {
+    b.lb_pi(t2, t1, 1);
+    b.sub(t2, t2, s6);
+    b.andi(t2, t2, 0xFF);
+    b.add(t2, s3, t2);
+    b.lbu(t2, 0, t2);
+    b.sb_pi(t2, t3, 1);
+    b.add(s7, s7, t2);
+  });
+  // r = (127 << 16) / max(sum, 1)
+  b.li(t4, 1);
+  b.pmax(s7, s7, t4);
+  b.li(t4, 127 << 16);
+  b.divu(s8, t4, s7);
+  // pass 3: out = (e * r) >> 16
+  b.mv(t3, s4);
+  b.hw_loop(0, s2, [&] {
+    b.lbu_pi(t2, t3, 1);
+    b.mul(t2, t2, s8);
+    b.srli(t2, t2, 16);
+    b.sb_pi(t2, a2, 1);
+  });
+  b.addi(s5, s5, 1);
+  b.blt(s5, s1, row_loop);
+  emit_done(b);
+}
+
+void emit_layernorm(KernelBuilder& b) {
+  // range over rows; kLen = L; gamma at kBPtr, beta at kLutPtr.
+  // Mirrors layernorm_s8_row() exactly, including the bit-serial isqrt.
+  emit_vec_prologue(b);
+  b.lw(s2, VecArgs::kLen * 4, a0);  // L
+  b.mv(s5, s0);                     // row t
+  const std::string row_loop = b.fresh_label("ln_row");
+  b.bind(row_loop);
+  b.lw(a1, VecArgs::kAPtr * 4, a0);
+  b.mul(t0, s5, s2);
+  b.add(a1, a1, t0);
+  b.lw(a2, VecArgs::kOutPtr * 4, a0);
+  b.add(a2, a2, t0);
+  // pass 1: sum -> mean
+  b.mv(t1, a1);
+  b.li(s6, 0);
+  b.hw_loop(0, s2, [&] {
+    b.lb_pi(t2, t1, 1);
+    b.add(s6, s6, t2);
+  });
+  b.div(s6, s6, s2);  // mean
+  // pass 2: sum of squared deviations -> var
+  b.mv(t1, a1);
+  b.li(s7, 0);
+  b.hw_loop(0, s2, [&] {
+    b.lb_pi(t2, t1, 1);
+    b.sub(t2, t2, s6);
+    b.mul(t2, t2, t2);
+    b.add(s7, s7, t2);
+  });
+  b.div(s7, s7, s2);   // var
+  b.slli(a4, s7, 8);   // v = var << 8 (isqrt input)
+  // --- inline bit-serial isqrt: a5 = floor(sqrt(a4)), clobbers a6/a7 ---
+  {
+    const std::string shrink = b.fresh_label("isq_shrink");
+    const std::string loop = b.fresh_label("isq_loop");
+    const std::string els = b.fresh_label("isq_else");
+    const std::string next = b.fresh_label("isq_next");
+    const std::string done_ = b.fresh_label("isq_done");
+    b.li(a5, 0);
+    b.li(a6, 1 << 30);
+    b.bind(shrink);
+    b.bgeu(a4, a6, loop);  // bit <= v -> start
+    b.srli(a6, a6, 2);
+    b.bne(a6, zero, shrink);
+    b.j(done_);            // v == 0
+    b.bind(loop);
+    b.beq(a6, zero, done_);
+    b.add(a7, a5, a6);
+    b.bltu(a4, a7, els);
+    b.sub(a4, a4, a7);
+    b.srli(a5, a5, 1);
+    b.add(a5, a5, a6);
+    b.j(next);
+    b.bind(els);
+    b.srli(a5, a5, 1);
+    b.bind(next);
+    b.srli(a6, a6, 2);
+    b.j(loop);
+    b.bind(done_);
+  }
+  // r = 65536 / max(stdq, 1)
+  b.li(t4, 1);
+  b.pmax(a5, a5, t4);
+  b.li(t4, 1 << 16);
+  b.divu(s8, t4, a5);
+  // pass 3
+  b.mv(t1, a1);
+  b.lw(a6, VecArgs::kBPtr * 4, a0);   // gamma
+  b.lw(a7, VecArgs::kLutPtr * 4, a0); // beta
+  b.hw_loop(0, s2, [&] {
+    b.lb_pi(t2, t1, 1);
+    b.sub(t2, t2, s6);
+    b.mul(t2, t2, s8);
+    b.srai(t2, t2, 8);
+    b.lb_pi(t3, a6, 1);
+    b.mul(t2, t2, t3);
+    b.srai(t2, t2, 6);
+    b.lb_pi(t3, a7, 1);
+    b.add(t2, t2, t3);
+    b.pclip(t2, t2, 8);
+    b.sb_pi(t2, a2, 1);
+  });
+  b.addi(s5, s5, 1);
+  b.blt(s5, s1, row_loop);
+  emit_done(b);
+}
+
+/// Balanced 1-D range split.
+std::vector<std::pair<int, int>> split_range(int total, int n) {
+  std::vector<std::pair<int, int>> out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = {
+        static_cast<int>(static_cast<int64_t>(i) * total / n),
+        static_cast<int>(static_cast<int64_t>(i + 1) * total / n)};
+  }
+  return out;
+}
+
+struct VecLayout {
+  uint32_t a = 0, b_ = 0, out = 0, lut = 0, tmp = 0, args = 0;
+};
+
+/// Common launch path: lay out operands, fill args, run, read back.
+VecRun launch(Cluster& cluster, VecKind kind,
+              std::span<const uint8_t> a_bytes,
+              std::span<const uint8_t> b_bytes,
+              std::span<const uint8_t> lut_bytes, int64_t out_bytes,
+              int64_t tmp_bytes, int total_range,
+              const std::function<void(std::vector<int32_t>&, const VecLayout&)>&
+                  fill_args,
+              std::vector<int> out_shape) {
+  const int ncores = cluster.num_cores();
+  uint32_t cur = MemoryMap::kL1Base;
+  auto take = [&](int64_t bytes) {
+    const uint32_t addr = cur;
+    cur += static_cast<uint32_t>(round_up(bytes, 4));
+    DECIMATE_CHECK(cur <= cluster.l1_data_limit(), "vec kernel L1 overflow");
+    return addr;
+  };
+  VecLayout lay;
+  lay.args = take(VecArgs::size_words(ncores) * 4);
+  lay.a = take(static_cast<int64_t>(a_bytes.size()));
+  lay.b_ = b_bytes.empty() ? 0 : take(static_cast<int64_t>(b_bytes.size()));
+  lay.lut = lut_bytes.empty() ? 0 : take(static_cast<int64_t>(lut_bytes.size()));
+  lay.out = take(out_bytes);
+  lay.tmp = tmp_bytes ? take(tmp_bytes) : 0;
+
+  auto& mem = cluster.mem();
+  mem.write_block(lay.a, a_bytes);
+  if (!b_bytes.empty()) mem.write_block(lay.b_, b_bytes);
+  if (!lut_bytes.empty()) mem.write_block(lay.lut, lut_bytes);
+  mem.fill(lay.out, static_cast<uint32_t>(out_bytes), 0);
+
+  std::vector<int32_t> args(static_cast<size_t>(VecArgs::size_words(ncores)), 0);
+  args[VecArgs::kAPtr] = static_cast<int32_t>(lay.a);
+  args[VecArgs::kBPtr] = static_cast<int32_t>(lay.b_);
+  args[VecArgs::kOutPtr] = static_cast<int32_t>(lay.out);
+  args[VecArgs::kLutPtr] = static_cast<int32_t>(lay.lut);
+  args[VecArgs::kTmpPtr] = static_cast<int32_t>(lay.tmp);
+  fill_args(args, lay);
+  const auto ranges = split_range(total_range, ncores);
+  for (int i = 0; i < ncores; ++i) {
+    args[static_cast<size_t>(VecArgs::kWorkBase + 2 * i)] = ranges[static_cast<size_t>(i)].first;
+    args[static_cast<size_t>(VecArgs::kWorkBase + 2 * i + 1)] =
+        ranges[static_cast<size_t>(i)].second;
+  }
+  mem.write_block(lay.args, {reinterpret_cast<const uint8_t*>(args.data()),
+                             args.size() * 4});
+
+  VecRun run;
+  run.result = cluster.run(vec_program_for(kind), lay.args);
+  run.output = Tensor8(std::move(out_shape));
+  mem.read_block(lay.out, {reinterpret_cast<uint8_t*>(run.output.data()),
+                           static_cast<size_t>(run.output.numel())});
+  return run;
+}
+
+std::span<const uint8_t> as_bytes(const Tensor8& t) { return t.bytes(); }
+
+}  // namespace
+
+const char* vec_kind_name(VecKind kind) {
+  switch (kind) {
+    case VecKind::kRelu: return "relu";
+    case VecKind::kAdd: return "add";
+    case VecKind::kLut: return "lut";
+    case VecKind::kAvgPool: return "avgpool";
+    case VecKind::kMaxPool2: return "maxpool2x2";
+    case VecKind::kSoftmax: return "softmax";
+    case VecKind::kLayerNorm: return "layernorm";
+  }
+  return "?";
+}
+
+Program build_vec_kernel(VecKind kind) {
+  KernelBuilder b;
+  switch (kind) {
+    case VecKind::kRelu: emit_relu(b); break;
+    case VecKind::kAdd: emit_add(b); break;
+    case VecKind::kLut: emit_lut(b); break;
+    case VecKind::kAvgPool: emit_avgpool(b); break;
+    case VecKind::kMaxPool2: emit_maxpool2(b); break;
+    case VecKind::kSoftmax: emit_softmax(b); break;
+    case VecKind::kLayerNorm: emit_layernorm(b); break;
+  }
+  return b.build();
+}
+
+const Program& vec_program_for(VecKind kind) {
+  static std::map<VecKind, Program> cache;
+  auto it = cache.find(kind);
+  if (it == cache.end()) {
+    it = cache.emplace(kind, build_vec_kernel(kind)).first;
+  }
+  return it->second;
+}
+
+VecRun run_relu(Cluster& cluster, const Tensor8& x) {
+  DECIMATE_CHECK(x.numel() % 4 == 0, "relu kernel needs a 4-aligned size");
+  const int words = static_cast<int>(x.numel() / 4);
+  return launch(cluster, VecKind::kRelu, as_bytes(x), {}, {}, x.numel(), 0,
+                words, [](auto&, const auto&) {}, x.shape());
+}
+
+VecRun run_add(Cluster& cluster, const Tensor8& a, const Requant& ra,
+               const Tensor8& b, const Requant& rb) {
+  DECIMATE_CHECK(a.shape() == b.shape(), "add shape mismatch");
+  return launch(cluster, VecKind::kAdd, as_bytes(a), as_bytes(b), {},
+                a.numel(), 0, static_cast<int>(a.numel()),
+                [&](std::vector<int32_t>& args, const VecLayout&) {
+                  args[VecArgs::kM1] = ra.mult;
+                  args[VecArgs::kS1] = ra.shift;
+                  args[VecArgs::kM2] = rb.mult;
+                  args[VecArgs::kS2] = rb.shift;
+                },
+                a.shape());
+}
+
+VecRun run_lut(Cluster& cluster, const Tensor8& x,
+               std::span<const int8_t> lut) {
+  DECIMATE_CHECK(lut.size() == 256, "lut must have 256 entries");
+  return launch(cluster, VecKind::kLut, as_bytes(x), {},
+                {reinterpret_cast<const uint8_t*>(lut.data()), lut.size()},
+                x.numel(), 0, static_cast<int>(x.numel()),
+                [](auto&, const auto&) {}, x.shape());
+}
+
+VecRun run_avgpool(Cluster& cluster, const Tensor8& x, const Requant& rq) {
+  DECIMATE_CHECK(x.rank() == 3, "avgpool expects {H,W,C}");
+  const int h = x.dim(0), w = x.dim(1), c = x.dim(2);
+  return launch(cluster, VecKind::kAvgPool, as_bytes(x), {}, {}, c, 0, c,
+                [&](std::vector<int32_t>& args, const VecLayout&) {
+                  args[VecArgs::kLen] = h * w;
+                  args[VecArgs::kStride] = c;
+                  args[VecArgs::kM1] = rq.mult;
+                  args[VecArgs::kS1] = rq.shift;
+                },
+                {c});
+}
+
+VecRun run_maxpool2x2(Cluster& cluster, const Tensor8& x) {
+  DECIMATE_CHECK(x.rank() == 3, "maxpool expects {H,W,C}");
+  const int h = x.dim(0), w = x.dim(1), c = x.dim(2);
+  DECIMATE_CHECK(h % 2 == 0 && w % 2 == 0, "maxpool needs even H/W");
+  return launch(cluster, VecKind::kMaxPool2, as_bytes(x), {}, {},
+                static_cast<int64_t>(h / 2) * (w / 2) * c, 0, h / 2,
+                [&](std::vector<int32_t>& args, const VecLayout&) {
+                  args[VecArgs::kLen] = c;
+                  args[VecArgs::kStride] = w * c;
+                  args[VecArgs::kAux] = w / 2;
+                },
+                {h / 2, w / 2, c});
+}
+
+VecRun run_softmax(Cluster& cluster, const Tensor8& x,
+                   std::span<const uint8_t> exp_lut) {
+  DECIMATE_CHECK(x.rank() == 2, "softmax expects {T,L}");
+  DECIMATE_CHECK(exp_lut.size() == 256, "exp lut must have 256 entries");
+  const int t = x.dim(0), l = x.dim(1);
+  return launch(cluster, VecKind::kSoftmax, as_bytes(x), {},
+                {exp_lut.data(), exp_lut.size()}, x.numel(),
+                static_cast<int64_t>(cluster.num_cores()) * l, t,
+                [&](std::vector<int32_t>& args, const VecLayout&) {
+                  args[VecArgs::kLen] = l;
+                },
+                x.shape());
+}
+
+VecRun run_layernorm(Cluster& cluster, const Tensor8& x, const Tensor8& gamma,
+                     const Tensor8& beta) {
+  DECIMATE_CHECK(x.rank() == 2, "layernorm expects {T,L}");
+  const int t = x.dim(0), l = x.dim(1);
+  DECIMATE_CHECK(gamma.numel() == l && beta.numel() == l,
+                 "layernorm gamma/beta size mismatch");
+  return launch(cluster, VecKind::kLayerNorm, as_bytes(x), as_bytes(gamma),
+                {reinterpret_cast<const uint8_t*>(beta.data()),
+                 static_cast<size_t>(beta.numel())},
+                x.numel(), 0, t,
+                [&](std::vector<int32_t>& args, const VecLayout&) {
+                  args[VecArgs::kLen] = l;
+                },
+                x.shape());
+}
+
+}  // namespace decimate

@@ -1,0 +1,69 @@
+#include "kernels/work_split.hpp"
+
+#include "common/check.hpp"
+
+namespace decimate {
+
+namespace {
+/// Balanced chunk [s, e) for worker i of n over total T.
+std::pair<int, int> chunk(int i, int n, int total) {
+  return {static_cast<int>(static_cast<int64_t>(i) * total / n),
+          static_cast<int>(static_cast<int64_t>(i + 1) * total / n)};
+}
+}  // namespace
+
+std::vector<ConvWork> split_conv_work(int oy, int ox_pairs, int k,
+                                      int ncores) {
+  DECIMATE_CHECK(oy >= 1 && ox_pairs >= 1 && k >= 1 && ncores >= 1,
+                 "bad conv work dims");
+  std::vector<ConvWork> work(static_cast<size_t>(ncores));
+  if (oy >= ncores) {
+    for (int i = 0; i < ncores; ++i) {
+      const auto [s, e] = chunk(i, ncores, oy);
+      work[static_cast<size_t>(i)] = {s, e, 0, ox_pairs, 0, k};
+    }
+    return work;
+  }
+  // Fewer rows than cores: give each row a group of cores and split the
+  // pair range inside the row among the group's cores.
+  int core = 0;
+  for (int row = 0; row < oy; ++row) {
+    const auto [gs, ge] = chunk(row, oy, ncores);
+    const int group = ge - gs;
+    for (int j = 0; j < group; ++j, ++core) {
+      const auto [ps, pe] = chunk(j, group, ox_pairs);
+      work[static_cast<size_t>(core)] = {row, row + 1, ps, pe, 0, k};
+    }
+  }
+  return work;
+}
+
+std::vector<FcWork> split_fc_work(int tokens, int k, int ncores,
+                                  int k_grain) {
+  DECIMATE_CHECK(tokens >= 1 && k >= 1 && ncores >= 1 && k_grain >= 1,
+                 "bad fc work dims");
+  DECIMATE_CHECK(k % k_grain == 0,
+                 "K " << k << " not aligned to kernel grain " << k_grain);
+  std::vector<FcWork> work(static_cast<size_t>(ncores));
+  if (tokens >= ncores) {
+    for (int i = 0; i < ncores; ++i) {
+      const auto [s, e] = chunk(i, ncores, tokens);
+      work[static_cast<size_t>(i)] = {s, e, 0, k};
+    }
+    return work;
+  }
+  const int k_units = k / k_grain;
+  int core = 0;
+  for (int t = 0; t < tokens; ++t) {
+    const auto [gs, ge] = chunk(t, tokens, ncores);
+    const int group = ge - gs;
+    for (int j = 0; j < group; ++j, ++core) {
+      const auto [us, ue] = chunk(j, group, k_units);
+      work[static_cast<size_t>(core)] = {t, t + 1, us * k_grain,
+                                         ue * k_grain};
+    }
+  }
+  return work;
+}
+
+}  // namespace decimate

@@ -1,0 +1,35 @@
+#pragma once
+// Host-side work partitioning across the cluster cores. The paper
+// parallelizes the outermost OX/OY loops (conv) and the K dimension (FC);
+// we generalize slightly to rectangles so that deep layers with few output
+// rows still occupy all 8 cores, and so the kernels need no division.
+
+#include <vector>
+
+namespace decimate {
+
+struct ConvWork {
+  int oy_s = 0, oy_e = 0;  // output row range
+  int xp_s = 0, xp_e = 0;  // output pixel-pair range within each row
+  int k_s = 0, k_e = 0;    // output channel range
+  bool empty() const { return oy_s >= oy_e || xp_s >= xp_e || k_s >= k_e; }
+};
+
+struct FcWork {
+  int tok_s = 0, tok_e = 0;  // token (batch row) range
+  int k_s = 0, k_e = 0;      // output channel range
+  bool empty() const { return tok_s >= tok_e || k_s >= k_e; }
+};
+
+/// Partition a conv output of `oy` rows x `ox_pairs` pixel pairs x `k`
+/// channels over `ncores` cores. All rects carry the full K range; the
+/// spatial plane is split into row chunks (oy >= ncores) or row-strips
+/// (oy < ncores). Rects cover the space disjointly.
+std::vector<ConvWork> split_conv_work(int oy, int ox_pairs, int k,
+                                      int ncores);
+
+/// Partition an FC output of `tokens` x `k` channels. K ranges are aligned
+/// to `k_grain` (2 for the channel-pair kernels, 1 otherwise).
+std::vector<FcWork> split_fc_work(int tokens, int k, int ncores, int k_grain);
+
+}  // namespace decimate

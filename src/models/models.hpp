@@ -1,0 +1,47 @@
+#pragma once
+// End-to-end network builders with deterministic synthetic weights:
+//  - ResNet18 (CIFAR geometry, 32x32 input): N:M pruning applied to all
+//    3x3 convolutions except the stem (paper Sec. 5.1: "N:M pruning to 3x3
+//    convolutions, leaving pointwise layers dense"); the stem conv has
+//    C=3 (padded to 4), which no 1:8/1:16 pattern divides, so it stays
+//    dense like the pointwise layers.
+//  - ViT-Small/16 @224: N:M pruning applied to the FFN FC layers only
+//    (Sec. 5.1). This variant mean-pools tokens instead of using a CLS
+//    token (196 vs the paper's 197 tokens; same cost to within 0.5%) and
+//    folds the positional embedding (latency-neutral), as documented in
+//    DESIGN.md.
+
+#include "compiler/graph.hpp"
+
+namespace decimate {
+
+struct Resnet18Options {
+  int sparsity_m = 0;  // 0 = dense; 4/8/16 = 1:M on 3x3 convs
+  // Per-stage override (paper future work: variable sparsity patterns).
+  // When non-empty, must hold 4 entries (one per residual stage); each is
+  // 0/4/8/16 and overrides sparsity_m for that stage's 3x3 convs. The
+  // pattern table recognizes each layer's M independently, so mixed
+  // networks deploy without any further configuration.
+  std::vector<int> per_stage_m;
+  int num_classes = 100;
+  int input_hw = 32;
+  uint64_t seed = 42;
+};
+
+Graph build_resnet18(const Resnet18Options& opt = {});
+
+struct VitOptions {
+  int sparsity_m = 0;  // 0 = dense; 4/8/16 = 1:M on FFN FC layers
+  int image_hw = 224;
+  int patch = 16;
+  int dim = 384;
+  int depth = 12;
+  int heads = 6;
+  int mlp = 1536;
+  int num_classes = 10;
+  uint64_t seed = 43;
+};
+
+Graph build_vit(const VitOptions& opt = {});
+
+}  // namespace decimate

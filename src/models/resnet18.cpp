@@ -1,0 +1,151 @@
+#include "common/rng.hpp"
+#include "models/models.hpp"
+#include "nn/prune.hpp"
+
+namespace decimate {
+
+namespace {
+
+Tensor8 synth_weights(int rows, int cols, Rng& rng, int prune_m) {
+  Tensor8 w = Tensor8::random({rows, cols}, rng);
+  if (prune_m != 0 && cols % prune_m == 0) {
+    nm_prune(w.flat(), rows, cols, 1, prune_m);
+  }
+  return w;
+}
+
+Tensor32 synth_bias(int k, Rng& rng) {
+  Tensor32 b({k});
+  for (int i = 0; i < k; ++i) b[i] = rng.uniform_int(-500, 500);
+  return b;
+}
+
+struct ResnetBuilder {
+  Graph g;
+  Rng rng;
+  int prune_m;
+
+  ResnetBuilder(const Resnet18Options& opt)
+      : g({opt.input_hw, opt.input_hw, 4}),  // C=3 padded to 4
+        rng(opt.seed),
+        prune_m(opt.sparsity_m) {}
+
+  void set_stage_sparsity(const Resnet18Options& opt, int stage) {
+    if (!opt.per_stage_m.empty()) {
+      DECIMATE_CHECK(opt.per_stage_m.size() == 4,
+                     "per_stage_m must have 4 entries");
+      prune_m = opt.per_stage_m[static_cast<size_t>(stage)];
+    }
+  }
+
+  /// conv + optional fused relu node; returns last node id.
+  int conv(const std::string& name, int in_id, int hw_in, int c, int k,
+           int fsz_side, int stride, int pad, bool sparse, bool relu) {
+    ConvGeom geom{.ix = hw_in, .iy = hw_in, .c = c, .k = k,
+                  .fx = fsz_side, .fy = fsz_side, .stride = stride,
+                  .pad = pad};
+    Node n;
+    n.op = OpType::kConv2d;
+    n.name = name;
+    n.inputs = {in_id};
+    n.conv = geom;
+    n.weights = synth_weights(k, geom.fsz(), rng, sparse ? prune_m : 0);
+    n.bias = synth_bias(k, rng);
+    n.rq = calibrate_requant(geom.fsz());
+    n.out_shape = {geom.oy(), geom.ox(), k};
+    int id = g.add(std::move(n));
+    if (relu) {
+      Node r;
+      r.op = OpType::kRelu;
+      r.name = name + ".relu";
+      r.inputs = {id};
+      r.out_shape = g.node(id).out_shape;
+      id = g.add(std::move(r));
+    }
+    return id;
+  }
+
+  /// basic block: two 3x3 convs + skip (optionally downsampled).
+  int block(const std::string& name, int in_id, int hw_in, int c_in, int k,
+            int stride) {
+    const int c1 = conv(name + ".conv1", in_id, hw_in, c_in, k, 3, stride, 1,
+                        /*sparse=*/true, /*relu=*/true);
+    const int hw_mid = g.node(c1).out_shape[0];
+    const int c2 = conv(name + ".conv2", c1, hw_mid, k, k, 3, 1, 1,
+                        /*sparse=*/true, /*relu=*/false);
+    int skip = in_id;
+    if (stride != 1 || c_in != k) {
+      skip = conv(name + ".down", in_id, hw_in, c_in, k, 1, stride, 0,
+                  /*sparse=*/false, /*relu=*/false);
+    }
+    Node add;
+    add.op = OpType::kAdd;
+    add.name = name + ".add";
+    add.inputs = {c2, skip};
+    add.rq = Requant{1, 1};
+    add.rq2 = Requant{1, 1};
+    add.out_shape = g.node(c2).out_shape;
+    int id = g.add(std::move(add));
+    Node r;
+    r.op = OpType::kRelu;
+    r.name = name + ".relu";
+    r.inputs = {id};
+    r.out_shape = g.node(id).out_shape;
+    return g.add(std::move(r));
+  }
+};
+
+}  // namespace
+
+Graph build_resnet18(const Resnet18Options& opt) {
+  DECIMATE_CHECK(opt.sparsity_m == 0 || opt.sparsity_m == 4 ||
+                     opt.sparsity_m == 8 || opt.sparsity_m == 16,
+                 "sparsity must be 0/4/8/16");
+  ResnetBuilder b(opt);
+  const int hw = opt.input_hw;
+  // stem: 3x3 s1 (CIFAR variant), dense
+  int x = b.conv("stem", 0, hw, 4, 64, 3, 1, 1, /*sparse=*/false, true);
+
+  struct Stage { int k, stride; };
+  const Stage stages[4] = {{64, 1}, {128, 2}, {256, 2}, {512, 2}};
+  int c_in = 64;
+  int cur_hw = hw;
+  for (int s = 0; s < 4; ++s) {
+    const auto [k, stride] = stages[s];
+    b.set_stage_sparsity(opt, s);
+    x = b.block("layer" + std::to_string(s + 1) + ".0", x, cur_hw, c_in, k,
+                stride);
+    cur_hw = b.g.node(x).out_shape[0];
+    x = b.block("layer" + std::to_string(s + 1) + ".1", x, cur_hw, k, k, 1);
+    c_in = k;
+  }
+
+  Node pool;
+  pool.op = OpType::kAvgPool;
+  pool.name = "avgpool";
+  pool.inputs = {x};
+  pool.rq = make_requant(1.0 / (cur_hw * cur_hw), 127ll * cur_hw * cur_hw);
+  pool.out_shape = {512};
+  x = b.g.add(std::move(pool));
+
+  Node reshape;
+  reshape.op = OpType::kReshape;
+  reshape.name = "flatten";
+  reshape.inputs = {x};
+  reshape.out_shape = {1, 512};
+  x = b.g.add(std::move(reshape));
+
+  Node head;
+  head.op = OpType::kFc;
+  head.name = "fc";
+  head.inputs = {x};
+  head.fc = FcGeom{.tokens = 1, .c = 512, .k = opt.num_classes};
+  head.weights = synth_weights(opt.num_classes, 512, b.rng, 0);
+  head.bias = synth_bias(opt.num_classes, b.rng);
+  head.rq = calibrate_requant(512);
+  head.out_shape = {1, opt.num_classes};
+  b.g.add(std::move(head));
+  return std::move(b.g);
+}
+
+}  // namespace decimate

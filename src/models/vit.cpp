@@ -1,0 +1,216 @@
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "models/models.hpp"
+#include "nn/prune.hpp"
+
+namespace decimate {
+
+namespace {
+
+struct VitBuilder {
+  Graph g;
+  Rng rng;
+  const VitOptions& opt;
+  int tokens;
+  std::vector<int8_t> gelu_lut;
+  std::vector<uint8_t> exp_lut;
+
+  explicit VitBuilder(const VitOptions& o)
+      : g({o.image_hw, o.image_hw, 4}),  // C=3 padded to 4
+        rng(o.seed),
+        opt(o),
+        tokens((o.image_hw / o.patch) * (o.image_hw / o.patch)),
+        gelu_lut(build_gelu_lut(0.05f, 0.05f)),
+        exp_lut(build_exp_lut(0.125f)) {}
+
+  Tensor8 weights(int rows, int cols, int prune_m) {
+    Tensor8 w = Tensor8::random({rows, cols}, rng);
+    if (prune_m != 0 && cols % prune_m == 0) {
+      nm_prune(w.flat(), rows, cols, 1, prune_m);
+    }
+    return w;
+  }
+
+  Tensor32 bias(int k) {
+    Tensor32 b({k});
+    for (int i = 0; i < k; ++i) b[i] = rng.uniform_int(-500, 500);
+    return b;
+  }
+
+  int fc(const std::string& name, int in_id, int t, int c, int k,
+         int prune_m) {
+    Node n;
+    n.op = OpType::kFc;
+    n.name = name;
+    n.inputs = {in_id};
+    n.fc = FcGeom{.tokens = t, .c = c, .k = k};
+    n.weights = weights(k, c, prune_m);
+    n.bias = bias(k);
+    n.rq = calibrate_requant(c);
+    n.out_shape = {t, k};
+    return g.add(std::move(n));
+  }
+
+  int layernorm(const std::string& name, int in_id) {
+    const auto shape = g.node(in_id).out_shape;
+    const int l = shape[1];
+    Node n;
+    n.op = OpType::kLayerNorm;
+    n.name = name;
+    n.inputs = {in_id};
+    n.gamma = Tensor8({l});
+    n.beta = Tensor8({l});
+    for (int i = 0; i < l; ++i) {
+      n.gamma[i] = static_cast<int8_t>(rng.uniform_int(48, 80));  // ~1.0 Q6
+      n.beta[i] = static_cast<int8_t>(rng.uniform_int(-10, 10));
+    }
+    n.out_shape = shape;
+    return g.add(std::move(n));
+  }
+
+  int slice(const std::string& name, int in_id, int c0, int c1) {
+    Node n;
+    n.op = OpType::kSlice;
+    n.name = name;
+    n.inputs = {in_id};
+    n.slice_begin = c0;
+    n.slice_end = c1;
+    n.out_shape = {g.node(in_id).out_shape[0], c1 - c0};
+    return g.add(std::move(n));
+  }
+
+  int add(const std::string& name, int a, int b_) {
+    Node n;
+    n.op = OpType::kAdd;
+    n.name = name;
+    n.inputs = {a, b_};
+    n.rq = Requant{1, 1};
+    n.rq2 = Requant{1, 1};
+    n.out_shape = g.node(a).out_shape;
+    return g.add(std::move(n));
+  }
+
+  /// One transformer encoder block.
+  int block(const std::string& name, int x) {
+    const int d = opt.dim, h = opt.heads, dh = d / h;
+    const int ln1 = layernorm(name + ".ln1", x);
+    const int qkv = fc(name + ".qkv", ln1, tokens, d, 3 * d, 0);
+    std::vector<int> head_outs;
+    for (int hi = 0; hi < h; ++hi) {
+      const std::string hn = name + ".h" + std::to_string(hi);
+      const int q = slice(hn + ".q", qkv, hi * dh, (hi + 1) * dh);
+      const int k = slice(hn + ".k", qkv, d + hi * dh, d + (hi + 1) * dh);
+      const int v = slice(hn + ".v", qkv, 2 * d + hi * dh, 2 * d + (hi + 1) * dh);
+      // scores = q @ k^T / sqrt(dh): K-matrix rows are already {tok, dh}
+      Node sc;
+      sc.op = OpType::kMatmul;
+      sc.name = hn + ".qk";
+      sc.inputs = {q, k};
+      sc.fc = FcGeom{.tokens = tokens, .c = dh, .k = tokens};
+      sc.rq = make_requant(1.0 / (16.0 * std::sqrt(static_cast<double>(dh))),
+                           127ll * 127 * dh);
+      sc.transpose_b = false;
+      sc.out_shape = {tokens, tokens};
+      const int scores = g.add(std::move(sc));
+      Node sm;
+      sm.op = OpType::kSoftmax;
+      sm.name = hn + ".softmax";
+      sm.inputs = {scores};
+      sm.exp_lut = exp_lut;
+      sm.out_shape = {tokens, tokens};
+      const int probs = g.add(std::move(sm));
+      Node av;
+      av.op = OpType::kMatmul;
+      av.name = hn + ".av";
+      av.inputs = {probs, v};
+      av.fc = FcGeom{.tokens = tokens, .c = tokens, .k = dh};
+      av.rq = make_requant(1.0 / 96.0, 127ll * 127 * tokens);
+      av.transpose_b = true;  // V is {tok, dh}; needs {dh, tok} rows
+      av.out_shape = {tokens, dh};
+      head_outs.push_back(g.add(std::move(av)));
+    }
+    Node cat;
+    cat.op = OpType::kConcat;
+    cat.name = name + ".concat";
+    cat.inputs = head_outs;
+    cat.out_shape = {tokens, d};
+    const int merged = g.add(std::move(cat));
+    const int proj = fc(name + ".proj", merged, tokens, d, d, 0);
+    const int res1 = add(name + ".add1", x, proj);
+    // FFN (the sparsified part, Sec. 5.1)
+    const int ln2 = layernorm(name + ".ln2", res1);
+    const int up = fc(name + ".ffn.fc1", ln2, tokens, d, opt.mlp,
+                      opt.sparsity_m);
+    Node gelu;
+    gelu.op = OpType::kLut;
+    gelu.name = name + ".ffn.gelu";
+    gelu.inputs = {up};
+    gelu.lut = gelu_lut;
+    gelu.out_shape = {tokens, opt.mlp};
+    const int act = g.add(std::move(gelu));
+    const int down = fc(name + ".ffn.fc2", act, tokens, opt.mlp, d,
+                        opt.sparsity_m);
+    return add(name + ".add2", res1, down);
+  }
+};
+
+}  // namespace
+
+Graph build_vit(const VitOptions& opt) {
+  DECIMATE_CHECK(opt.dim % opt.heads == 0, "dim must divide into heads");
+  DECIMATE_CHECK(opt.image_hw % opt.patch == 0, "image must tile by patch");
+  VitBuilder b(opt);
+  const int grid = opt.image_hw / opt.patch;
+
+  // patch embedding as a strided convolution
+  ConvGeom pe{.ix = opt.image_hw, .iy = opt.image_hw, .c = 4, .k = opt.dim,
+              .fx = opt.patch, .fy = opt.patch, .stride = opt.patch, .pad = 0};
+  Node embed;
+  embed.op = OpType::kConv2d;
+  embed.name = "patch_embed";
+  embed.inputs = {0};
+  embed.conv = pe;
+  embed.weights = b.weights(opt.dim, pe.fsz(), 0);
+  embed.bias = b.bias(opt.dim);
+  embed.rq = calibrate_requant(pe.fsz());
+  embed.out_shape = {grid, grid, opt.dim};
+  int x = b.g.add(std::move(embed));
+
+  Node tok;
+  tok.op = OpType::kReshape;
+  tok.name = "to_tokens";
+  tok.inputs = {x};
+  tok.out_shape = {b.tokens, opt.dim};
+  x = b.g.add(std::move(tok));
+
+  for (int blk = 0; blk < opt.depth; ++blk) {
+    x = b.block("block" + std::to_string(blk), x);
+  }
+
+  x = b.layernorm("ln_final", x);
+  // mean-pool tokens: reshape to {T, 1, D} and use the avgpool kernel
+  Node rs;
+  rs.op = OpType::kReshape;
+  rs.name = "pool_view";
+  rs.inputs = {x};
+  rs.out_shape = {b.tokens, 1, opt.dim};
+  x = b.g.add(std::move(rs));
+  Node pool;
+  pool.op = OpType::kAvgPool;
+  pool.name = "token_pool";
+  pool.inputs = {x};
+  pool.rq = make_requant(1.0 / b.tokens, 127ll * b.tokens);
+  pool.out_shape = {opt.dim};
+  x = b.g.add(std::move(pool));
+  Node rs2;
+  rs2.op = OpType::kReshape;
+  rs2.name = "head_view";
+  rs2.inputs = {x};
+  rs2.out_shape = {1, opt.dim};
+  x = b.g.add(std::move(rs2));
+  b.fc("head", x, 1, opt.dim, opt.num_classes, 0);
+  return std::move(b.g);
+}
+
+}  // namespace decimate

@@ -1,0 +1,43 @@
+#pragma once
+// Layer hyper-parameter records, following the paper's Table 1 notation:
+// input (IX/IY/C), output (OX/OY/K), weights (FX/FY/C/K), stride S, pad P.
+
+#include "common/check.hpp"
+
+namespace decimate {
+
+struct ConvGeom {
+  int ix = 0, iy = 0, c = 0;  // input columns, rows, channels
+  int k = 0;                  // output channels
+  int fx = 1, fy = 1;         // filter width, height
+  int stride = 1;
+  int pad = 0;
+
+  int ox() const { return (ix + 2 * pad - fx) / stride + 1; }
+  int oy() const { return (iy + 2 * pad - fy) / stride + 1; }
+  int fsz() const { return fx * fy * c; }
+  int64_t macs() const {
+    return static_cast<int64_t>(ox()) * oy() * k * fsz();
+  }
+  void validate() const {
+    DECIMATE_CHECK(ix > 0 && iy > 0 && c > 0 && k > 0 && fx > 0 && fy > 0,
+                   "conv geometry has non-positive dims");
+    DECIMATE_CHECK(stride >= 1 && pad >= 0, "bad stride/pad");
+    DECIMATE_CHECK(ix + 2 * pad >= fx && iy + 2 * pad >= fy,
+                   "filter larger than padded input");
+  }
+};
+
+struct FcGeom {
+  int tokens = 1;  // batch rows (1 for a classifier head, #tokens for ViT)
+  int c = 0;       // input features
+  int k = 0;       // output features
+
+  int64_t macs() const { return static_cast<int64_t>(tokens) * c * k; }
+  void validate() const {
+    DECIMATE_CHECK(tokens > 0 && c > 0 && k > 0,
+                   "fc geometry has non-positive dims");
+  }
+};
+
+}  // namespace decimate

@@ -1,0 +1,183 @@
+#include "nn/nm_format.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+#include "nn/prune.hpp"
+
+namespace decimate {
+
+namespace {
+
+/// Write a `bits`-wide field at field-index `j` into a little-endian
+/// packed byte stream.
+void put_field(std::span<uint8_t> bytes, int j, int bits_, uint32_t value) {
+  const int bitpos = j * bits_;
+  const int byte = bitpos / 8;
+  const int shift = bitpos % 8;
+  DECIMATE_CHECK(static_cast<size_t>(byte) < bytes.size(),
+                 "offset stream overflow");
+  const auto mask = static_cast<uint8_t>(((1u << bits_) - 1u) << shift);
+  bytes[static_cast<size_t>(byte)] = static_cast<uint8_t>(
+      (bytes[static_cast<size_t>(byte)] & ~mask) |
+      ((value << shift) & mask));
+}
+
+uint32_t get_field(std::span<const uint8_t> bytes, int j, int bits_) {
+  const int bitpos = j * bits_;
+  const int byte = bitpos / 8;
+  const int shift = bitpos % 8;
+  DECIMATE_CHECK(static_cast<size_t>(byte) < bytes.size(),
+                 "offset stream overflow");
+  return (bytes[static_cast<size_t>(byte)] >> shift) & ((1u << bits_) - 1u);
+}
+
+}  // namespace
+
+const char* nm_layout_name(NmLayout layout) {
+  switch (layout) {
+    case NmLayout::kSw: return "sw";
+    case NmLayout::kConvIsaDup: return "conv-isa-dup";
+    case NmLayout::kFcIsaInterleaved: return "fc-isa-interleaved";
+  }
+  return "?";
+}
+
+int NmPacked::offset_at(int r, int j) const {
+  DECIMATE_CHECK(r >= 0 && r < rows && j >= 0 && j < nz_per_row,
+                 "offset_at out of range");
+  const int bits_ = offset_bits();
+  switch (layout) {
+    case NmLayout::kSw: {
+      std::span<const uint8_t> row{
+          offsets.data() + static_cast<size_t>(r) * offsets_row_bytes,
+          static_cast<size_t>(offsets_row_bytes)};
+      return static_cast<int>(get_field(row, j, bits_));
+    }
+    case NmLayout::kConvIsaDup: {
+      std::span<const uint8_t> row{
+          offsets.data() + static_cast<size_t>(r) * offsets_row_bytes,
+          static_cast<size_t>(offsets_row_bytes)};
+      return static_cast<int>(get_field(row, 2 * j, bits_));
+    }
+    case NmLayout::kFcIsaInterleaved: {
+      const int pair = r / 2;
+      std::span<const uint8_t> row{
+          offsets.data() + static_cast<size_t>(pair) * offsets_row_bytes,
+          static_cast<size_t>(offsets_row_bytes)};
+      return static_cast<int>(get_field(row, 2 * j + (r & 1), bits_));
+    }
+  }
+  DECIMATE_FAIL("bad layout");
+}
+
+Tensor8 NmPacked::to_dense() const {
+  Tensor8 dense({rows, cols});
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < nz_per_row; ++j) {
+      const int off = offset_at(r, j);
+      dense.at({r, j * m + off}) =
+          values[static_cast<size_t>(r) * values_row_bytes + j];
+    }
+  }
+  return dense;
+}
+
+NmPacked nm_pack(std::span<const int8_t> w, int rows, int cols, int m,
+                 NmLayout layout) {
+  DECIMATE_CHECK(m == 4 || m == 8 || m == 16, "M must be 4, 8 or 16");
+  DECIMATE_CHECK(cols % m == 0, "cols " << cols << " not multiple of M " << m);
+  DECIMATE_CHECK(is_nm_sparse(w, rows, cols, 1, m),
+                 "matrix is not 1:" << m << " sparse");
+  if (layout == NmLayout::kFcIsaInterleaved) {
+    DECIMATE_CHECK(rows % 2 == 0,
+                   "FC-ISA interleaved layout needs an even channel count");
+  }
+
+  NmPacked p;
+  p.m = m;
+  p.rows = rows;
+  p.cols = cols;
+  p.nz_per_row = cols / m;
+  p.nz_padded = static_cast<int>(round_up(p.nz_per_row, m == 4 ? 8 : 4));
+  p.layout = layout;
+  const int bits_ = p.offset_bits();
+  p.values_row_bytes = p.nz_padded;
+
+  const int fields_per_unit =
+      (layout == NmLayout::kSw) ? p.nz_padded : 2 * p.nz_padded;
+  p.offsets_row_bytes = static_cast<int>(
+      round_up(ceil_div(static_cast<int64_t>(fields_per_unit) * bits_, 8), 4));
+  const int units =
+      (layout == NmLayout::kFcIsaInterleaved) ? rows / 2 : rows;
+
+  p.values.assign(static_cast<size_t>(rows) * p.values_row_bytes, 0);
+  p.offsets.assign(static_cast<size_t>(units) * p.offsets_row_bytes, 0);
+
+  // Logical offsets per row.
+  auto row_offset = [&](int r, int j) -> uint32_t {
+    const int8_t* blk =
+        w.data() + static_cast<int64_t>(r) * cols + static_cast<int64_t>(j) * m;
+    for (int i = 0; i < m; ++i) {
+      if (blk[i] != 0) return static_cast<uint32_t>(i);
+    }
+    return 0;  // all-zero block: value 0 at offset 0
+  };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < p.nz_padded; ++j) {
+      const uint32_t off = (j < p.nz_per_row) ? row_offset(r, j) : 0;
+      p.values[static_cast<size_t>(r) * p.values_row_bytes + j] =
+          (j < p.nz_per_row)
+              ? w[static_cast<int64_t>(r) * cols +
+                  static_cast<int64_t>(j) * m + static_cast<int>(off)]
+              : int8_t{0};
+      switch (layout) {
+        case NmLayout::kSw: {
+          std::span<uint8_t> row{
+              p.offsets.data() + static_cast<size_t>(r) * p.offsets_row_bytes,
+              static_cast<size_t>(p.offsets_row_bytes)};
+          put_field(row, j, bits_, off);
+          break;
+        }
+        case NmLayout::kConvIsaDup: {
+          std::span<uint8_t> row{
+              p.offsets.data() + static_cast<size_t>(r) * p.offsets_row_bytes,
+              static_cast<size_t>(p.offsets_row_bytes)};
+          put_field(row, 2 * j, bits_, off);
+          put_field(row, 2 * j + 1, bits_, off);
+          break;
+        }
+        case NmLayout::kFcIsaInterleaved: {
+          std::span<uint8_t> row{
+              p.offsets.data() +
+                  static_cast<size_t>(r / 2) * p.offsets_row_bytes,
+              static_cast<size_t>(p.offsets_row_bytes)};
+          put_field(row, 2 * j + (r & 1), bits_, off);
+          break;
+        }
+      }
+    }
+  }
+  return p;
+}
+
+int64_t dense_bytes(int rows, int cols) {
+  return static_cast<int64_t>(rows) * cols;
+}
+
+int64_t coo_bytes(int64_t nnz) {
+  return nnz * (1 + 2 + 2);  // value + 16-bit row + 16-bit col
+}
+
+int64_t csr_bytes(int rows, int64_t nnz) {
+  return nnz * (1 + 2) + static_cast<int64_t>(rows) * 4;
+}
+
+int64_t nm_bytes(int rows, int cols, int m, bool duplicated_offsets) {
+  const int64_t nnz = static_cast<int64_t>(rows) * cols / m;
+  const int bits_ = (m == 4) ? 2 : 4;
+  const int dup = duplicated_offsets ? 2 : 1;
+  return nnz + ceil_div(nnz * bits_ * dup, 8);
+}
+
+}  // namespace decimate

@@ -1,0 +1,88 @@
+#pragma once
+// The N:M sparse storage format of the paper (Fig. 1, Sec. 2.1/4.1/4.2):
+// a values matrix of shape (rows, cols/M) holding the non-zero weights and
+// a packed offsets array holding each NZ element's position inside its
+// M-block, in ceil(log2(M)) bits rounded to a power of two:
+//   M=4  -> 2-bit offsets, M=8/16 -> 4-bit offsets.
+//
+// Three layout variants, matching the three kernel families:
+//  - kSw:            one offset per NZ (software-only kernels)
+//  - kConvIsaDup:    every offset duplicated, because the xDecimate csr
+//                    advances the block index once every two executions to
+//                    serve the two im2col buffers (Sec. 4.1.3)
+//  - kFcIsaInterleaved: offsets of two consecutive output channels
+//                    interleaved (o0_ch0, o0_ch1, o1_ch0, o1_ch1, ...)
+//                    so one xDecimate stream fills vB1/vB2 (Sec. 4.2.3,
+//                    Fig. 6); rows must be even.
+//
+// Rows of both values and offsets are padded to 4-byte boundaries so the
+// kernels can stream them with word loads.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace decimate {
+
+enum class NmLayout : uint8_t { kSw, kConvIsaDup, kFcIsaInterleaved };
+
+const char* nm_layout_name(NmLayout layout);
+
+struct NmPacked {
+  int m = 0;             // block size (4, 8, 16)
+  int rows = 0;          // output channels K
+  int cols = 0;          // dense row length (FY*FX*C or C)
+  int nz_per_row = 0;    // cols / m (logical)
+  int nz_padded = 0;     // nz_per_row rounded up to the kernels' unroll
+                         // granularity (4; 8 for M=4 because one offsets
+                         // word then covers two inner iterations); padding
+                         // entries are {value 0, offset 0} and address the
+                         // blocks just past the row — the launcher leaves
+                         // M*padding slack after gather buffers.
+  NmLayout layout = NmLayout::kSw;
+
+  int values_row_bytes = 0;   // padded to 4
+  int offsets_row_bytes = 0;  // padded to 4
+  std::vector<int8_t> values;    // rows * values_row_bytes
+  std::vector<uint8_t> offsets;  // rows * offsets_row_bytes (pair-rows for
+                                 // the FC interleaved layout)
+
+  int offset_bits() const { return m == 4 ? 2 : 4; }
+  int64_t values_bytes() const { return static_cast<int64_t>(values.size()); }
+  int64_t offsets_bytes() const {
+    return static_cast<int64_t>(offsets.size());
+  }
+  int64_t total_bytes() const { return values_bytes() + offsets_bytes(); }
+
+  /// Unpack the offset of NZ element j in row r (before duplication /
+  /// interleaving, i.e. the logical offset).
+  int offset_at(int r, int j) const;
+
+  /// Reconstruct the dense row-major matrix (for tests).
+  Tensor8 to_dense() const;
+
+  /// Extra gather-buffer slack bytes the kernels may read past a row
+  /// (padding entries address blocks nz_per_row..nz_padded-1).
+  int gather_slack_bytes() const { return (nz_padded - nz_per_row) * m; }
+};
+
+/// Pack a dense 1:M-sparse [rows x cols] matrix. Requires the matrix to
+/// satisfy is_nm_sparse(w, rows, cols, 1, m); blocks with all zeros store
+/// offset 0 and value 0.
+NmPacked nm_pack(std::span<const int8_t> w, int rows, int cols, int m,
+                 NmLayout layout);
+
+// ---------------------------------------------------------------------------
+// Size models for the format comparison experiment (E7): bytes needed to
+// store a [rows x cols] int8 matrix with `nnz` non-zeros.
+// ---------------------------------------------------------------------------
+int64_t dense_bytes(int rows, int cols);
+/// COO: value (1B) + row index (2B) + col index (2B) per NZ.
+int64_t coo_bytes(int64_t nnz);
+/// CSR: values (1B/NZ) + column indices (2B/NZ) + row pointers (4B each).
+int64_t csr_bytes(int rows, int64_t nnz);
+/// N:M: values + packed offsets (optionally duplicated, as in Conv-ISA).
+int64_t nm_bytes(int rows, int cols, int m, bool duplicated_offsets);
+
+}  // namespace decimate

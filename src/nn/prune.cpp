@@ -1,0 +1,79 @@
+#include "nn/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace decimate {
+
+namespace {
+
+template <typename T>
+void nm_prune_impl(std::span<T> w, int rows, int cols, int n, int m) {
+  DECIMATE_CHECK(n >= 1 && n < m, "need 1 <= n < m, got " << n << ":" << m);
+  DECIMATE_CHECK(cols % m == 0, "cols " << cols << " not a multiple of m " << m);
+  DECIMATE_CHECK(static_cast<int64_t>(rows) * cols ==
+                     static_cast<int64_t>(w.size()),
+                 "matrix size mismatch");
+  std::vector<int> idx(static_cast<size_t>(m));
+  for (int r = 0; r < rows; ++r) {
+    for (int b = 0; b < cols / m; ++b) {
+      T* blk = w.data() + static_cast<int64_t>(r) * cols + b * m;
+      for (int i = 0; i < m; ++i) idx[static_cast<size_t>(i)] = i;
+      std::stable_sort(idx.begin(), idx.end(), [&](int a, int c) {
+        return std::abs(static_cast<double>(blk[a])) >
+               std::abs(static_cast<double>(blk[c]));
+      });
+      for (int i = n; i < m; ++i) blk[idx[static_cast<size_t>(i)]] = T{0};
+    }
+  }
+}
+
+}  // namespace
+
+void nm_prune(std::span<float> w, int rows, int cols, int n, int m) {
+  nm_prune_impl(w, rows, cols, n, m);
+}
+
+void nm_prune(std::span<int8_t> w, int rows, int cols, int n, int m) {
+  nm_prune_impl(w, rows, cols, n, m);
+}
+
+bool is_nm_sparse(std::span<const int8_t> w, int rows, int cols, int n,
+                  int m) {
+  if (cols % m != 0) return false;
+  if (static_cast<int64_t>(rows) * cols != static_cast<int64_t>(w.size())) {
+    return false;
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int b = 0; b < cols / m; ++b) {
+      const int8_t* blk = w.data() + static_cast<int64_t>(r) * cols + b * m;
+      int nz = 0;
+      for (int i = 0; i < m; ++i) nz += (blk[i] != 0);
+      if (nz > n) return false;
+    }
+  }
+  return true;
+}
+
+double sparsity(std::span<const int8_t> w) {
+  if (w.empty()) return 0.0;
+  int64_t zeros = 0;
+  for (int8_t v : w) zeros += (v == 0);
+  return static_cast<double>(zeros) / static_cast<double>(w.size());
+}
+
+int detect_one_to_m(std::span<const int8_t> w, int rows, int cols) {
+  for (int m : {16, 8, 4}) {
+    if (cols % m != 0) continue;
+    if (!is_nm_sparse(w, rows, cols, 1, m)) continue;
+    // Reject pathological all-zero matrices claiming max sparsity: they
+    // are still valid 1:M, keep the tightest M.
+    return m;
+  }
+  return 0;
+}
+
+}  // namespace decimate

@@ -1,0 +1,34 @@
+#pragma once
+// N:M semi-structured pruning (magnitude criterion) and sparsity pattern
+// recognition. The paper trains with the scheme of Zhou et al. (2021); for
+// inference-side reproduction, magnitude pruning of synthetic weights
+// produces the same *pattern class* (exactly N non-zeros per M-block),
+// which is all the kernels and the compiler depend on.
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace decimate {
+
+/// In-place N:M magnitude pruning along the innermost dimension of a
+/// [rows x cols] matrix. cols must be a multiple of m. Keeps the n
+/// largest-magnitude entries per m-block; ties keep the lowest index
+/// (deterministic).
+void nm_prune(std::span<float> w, int rows, int cols, int n, int m);
+void nm_prune(std::span<int8_t> w, int rows, int cols, int n, int m);
+
+/// True iff every m-block has at most n non-zeros (pattern recognition,
+/// used by the compiler's sparse pattern table, Sec. 4.4).
+bool is_nm_sparse(std::span<const int8_t> w, int rows, int cols, int n, int m);
+
+/// Fraction of zero entries.
+double sparsity(std::span<const int8_t> w);
+
+/// Detect the tightest supported 1:M pattern (M in {16, 8, 4}) of a weight
+/// matrix; returns 0 if none applies. Requires genuinely sparse blocks:
+/// a dense matrix trivially fails (some block has >1 non-zero).
+int detect_one_to_m(std::span<const int8_t> w, int rows, int cols);
+
+}  // namespace decimate

@@ -1,0 +1,133 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decimate {
+
+Requant make_requant(double scale, int64_t max_abs_acc) {
+  DECIMATE_CHECK(scale > 0, "requant scale must be positive: " << scale);
+  DECIMATE_CHECK(max_abs_acc > 0, "max_abs_acc must be positive");
+  // Largest multiplier that keeps acc*mult inside int32.
+  const auto mult_cap =
+      static_cast<int64_t>((1ll << 31) - 1) / max_abs_acc;
+  DECIMATE_CHECK(mult_cap >= 1, "accumulator range too large for requant");
+  int shift = 0;
+  // Grow shift while the rounded multiplier still fits the cap (and keep
+  // shift < 31 so the arithmetic right shift is well-defined).
+  while (shift < 30) {
+    const double m_next = scale * static_cast<double>(1ll << (shift + 1));
+    if (m_next > static_cast<double>(mult_cap)) break;
+    ++shift;
+  }
+  auto mult = static_cast<int64_t>(std::llround(scale * static_cast<double>(1ll << shift)));
+  mult = std::clamp<int64_t>(mult, 1, mult_cap);
+  return Requant{static_cast<int32_t>(mult), shift};
+}
+
+float quantize_symmetric(std::span<const float> x, std::span<int8_t> out) {
+  DECIMATE_CHECK(x.size() == out.size(), "size mismatch in quantize");
+  float amax = 0.f;
+  for (float v : x) amax = std::max(amax, std::abs(v));
+  const float scale = (amax == 0.f) ? 1.f : amax / 127.f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const auto q =
+        static_cast<int>(std::lround(static_cast<double>(x[i]) / scale));
+    out[i] = static_cast<int8_t>(std::clamp(q, -127, 127));
+  }
+  return scale;
+}
+
+std::vector<int8_t> build_gelu_lut(float s_in, float s_out) {
+  std::vector<int8_t> lut(256);
+  for (int i = 0; i < 256; ++i) {
+    const auto q = static_cast<int8_t>(i);  // reinterpret the byte
+    const double x = q * static_cast<double>(s_in);
+    const double g = 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+    const auto o = static_cast<int>(std::lround(g / s_out));
+    lut[static_cast<size_t>(i)] =
+        static_cast<int8_t>(std::clamp(o, -128, 127));
+  }
+  return lut;
+}
+
+std::vector<uint8_t> build_exp_lut(float s_in) {
+  std::vector<uint8_t> lut(256);
+  for (int i = 0; i < 256; ++i) {
+    // Index is the low byte of d = x - max, d in [-255, 0]. Bytes 0..127
+    // encode d >= -127 ... wait: d in [-255, 0] wraps; treat the byte as
+    // the low 8 bits of d and recover d = byte - 256 for byte > 0, d = 0
+    // for byte == 0. Values of d below -255 cannot occur (int8 range).
+    const int d = (i == 0) ? 0 : i - 256;
+    const double e = std::exp(static_cast<double>(d) * s_in);
+    const auto v = static_cast<int>(std::lround(255.0 * e));
+    lut[static_cast<size_t>(i)] = static_cast<uint8_t>(std::clamp(v, 0, 255));
+  }
+  return lut;
+}
+
+uint32_t isqrt_u32(uint32_t v) {
+  // Classic bit-by-bit integer square root; the layernorm kernel implements
+  // the identical loop in assembly (16 iterations).
+  uint32_t res = 0;
+  uint32_t bit = 1u << 30;
+  while (bit > v) bit >>= 2;
+  while (bit != 0) {
+    if (v >= res + bit) {
+      v -= res + bit;
+      res = (res >> 1) + bit;
+    } else {
+      res >>= 1;
+    }
+    bit >>= 2;
+  }
+  return res;
+}
+
+void softmax_s8_row(std::span<const int8_t> x,
+                    std::span<const uint8_t> exp_lut, std::span<int8_t> out) {
+  DECIMATE_CHECK(x.size() == out.size(), "softmax size mismatch");
+  DECIMATE_CHECK(exp_lut.size() == 256, "exp lut must have 256 entries");
+  DECIMATE_CHECK(!x.empty(), "softmax of empty row");
+  int32_t m = -128;
+  for (int8_t v : x) m = std::max<int32_t>(m, v);
+  std::vector<uint8_t> e(x.size());
+  uint32_t sum = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const uint32_t idx = static_cast<uint32_t>(x[i] - m) & 0xFF;
+    e[i] = exp_lut[idx];
+    sum += e[i];
+  }
+  const uint32_t r = (127u << 16) / std::max<uint32_t>(sum, 1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = static_cast<int8_t>((e[i] * r) >> 16);
+  }
+}
+
+void layernorm_s8_row(std::span<const int8_t> x, std::span<const int8_t> gamma,
+                      std::span<const int8_t> beta, std::span<int8_t> out) {
+  const auto L = static_cast<int32_t>(x.size());
+  DECIMATE_CHECK(L > 0, "layernorm of empty row");
+  DECIMATE_CHECK(gamma.size() == x.size() && beta.size() == x.size() &&
+                     out.size() == x.size(),
+                 "layernorm size mismatch");
+  int32_t sum = 0;
+  for (int8_t v : x) sum += v;
+  const int32_t mean = sum / L;
+  int32_t sumsq = 0;
+  for (int8_t v : x) {
+    const int32_t d = v - mean;
+    sumsq += d * d;
+  }
+  const int32_t var = sumsq / L;
+  const uint32_t stdq = isqrt_u32(static_cast<uint32_t>(var) << 8);
+  const uint32_t r = (1u << 16) / std::max<uint32_t>(stdq, 1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const int32_t d = x[i] - mean;
+    const int32_t xhat = (d * static_cast<int32_t>(r)) >> 8;  // ~16*d/std
+    const int32_t y = ((xhat * gamma[i]) >> 6) + beta[i];
+    out[i] = static_cast<int8_t>(clip_signed(y, 8));
+  }
+}
+
+}  // namespace decimate

@@ -1,0 +1,69 @@
+#pragma once
+// int8 quantization utilities.
+//
+// Requantization follows PULP-NN: out = clip8((acc * mult) >> shift), with
+// a wrapping 32-bit multiply exactly as the core's MUL executes it, so the
+// reference ops are bit-exact mirrors of the ISS kernels (3 instructions:
+// mul, srai, p.clip). Lookup tables for GELU and exp are built on the host
+// and shared by reference ops and kernels (both read the same bytes).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "nn/tensor.hpp"
+
+namespace decimate {
+
+struct Requant {
+  int32_t mult = 1;
+  int32_t shift = 0;
+
+  /// Bit-exact model of the kernel's requant sequence.
+  int8_t apply(int32_t acc) const {
+    const auto t = static_cast<int32_t>(static_cast<uint32_t>(acc) *
+                                        static_cast<uint32_t>(mult));
+    return static_cast<int8_t>(clip_signed(t >> shift, 8));
+  }
+};
+
+/// Identity requant (mult=1, shift=0).
+inline Requant requant_identity() { return {1, 0}; }
+
+/// Choose (mult, shift) approximating `scale`, keeping |acc*mult| < 2^31
+/// for accumulators up to max_abs_acc (avoids the wrapping multiply).
+Requant make_requant(double scale, int64_t max_abs_acc);
+
+/// Symmetric per-tensor quantization of float data to int8.
+/// Returns the scale used (x_float ≈ q * scale).
+float quantize_symmetric(std::span<const float> x, std::span<int8_t> out);
+
+/// Dequantize helper for tests.
+inline float dequant(int8_t q, float scale) { return q * scale; }
+
+/// 256-entry int8 GELU table: lut[(uint8)x] = Q(gelu(x * s_in) / s_out).
+std::vector<int8_t> build_gelu_lut(float s_in, float s_out);
+
+/// 256-entry uint8 exp table for integer softmax:
+/// lut[(uint8)d] = round(255 * exp(d * s_in)) for d in [-255, 0] (d is the
+/// max-subtracted logit, always <= 0; positive indices map to 255).
+std::vector<uint8_t> build_exp_lut(float s_in);
+
+/// Integer isqrt (floor(sqrt(v))) — the same algorithm is implemented as an
+/// assembly subroutine in the layernorm kernel; keep both in sync.
+uint32_t isqrt_u32(uint32_t v);
+
+/// Integer softmax over a row (mirrors the 3-pass kernel exactly):
+///  pass 1: m = max(x); pass 2: e_i = exp_lut[x_i - m], sum = Σ e_i;
+///  pass 3: r = (127 << 16) / sum; out_i = (e_i * r) >> 16.
+void softmax_s8_row(std::span<const int8_t> x, std::span<const uint8_t> exp_lut,
+                    std::span<int8_t> out);
+
+/// Integer layernorm over a row (mirrors the 3-pass kernel exactly):
+///  mean = Σx / L; var = Σ(x-mean)^2 / L; stdq = isqrt(var << 8) (≈16*std);
+///  r = (1 << 16) / max(stdq, 1); xhat_i = ((x_i - mean) * r) >> 8
+///  (≈ 16*(x-mean)/std); out_i = clip8((xhat_i * gamma_i) >> 6 + beta_i).
+void layernorm_s8_row(std::span<const int8_t> x, std::span<const int8_t> gamma,
+                      std::span<const int8_t> beta, std::span<int8_t> out);
+
+}  // namespace decimate

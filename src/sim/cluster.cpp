@@ -1,0 +1,141 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace decimate {
+
+Cluster::Cluster(const ClusterConfig& cfg)
+    : cfg_(cfg), mem_(std::make_unique<SocMemory>()) {
+  DECIMATE_CHECK(cfg_.num_cores >= 1 && cfg_.num_cores <= 16,
+                 "cluster supports 1..16 cores, got " << cfg_.num_cores);
+  cores_.reserve(static_cast<size_t>(cfg_.num_cores));
+  for (int i = 0; i < cfg_.num_cores; ++i) {
+    cores_.emplace_back(static_cast<uint32_t>(i), *mem_, cfg_.core);
+  }
+}
+
+uint32_t Cluster::l1_data_limit() const {
+  return MemoryMap::kL1Base + MemoryMap::kL1Size -
+         static_cast<uint32_t>(cfg_.num_cores) * cfg_.stack_bytes_per_core;
+}
+
+RunResult Cluster::run(const Program& prog, uint32_t args_ptr) {
+  const uint32_t stack_top = MemoryMap::kL1Base + MemoryMap::kL1Size;
+  for (int i = 0; i < cfg_.num_cores; ++i) {
+    const uint32_t sp =
+        stack_top - static_cast<uint32_t>(i) * cfg_.stack_bytes_per_core;
+    cores_[static_cast<size_t>(i)].reset(prog.code, args_ptr, sp);
+  }
+  return cfg_.lockstep ? run_lockstep(prog, args_ptr)
+                       : run_sequential(prog, args_ptr);
+}
+
+RunResult Cluster::collect(uint64_t wall) const {
+  RunResult res;
+  res.wall_cycles = wall;
+  for (const auto& c : cores_) {
+    res.per_core.push_back(c.stats());
+    res.total_instructions += c.stats().instructions;
+    res.total_mem_stalls += c.stats().mem_stall_cycles;
+    res.total_xdec_stalls += c.stats().xdec_stall_cycles;
+  }
+  return res;
+}
+
+RunResult Cluster::run_sequential(const Program& prog, uint32_t /*args_ptr*/) {
+  (void)prog;
+  uint64_t wall = 0;
+  while (true) {
+    uint64_t epoch = 0;
+    bool all_halted = true;
+    for (auto& core : cores_) {
+      if (core.halted() || core.at_barrier()) continue;
+      epoch = std::max(epoch, core.run_segment(cfg_.max_cycles));
+      all_halted = all_halted && core.halted();
+    }
+    for (const auto& core : cores_) {
+      all_halted = all_halted && core.halted();
+    }
+    wall += epoch;
+    DECIMATE_CHECK(wall < cfg_.max_cycles, "cluster exceeded max cycles");
+    if (all_halted) break;
+    // Everyone is either halted or waiting at a barrier: release the epoch.
+    // (Halted cores count as arrived, matching the team semantics of the
+    // PULP runtime where a core that returns also joins the final barrier.)
+    bool any_barrier = false;
+    for (auto& core : cores_) {
+      if (core.at_barrier()) {
+        core.release_barrier();
+        any_barrier = true;
+      }
+    }
+    DECIMATE_CHECK(any_barrier, "cluster wedged: no runnable core");
+    wall += static_cast<uint64_t>(cfg_.barrier_cycles);
+  }
+  return collect(wall);
+}
+
+RunResult Cluster::run_lockstep(const Program& prog, uint32_t /*args_ptr*/) {
+  (void)prog;
+  const int n = cfg_.num_cores;
+  std::vector<int> wait(static_cast<size_t>(n), 0);
+  std::vector<int8_t> bank_owner(static_cast<size_t>(cfg_.tcdm_banks));
+  uint64_t wall = 0;
+  int rotate = 0;
+
+  auto all_done_or_waiting = [&]() {
+    bool all_halted = true;
+    bool all_blocked = true;
+    for (int i = 0; i < n; ++i) {
+      const auto& c = cores_[static_cast<size_t>(i)];
+      all_halted = all_halted && c.halted();
+      all_blocked = all_blocked && (c.halted() || c.at_barrier());
+    }
+    if (all_halted) return 2;
+    if (all_blocked) return 1;
+    return 0;
+  };
+
+  while (true) {
+    const int state = all_done_or_waiting();
+    if (state == 2) break;
+    if (state == 1) {
+      for (auto& c : cores_) {
+        if (c.at_barrier()) c.release_barrier();
+      }
+      wall += static_cast<uint64_t>(cfg_.barrier_cycles);
+      continue;
+    }
+    std::fill(bank_owner.begin(), bank_owner.end(), int8_t{-1});
+    for (int k = 0; k < n; ++k) {
+      const int i = (k + rotate) % n;
+      auto& core = cores_[static_cast<size_t>(i)];
+      if (core.halted() || core.at_barrier()) continue;
+      if (wait[static_cast<size_t>(i)] > 0) {
+        --wait[static_cast<size_t>(i)];
+        continue;
+      }
+      const uint32_t addr = core.peek_mem_addr();
+      if (addr != 0 && MemoryMap::in_l1(addr)) {
+        const int bank =
+            static_cast<int>((addr >> 2) % static_cast<uint32_t>(cfg_.tcdm_banks));
+        if (bank_owner[static_cast<size_t>(bank)] >= 0) {
+          // conflict: stall this cycle, retry next
+          core.mutable_stats().cycles += 1;
+          core.mutable_stats().mem_stall_cycles += 1;
+          continue;
+        }
+        bank_owner[static_cast<size_t>(bank)] = static_cast<int8_t>(i);
+      }
+      wait[static_cast<size_t>(i)] = core.step();
+    }
+    ++rotate;
+    ++wall;
+    DECIMATE_CHECK(wall < cfg_.max_cycles, "cluster exceeded max cycles");
+  }
+  return collect(wall);
+}
+
+}  // namespace decimate

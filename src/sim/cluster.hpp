@@ -1,0 +1,69 @@
+#pragma once
+// The 8-core PULP cluster model.
+//
+// Two execution modes:
+//  - Sequential (default, fast): each core runs to the next barrier/halt
+//    independently; wall cycles of an epoch = max over cores. Valid because
+//    the kernels partition work disjointly between barriers.
+//  - Lockstep: cores advance cycle-by-cycle with word-interleaved TCDM bank
+//    arbitration (rotating priority), modelling L1 contention. Used by the
+//    TCDM-contention ablation (E12).
+
+#include <memory>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/memory.hpp"
+
+namespace decimate {
+
+struct ClusterConfig {
+  int num_cores = 8;
+  CoreConfig core;
+  bool lockstep = false;
+  int tcdm_banks = 16;
+  int barrier_cycles = 8;  // event-unit round trip per barrier epoch
+  uint64_t max_cycles = 1ull << 40;
+  uint32_t stack_bytes_per_core = 512;
+};
+
+struct RunResult {
+  uint64_t wall_cycles = 0;
+  uint64_t total_instructions = 0;
+  uint64_t total_mem_stalls = 0;
+  uint64_t total_xdec_stalls = 0;
+  std::vector<CoreStats> per_core;
+
+  /// Sum of one opcode across cores.
+  uint64_t count(Opcode op) const {
+    uint64_t n = 0;
+    for (const auto& cs : per_core) n += cs.count(op);
+    return n;
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg = {});
+
+  SocMemory& mem() { return *mem_; }
+  const ClusterConfig& config() const { return cfg_; }
+  int num_cores() const { return cfg_.num_cores; }
+
+  /// Highest L1 address usable for data (below the per-core stacks).
+  uint32_t l1_data_limit() const;
+
+  /// Run `prog` on all cores (a0 = args_ptr on every core) until all halt.
+  RunResult run(const Program& prog, uint32_t args_ptr);
+
+ private:
+  RunResult run_sequential(const Program& prog, uint32_t args_ptr);
+  RunResult run_lockstep(const Program& prog, uint32_t args_ptr);
+  RunResult collect(uint64_t wall) const;
+
+  ClusterConfig cfg_;
+  std::unique_ptr<SocMemory> mem_;
+  std::vector<Core> cores_;
+};
+
+}  // namespace decimate

@@ -1,0 +1,307 @@
+#include "sim/core.hpp"
+
+#include "common/bitutil.hpp"
+
+namespace decimate {
+
+Core::Core(uint32_t hartid, SocMemory& mem, const CoreConfig& cfg)
+    : hartid_(hartid), mem_(mem), cfg_(cfg) {}
+
+void Core::reset(std::span<const Instr> program, uint32_t arg0, uint32_t sp) {
+  prog_ = program;
+  regs_.fill(0);
+  regs_[reg::a0] = arg0;
+  regs_[reg::sp] = sp;
+  pc_ = 0;
+  xdec_csr_ = 0;
+  halted_ = program.empty();
+  at_barrier_ = false;
+  prev_was_xdec_ = false;
+  loops_ = {};
+}
+
+void Core::advance_pc(uint32_t next) {
+  // Hardware-loop handling: if the executed instruction sits at the end of
+  // an active loop with remaining iterations, jump to the loop start with
+  // zero overhead. Loop 0 is the innermost and is checked first (RI5CY).
+  for (auto& lp : loops_) {
+    if (lp.count > 1 && pc_ == lp.end) {
+      --lp.count;
+      pc_ = lp.start;
+      return;
+    }
+    if (lp.count == 1 && pc_ == lp.end) {
+      lp.count = 0;  // loop exhausted
+      break;
+    }
+  }
+  pc_ = next;
+}
+
+uint32_t Core::peek_mem_addr() const {
+  if (halted_ || at_barrier_ || pc_ >= prog_.size()) return 0;
+  const Instr& in = prog_[pc_];
+  switch (in.op) {
+    case Opcode::kLb: case Opcode::kLbu: case Opcode::kLh: case Opcode::kLhu:
+    case Opcode::kLw: case Opcode::kSb: case Opcode::kSh: case Opcode::kSw:
+      return regs_[in.rs1] + static_cast<uint32_t>(in.imm);
+    case Opcode::kLbPi: case Opcode::kLbuPi: case Opcode::kLhuPi:
+    case Opcode::kLwPi: case Opcode::kSbPi: case Opcode::kSwPi:
+      return regs_[in.rs1];
+    case Opcode::kLbRr: case Opcode::kLbuRr: case Opcode::kLwRr:
+      return regs_[in.rs1] + regs_[in.rs2];
+    case Opcode::kPvLbIns: {
+      const unsigned lane = in.aux & 3;
+      const unsigned lm = in.aux >> 2;
+      return regs_[in.rs1] + regs_[in.rs2] + (lm ? (lane << lm) : 0u);
+    }
+    case Opcode::kXdec: {
+      const uint32_t csr = xdec_csr_;
+      const uint32_t rs2v = regs_[in.rs2];
+      const uint32_t o = (in.aux == 4) ? bits(rs2v, (csr & 15) * 2 + 1, (csr & 15) * 2)
+                                       : bits(rs2v, (csr & 7) * 4 + 3, (csr & 7) * 4);
+      return regs_[in.rs1] + in.aux * bits(csr, 15, 1) + o;
+    }
+    default:
+      return 0;
+  }
+}
+
+int Core::step() {
+  DECIMATE_CHECK(!halted_ && !at_barrier_, "step() on inactive core");
+  DECIMATE_CHECK(pc_ < prog_.size(), "pc out of program bounds: " << pc_);
+  const Instr& in = prog_[pc_];
+  auto& r = regs_;
+  const uint32_t rs1v = r[in.rs1];
+  const uint32_t rs2v = r[in.rs2];
+  auto wr = [&](uint32_t v) {
+    if (in.rd != 0) r[in.rd] = v;
+  };
+
+  ++stats_.instructions;
+  ++stats_.cycles;
+  ++stats_.opcode_histogram[static_cast<size_t>(in.op)];
+
+  int extra = 0;
+  uint32_t next = pc_ + 1;
+  bool is_xdec = false;
+
+  auto mem_penalty = [&](uint32_t addr) {
+    if (MemoryMap::in_l1(addr)) return;
+    extra += (MemoryMap::in_l2(addr)) ? cfg_.l2_access_penalty
+                                      : cfg_.l3_access_penalty;
+  };
+  auto take_branch = [&](bool cond) {
+    if (cond) {
+      next = static_cast<uint32_t>(in.imm);
+      extra += cfg_.branch_taken_penalty;
+      ++stats_.taken_branches;
+    }
+  };
+
+  switch (in.op) {
+    using enum Opcode;
+    // --- ALU ---
+    case kAdd: wr(rs1v + rs2v); break;
+    case kSub: wr(rs1v - rs2v); break;
+    case kAnd: wr(rs1v & rs2v); break;
+    case kOr: wr(rs1v | rs2v); break;
+    case kXor: wr(rs1v ^ rs2v); break;
+    case kSll: wr(rs1v << (rs2v & 31)); break;
+    case kSrl: wr(rs1v >> (rs2v & 31)); break;
+    case kSra: wr(static_cast<uint32_t>(static_cast<int32_t>(rs1v) >> (rs2v & 31))); break;
+    case kSlt: wr(static_cast<int32_t>(rs1v) < static_cast<int32_t>(rs2v) ? 1 : 0); break;
+    case kSltu: wr(rs1v < rs2v ? 1 : 0); break;
+    case kMul: wr(rs1v * rs2v); break;
+    case kMulh:
+      wr(static_cast<uint32_t>(
+          (static_cast<int64_t>(static_cast<int32_t>(rs1v)) *
+           static_cast<int64_t>(static_cast<int32_t>(rs2v))) >> 32));
+      break;
+    case kDiv:
+      wr(rs2v == 0 ? ~0u
+                   : static_cast<uint32_t>(static_cast<int32_t>(rs1v) /
+                                           static_cast<int32_t>(rs2v)));
+      extra += cfg_.div_penalty;
+      break;
+    case kDivu:
+      wr(rs2v == 0 ? ~0u : rs1v / rs2v);
+      extra += cfg_.div_penalty;
+      break;
+    case kRem:
+      wr(rs2v == 0 ? rs1v
+                   : static_cast<uint32_t>(static_cast<int32_t>(rs1v) %
+                                           static_cast<int32_t>(rs2v)));
+      extra += cfg_.div_penalty;
+      break;
+    case kAddi: wr(rs1v + static_cast<uint32_t>(in.imm)); break;
+    case kAndi: wr(rs1v & static_cast<uint32_t>(in.imm)); break;
+    case kOri: wr(rs1v | static_cast<uint32_t>(in.imm)); break;
+    case kXori: wr(rs1v ^ static_cast<uint32_t>(in.imm)); break;
+    case kSlli: wr(rs1v << (in.imm & 31)); break;
+    case kSrli: wr(rs1v >> (in.imm & 31)); break;
+    case kSrai: wr(static_cast<uint32_t>(static_cast<int32_t>(rs1v) >> (in.imm & 31))); break;
+    case kSlti: wr(static_cast<int32_t>(rs1v) < in.imm ? 1 : 0); break;
+    case kSltiu: wr(rs1v < static_cast<uint32_t>(in.imm) ? 1 : 0); break;
+    case kLui: wr(static_cast<uint32_t>(in.imm) << 12); break;
+    case kPClip: wr(static_cast<uint32_t>(clip_signed(static_cast<int32_t>(rs1v), in.aux))); break;
+    case kPMax: wr(static_cast<int32_t>(rs1v) > static_cast<int32_t>(rs2v) ? rs1v : rs2v); break;
+    case kPMin: wr(static_cast<int32_t>(rs1v) < static_cast<int32_t>(rs2v) ? rs1v : rs2v); break;
+
+    // --- loads / stores ---
+    case kLb: { const uint32_t a = rs1v + static_cast<uint32_t>(in.imm); mem_penalty(a);
+      wr(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(mem_.read8(a))))); break; }
+    case kLbu: { const uint32_t a = rs1v + static_cast<uint32_t>(in.imm); mem_penalty(a);
+      wr(mem_.read8(a)); break; }
+    case kLh: { const uint32_t a = rs1v + static_cast<uint32_t>(in.imm); mem_penalty(a);
+      wr(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(mem_.read16(a))))); break; }
+    case kLhu: { const uint32_t a = rs1v + static_cast<uint32_t>(in.imm); mem_penalty(a);
+      wr(mem_.read16(a)); break; }
+    case kLw: { const uint32_t a = rs1v + static_cast<uint32_t>(in.imm); mem_penalty(a);
+      wr(mem_.read32(a)); break; }
+    case kSb: mem_penalty(rs1v + static_cast<uint32_t>(in.imm));
+      mem_.write8(rs1v + static_cast<uint32_t>(in.imm), static_cast<uint8_t>(rs2v)); break;
+    case kSh: mem_penalty(rs1v + static_cast<uint32_t>(in.imm));
+      mem_.write16(rs1v + static_cast<uint32_t>(in.imm), static_cast<uint16_t>(rs2v)); break;
+    case kSw: mem_penalty(rs1v + static_cast<uint32_t>(in.imm));
+      mem_.write32(rs1v + static_cast<uint32_t>(in.imm), rs2v); break;
+
+    // --- XpulpV2 post-increment (access mem[rs1], then rs1 += imm) ---
+    case kLbPi: mem_penalty(rs1v);
+      wr(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(mem_.read8(rs1v)))));
+      r[in.rs1] = rs1v + static_cast<uint32_t>(in.imm); break;
+    case kLbuPi: mem_penalty(rs1v); wr(mem_.read8(rs1v));
+      r[in.rs1] = rs1v + static_cast<uint32_t>(in.imm); break;
+    case kLhuPi: mem_penalty(rs1v); wr(mem_.read16(rs1v));
+      r[in.rs1] = rs1v + static_cast<uint32_t>(in.imm); break;
+    case kLwPi: mem_penalty(rs1v); wr(mem_.read32(rs1v));
+      r[in.rs1] = rs1v + static_cast<uint32_t>(in.imm); break;
+    case kSbPi: mem_penalty(rs1v); mem_.write8(rs1v, static_cast<uint8_t>(rs2v));
+      r[in.rs1] = rs1v + static_cast<uint32_t>(in.imm); break;
+    case kSwPi: mem_penalty(rs1v); mem_.write32(rs1v, rs2v);
+      r[in.rs1] = rs1v + static_cast<uint32_t>(in.imm); break;
+
+    // --- register-register addressing ---
+    case kLbRr: { const uint32_t a = rs1v + rs2v; mem_penalty(a);
+      wr(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(mem_.read8(a))))); break; }
+    case kLbuRr: { const uint32_t a = rs1v + rs2v; mem_penalty(a); wr(mem_.read8(a)); break; }
+    case kLwRr: { const uint32_t a = rs1v + rs2v; mem_penalty(a); wr(mem_.read32(a)); break; }
+
+    // --- branches / jumps ---
+    case kBeq: take_branch(rs1v == rs2v); break;
+    case kBne: take_branch(rs1v != rs2v); break;
+    case kBlt: take_branch(static_cast<int32_t>(rs1v) < static_cast<int32_t>(rs2v)); break;
+    case kBge: take_branch(static_cast<int32_t>(rs1v) >= static_cast<int32_t>(rs2v)); break;
+    case kBltu: take_branch(rs1v < rs2v); break;
+    case kBgeu: take_branch(rs1v >= rs2v); break;
+    case kJal:
+      wr((pc_ + 1) * 4);
+      next = static_cast<uint32_t>(in.imm);
+      extra += cfg_.branch_taken_penalty;
+      break;
+    case kJalr:
+      wr((pc_ + 1) * 4);
+      next = (rs1v + static_cast<uint32_t>(in.imm)) / 4;
+      extra += cfg_.branch_taken_penalty;
+      break;
+
+    // --- hardware loops ---
+    case kLpSetup: {
+      auto& lp = loops_[in.aux & 1];
+      DECIMATE_CHECK(rs1v >= 1, "lp.setup with zero trip count at pc " << pc_);
+      lp.start = pc_ + 1;
+      lp.end = static_cast<uint32_t>(in.imm);
+      lp.count = rs1v;
+      break;
+    }
+    case kLpSetupImm: {
+      auto& lp = loops_[in.aux & 1];
+      lp.start = pc_ + 1;
+      lp.end = static_cast<uint32_t>(in.imm);
+      lp.count = static_cast<uint32_t>(in.imm2);
+      break;
+    }
+
+    // --- SIMD ---
+    case kPvSdotspB: wr(r[in.rd] + static_cast<uint32_t>(sdot4(rs1v, rs2v))); break;
+    case kPvAddB: {
+      uint32_t out = 0;
+      for (unsigned l = 0; l < 4; ++l) {
+        out |= (static_cast<uint32_t>(
+                    static_cast<uint8_t>(lane_b(rs1v, l) + lane_b(rs2v, l))))
+               << (8 * l);
+      }
+      wr(out);
+      break;
+    }
+    case kPvMaxB: {
+      uint32_t out = 0;
+      for (unsigned l = 0; l < 4; ++l) {
+        const int8_t m = std::max(lane_b(rs1v, l), lane_b(rs2v, l));
+        out |= static_cast<uint32_t>(static_cast<uint8_t>(m)) << (8 * l);
+      }
+      wr(out);
+      break;
+    }
+    case kPvLbIns: {
+      const unsigned lane = in.aux & 3;
+      const unsigned lm = in.aux >> 2;  // log2 of the lane stride, 0 = none
+      const uint32_t a = rs1v + rs2v + (lm ? (lane << lm) : 0u);
+      mem_penalty(a);
+      uint32_t v = r[in.rd];
+      v = (v & ~(0xFFu << (8 * lane))) |
+          (static_cast<uint32_t>(mem_.read8(a)) << (8 * lane));
+      wr(v);
+      break;
+    }
+
+    // --- xDecimate (Sec. 4.3 of the paper) ---
+    case kXdec: {
+      is_xdec = true;
+      if (prev_was_xdec_ && !cfg_.xdec_forwarding) {
+        // csr is a distance-1 dependency between consecutive xDecimate
+        // instructions; without the WB->EX forwarding path the second one
+        // stalls for one cycle.
+        extra += 1;
+        ++stats_.xdec_stall_cycles;
+      }
+      const uint32_t csr = xdec_csr_;
+      const uint32_t o =
+          (in.aux == 4) ? bits(rs2v, (csr & 15) * 2 + 1, (csr & 15) * 2)
+                        : bits(rs2v, (csr & 7) * 4 + 3, (csr & 7) * 4);
+      const uint32_t addr = rs1v + in.aux * bits(csr, 15, 1) + o;
+      mem_penalty(addr);
+      const unsigned lane = bits(csr, 2, 1);
+      uint32_t v = r[in.rd];
+      v = (v & ~(0xFFu << (8 * lane))) |
+          (static_cast<uint32_t>(mem_.read8(addr)) << (8 * lane));
+      wr(v);
+      xdec_csr_ = csr + 1;
+      break;
+    }
+    case kXdecClear: xdec_csr_ = 0; break;
+
+    // --- system ---
+    case kHartid: wr(hartid_); break;
+    case kBarrier: at_barrier_ = true; break;
+    case kHalt: halted_ = true; break;
+    case kCount: DECIMATE_FAIL("invalid opcode");
+  }
+
+  prev_was_xdec_ = is_xdec;
+  stats_.cycles += static_cast<uint64_t>(extra);
+  advance_pc(next);
+  return extra;
+}
+
+uint64_t Core::run_segment(uint64_t max_cycles) {
+  const uint64_t start = stats_.cycles;
+  while (!halted_ && !at_barrier_) {
+    step();
+    DECIMATE_CHECK(stats_.cycles - start < max_cycles,
+                   "core " << hartid_ << " exceeded max cycles; runaway loop?");
+  }
+  return stats_.cycles - start;
+}
+
+}  // namespace decimate

@@ -1,0 +1,105 @@
+#pragma once
+// Single RI5CY-class core: RV32IM subset + XpulpV2 subset + xDecimate.
+//
+// Timing model (cycle-approximate, matching the paper's analysis where
+// MACs/instruction ≈ MACs/cycle in hardware-loop bodies):
+//   - 1 cycle per instruction
+//   - +1 cycle for taken branches and jumps (pipeline flush)
+//   - hardware-loop back-edges are free (that is their purpose)
+//   - L1 loads/stores are single-cycle; L2/L3 accesses from the core pay a
+//     latency penalty (kernels are expected to touch only L1)
+//   - DIV/REM pay a serial-divider penalty
+//   - optional: +1 stall for an xDecimate immediately following another
+//     xDecimate when the WB->EX forwarding path is disabled (the csr is a
+//     distance-1 dependency; see Sec. 4.3 of the paper and hw/xfu_model)
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "isa/instr.hpp"
+#include "sim/memory.hpp"
+
+namespace decimate {
+
+struct CoreConfig {
+  int branch_taken_penalty = 1;  // extra cycles on taken branch/jump
+  int div_penalty = 31;          // extra cycles for div/rem
+  int l2_access_penalty = 8;     // extra cycles for a core-issued L2 access
+  int l3_access_penalty = 40;    // extra cycles for a core-issued L3 access
+  bool xdec_forwarding = true;   // WB->EX forwarding inside the XFU
+};
+
+struct CoreStats {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t taken_branches = 0;
+  uint64_t mem_stall_cycles = 0;   // TCDM contention (lockstep mode)
+  uint64_t xdec_stall_cycles = 0;  // missing-forwarding stalls
+  std::array<uint64_t, kNumOpcodes> opcode_histogram{};
+
+  uint64_t count(Opcode op) const {
+    return opcode_histogram[static_cast<size_t>(op)];
+  }
+};
+
+class Core {
+ public:
+  Core(uint32_t hartid, SocMemory& mem, const CoreConfig& cfg);
+
+  /// Reset architectural state and bind a program; a0 <- arg0, sp <- stack.
+  void reset(std::span<const Instr> program, uint32_t arg0, uint32_t sp);
+
+  /// Execute one instruction. Returns extra wait cycles beyond the one
+  /// accounted cycle (multi-cycle instructions, used by lockstep mode).
+  int step();
+
+  /// Run until HALT or BARRIER (sequential mode). Returns cycles spent in
+  /// this segment. `max_cycles` guards against runaway programs.
+  uint64_t run_segment(uint64_t max_cycles = (1ull << 40));
+
+  bool halted() const { return halted_; }
+  bool at_barrier() const { return at_barrier_; }
+  /// Release a core that is waiting at a barrier.
+  void release_barrier() { at_barrier_ = false; }
+
+  /// Address of the data-memory access the *next* instruction will make,
+  /// or 0 if it does not access memory (TCDM bank arbitration, lockstep).
+  uint32_t peek_mem_addr() const;
+
+  uint32_t hartid() const { return hartid_; }
+  const CoreStats& stats() const { return stats_; }
+  CoreStats& mutable_stats() { return stats_; }
+  uint32_t reg(uint8_t r) const { return regs_[r]; }
+  void set_reg(uint8_t r, uint32_t v) {
+    if (r != 0) regs_[r] = v;
+  }
+  uint32_t pc() const { return pc_; }
+  uint32_t xdec_csr() const { return xdec_csr_; }
+
+ private:
+  void advance_pc(uint32_t next);
+
+  uint32_t hartid_;
+  SocMemory& mem_;
+  CoreConfig cfg_;
+  std::span<const Instr> prog_;
+
+  std::array<uint32_t, 32> regs_{};
+  uint32_t pc_ = 0;
+  uint32_t xdec_csr_ = 0;
+  bool halted_ = true;
+  bool at_barrier_ = false;
+  bool prev_was_xdec_ = false;
+
+  struct HwLoop {
+    uint32_t start = 0;
+    uint32_t end = 0;
+    uint32_t count = 0;
+  };
+  std::array<HwLoop, 2> loops_{};
+
+  CoreStats stats_;
+};
+
+}  // namespace decimate

@@ -1,0 +1,83 @@
+#include "sim/memory.hpp"
+
+#include <cstring>
+
+namespace decimate {
+
+SocMemory::SocMemory()
+    : l1_(MemoryMap::kL1Size, 0),
+      l2_(MemoryMap::kL2Size, 0),
+      l3_(MemoryMap::kL3Size, 0) {}
+
+const uint8_t* SocMemory::ptr(uint32_t addr, uint32_t len) const {
+  if (MemoryMap::in_l1(addr) && MemoryMap::in_l1(addr + len - 1)) {
+    return l1_.data() + (addr - MemoryMap::kL1Base);
+  }
+  if (MemoryMap::in_l2(addr) && MemoryMap::in_l2(addr + len - 1)) {
+    return l2_.data() + (addr - MemoryMap::kL2Base);
+  }
+  if (MemoryMap::in_l3(addr) && MemoryMap::in_l3(addr + len - 1)) {
+    return l3_.data() + (addr - MemoryMap::kL3Base);
+  }
+  DECIMATE_FAIL("unmapped or straddling memory access at 0x" << std::hex
+                                                             << addr);
+}
+
+uint8_t* SocMemory::mut_ptr(uint32_t addr, uint32_t len) {
+  return const_cast<uint8_t*>(ptr(addr, len));
+}
+
+uint16_t SocMemory::read16(uint32_t addr) const {
+  DECIMATE_CHECK((addr & 1) == 0, "misaligned halfword load at 0x" << std::hex << addr);
+  uint16_t v;
+  std::memcpy(&v, ptr(addr, 2), 2);
+  return v;
+}
+
+uint32_t SocMemory::read32(uint32_t addr) const {
+  DECIMATE_CHECK((addr & 3) == 0, "misaligned word load at 0x" << std::hex << addr);
+  uint32_t v;
+  std::memcpy(&v, ptr(addr, 4), 4);
+  return v;
+}
+
+void SocMemory::write16(uint32_t addr, uint16_t v) {
+  DECIMATE_CHECK((addr & 1) == 0, "misaligned halfword store at 0x" << std::hex << addr);
+  std::memcpy(mut_ptr(addr, 2), &v, 2);
+}
+
+void SocMemory::write32(uint32_t addr, uint32_t v) {
+  DECIMATE_CHECK((addr & 3) == 0, "misaligned word store at 0x" << std::hex << addr);
+  std::memcpy(mut_ptr(addr, 4), &v, 4);
+}
+
+MemRegion SocMemory::region(uint32_t addr) const {
+  if (MemoryMap::in_l1(addr)) return MemRegion::kL1;
+  if (MemoryMap::in_l2(addr)) return MemRegion::kL2;
+  if (MemoryMap::in_l3(addr)) return MemRegion::kL3;
+  DECIMATE_FAIL("unmapped address 0x" << std::hex << addr);
+}
+
+void SocMemory::write_block(uint32_t addr, std::span<const uint8_t> data) {
+  if (data.empty()) return;
+  std::memcpy(mut_ptr(addr, static_cast<uint32_t>(data.size())), data.data(),
+              data.size());
+}
+
+void SocMemory::read_block(uint32_t addr, std::span<uint8_t> out) const {
+  if (out.empty()) return;
+  std::memcpy(out.data(), ptr(addr, static_cast<uint32_t>(out.size())),
+              out.size());
+}
+
+void SocMemory::fill(uint32_t addr, uint32_t len, uint8_t value) {
+  if (len == 0) return;
+  std::memset(mut_ptr(addr, len), value, len);
+}
+
+void SocMemory::copy(uint32_t dst, uint32_t src, uint32_t len) {
+  if (len == 0) return;
+  std::memmove(mut_ptr(dst, len), ptr(src, len), len);
+}
+
+}  // namespace decimate

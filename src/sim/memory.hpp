@@ -1,0 +1,50 @@
+#pragma once
+// Functional model of the SoC data memories (L1/L2/L3) with a flat host
+// backing store per region. Alignment is enforced for halfword/word
+// accesses, as on RI5CY with unaligned support disabled.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/memory_map.hpp"
+
+namespace decimate {
+
+class SocMemory {
+ public:
+  SocMemory();
+
+  // --- core-facing accessors (hot path) ---
+  uint8_t read8(uint32_t addr) const { return *ptr(addr, 1); }
+  uint16_t read16(uint32_t addr) const;
+  uint32_t read32(uint32_t addr) const;
+  void write8(uint32_t addr, uint8_t v) { *mut_ptr(addr, 1) = v; }
+  void write16(uint32_t addr, uint16_t v);
+  void write32(uint32_t addr, uint32_t v);
+
+  /// Region of an address (throws on unmapped).
+  MemRegion region(uint32_t addr) const;
+
+  // --- host-facing bulk accessors (used by launchers, DMA, tests) ---
+  void write_block(uint32_t addr, std::span<const uint8_t> data);
+  void read_block(uint32_t addr, std::span<uint8_t> out) const;
+  void fill(uint32_t addr, uint32_t len, uint8_t value);
+  /// Functional copy between any two mapped ranges (the DMA datapath).
+  void copy(uint32_t dst, uint32_t src, uint32_t len);
+
+  /// Host view of one full region (for checkpointing in tests).
+  std::span<const uint8_t> l1() const { return l1_; }
+  std::span<const uint8_t> l2() const { return l2_; }
+
+ private:
+  const uint8_t* ptr(uint32_t addr, uint32_t len) const;
+  uint8_t* mut_ptr(uint32_t addr, uint32_t len);
+
+  std::vector<uint8_t> l1_;
+  std::vector<uint8_t> l2_;
+  std::vector<uint8_t> l3_;
+};
+
+}  // namespace decimate

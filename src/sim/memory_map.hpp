@@ -1,0 +1,31 @@
+#pragma once
+// Address map of the simulated SoC, mirroring the Vega memory hierarchy
+// (Rossi et al., 2021): a 128 kB shared L1 TCDM inside the cluster, a
+// 1.6 MB L2, and a 16 MB external L3 (HyperRAM-class).
+
+#include <cstdint>
+
+namespace decimate {
+
+enum class MemRegion : uint8_t { kL1, kL2, kL3 };
+
+struct MemoryMap {
+  static constexpr uint32_t kL1Base = 0x10000000;
+  static constexpr uint32_t kL1Size = 128 * 1024;
+  static constexpr uint32_t kL2Base = 0x1C000000;
+  static constexpr uint32_t kL2Size = 1600 * 1024;
+  static constexpr uint32_t kL3Base = 0x80000000;
+  static constexpr uint32_t kL3Size = 16 * 1024 * 1024;
+
+  static constexpr bool in_l1(uint32_t a) {
+    return a >= kL1Base && a < kL1Base + kL1Size;
+  }
+  static constexpr bool in_l2(uint32_t a) {
+    return a >= kL2Base && a < kL2Base + kL2Size;
+  }
+  static constexpr bool in_l3(uint32_t a) {
+    return a >= kL3Base && a < kL3Base + kL3Size;
+  }
+};
+
+}  // namespace decimate

@@ -1,0 +1,84 @@
+#include "common/bitutil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decimate {
+namespace {
+
+TEST(BitUtil, BitsExtractsInclusiveRange) {
+  EXPECT_EQ(bits(0xDEADBEEF, 7, 0), 0xEFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 28), 0xDu);
+  EXPECT_EQ(bits(0xDEADBEEF, 15, 8), 0xBEu);
+  EXPECT_EQ(bits(0xFFFFFFFF, 31, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(bits(0x00000000, 31, 0), 0u);
+}
+
+TEST(BitUtil, SetBitsWritesField) {
+  EXPECT_EQ(set_bits(0, 7, 4, 0xA), 0xA0u);
+  EXPECT_EQ(set_bits(0xFFFFFFFF, 7, 4, 0), 0xFFFFFF0Fu);
+  EXPECT_EQ(set_bits(0, 31, 0, 0x12345678), 0x12345678u);
+  // value is masked to the field width
+  EXPECT_EQ(set_bits(0, 3, 0, 0x1F), 0xFu);
+}
+
+TEST(BitUtil, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+  EXPECT_EQ(sign_extend(0x0, 12), 0);
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+}
+
+TEST(BitUtil, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 4), 3);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+}
+
+TEST(BitUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(16), 4u);
+}
+
+TEST(BitUtil, PackAndLane) {
+  const uint32_t w = pack_b4(1, -2, 3, -4);
+  EXPECT_EQ(lane_b(w, 0), 1);
+  EXPECT_EQ(lane_b(w, 1), -2);
+  EXPECT_EQ(lane_b(w, 2), 3);
+  EXPECT_EQ(lane_b(w, 3), -4);
+}
+
+TEST(BitUtil, Sdot4MatchesScalar) {
+  const uint32_t a = pack_b4(10, -20, 30, -40);
+  const uint32_t b = pack_b4(-1, 2, -3, 4);
+  EXPECT_EQ(sdot4(a, b), 10 * -1 + -20 * 2 + 30 * -3 + -40 * 4);
+  EXPECT_EQ(sdot4(pack_b4(127, 127, 127, 127), pack_b4(127, 127, 127, 127)),
+            4 * 127 * 127);
+  EXPECT_EQ(sdot4(pack_b4(-128, -128, -128, -128),
+                  pack_b4(127, 127, 127, 127)),
+            4 * -128 * 127);
+}
+
+TEST(BitUtil, ClipSigned) {
+  EXPECT_EQ(clip_signed(300, 8), 127);
+  EXPECT_EQ(clip_signed(-300, 8), -128);
+  EXPECT_EQ(clip_signed(5, 8), 5);
+  EXPECT_EQ(clip_signed(-5, 8), -5);
+  EXPECT_EQ(clip_signed(127, 8), 127);
+  EXPECT_EQ(clip_signed(-128, 8), -128);
+  EXPECT_EQ(clip_signed(40000, 16), 32767);
+}
+
+TEST(BitUtil, NarrowThrowsOnLoss) {
+  EXPECT_EQ(narrow<int8_t>(100), 100);
+  EXPECT_THROW(narrow<int8_t>(300), Error);
+  EXPECT_THROW(narrow<uint8_t>(-1), Error);
+}
+
+}  // namespace
+}  // namespace decimate

@@ -1,0 +1,116 @@
+#include "isa/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "isa/disasm.hpp"
+
+namespace decimate {
+namespace {
+
+using namespace reg;
+
+TEST(Builder, ForwardAndBackwardLabels) {
+  KernelBuilder b;
+  b.bind("start");
+  b.beq(a0, a1, "end");   // forward reference
+  b.addi(a0, a0, 1);
+  b.bne(a0, a1, "start");  // backward reference
+  b.bind("end");
+  b.halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.code[0].imm, 3);  // "end"
+  EXPECT_EQ(p.code[2].imm, 0);  // "start"
+  EXPECT_EQ(p.label("start"), 0);
+  EXPECT_EQ(p.label("end"), 3);
+}
+
+TEST(Builder, UndefinedLabelThrows) {
+  KernelBuilder b;
+  b.beq(a0, a1, "nowhere");
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, DuplicateLabelThrows) {
+  KernelBuilder b;
+  b.bind("x");
+  b.nop();
+  EXPECT_THROW(b.bind("x"), Error);
+}
+
+TEST(Builder, LiSmallUsesOneInstr) {
+  KernelBuilder b;
+  b.li(a0, 42);
+  b.li(a1, -42);
+  b.li(a2, 2047);
+  b.li(a3, -2048);
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 4);
+  for (const auto& in : p.code) EXPECT_EQ(in.op, Opcode::kAddi);
+}
+
+TEST(Builder, LiLargeUsesLuiAddi) {
+  KernelBuilder b;
+  b.li(a0, 0x12345678);
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 2);
+  EXPECT_EQ(p.code[0].op, Opcode::kLui);
+  EXPECT_EQ(p.code[1].op, Opcode::kAddi);
+}
+
+TEST(Builder, HwLoopRecordsEndIndex) {
+  KernelBuilder b;
+  b.li(t0, 10);
+  b.hw_loop(0, t0, [&] {
+    b.addi(a0, a0, 1);
+    b.addi(a1, a1, 1);
+  });
+  b.halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.code[1].op, Opcode::kLpSetup);
+  EXPECT_EQ(p.code[1].imm, 3);  // last body instruction
+}
+
+TEST(Builder, HwLoopBodyTooShortThrows) {
+  KernelBuilder b;
+  b.li(t0, 10);
+  EXPECT_THROW(b.hw_loop(0, t0, [&] { b.nop(); }), Error);
+}
+
+TEST(Builder, MarkersRecorded) {
+  KernelBuilder b;
+  b.nop();
+  b.marker("here");
+  b.nop();
+  b.nop();
+  b.marker("there");
+  const Program p = b.build();
+  EXPECT_EQ(p.marker("here"), 1);
+  EXPECT_EQ(p.marker("there"), 3);
+  EXPECT_EQ(p.region_length("here", "there"), 2);
+}
+
+TEST(Builder, ImmediateRangeChecked) {
+  KernelBuilder b;
+  EXPECT_THROW(b.addi(a0, a0, 5000), Error);
+  EXPECT_THROW(b.lw(a0, -3000, a1), Error);
+}
+
+TEST(Disasm, BasicFormats) {
+  KernelBuilder b;
+  b.add(a0, a1, a2);
+  b.lw(a0, 8, sp);
+  b.lw_pi(a0, a1, 4);
+  b.xdec(a0, a1, a2, 8);
+  b.pv_lb_ins(t0, 2, a1, a2, 8);
+  const Program p = b.build();
+  EXPECT_EQ(disassemble(p.code[0]), "add a0, a1, a2");
+  EXPECT_EQ(disassemble(p.code[1]), "lw a0, 8(sp)");
+  EXPECT_EQ(disassemble(p.code[2]), "p.lw! a0, 4(a1!)");
+  EXPECT_EQ(disassemble(p.code[3]), "xdecimate.m8 a0, a1, a2");
+  const std::string full = disassemble(p);
+  EXPECT_NE(full.find("xdecimate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace decimate

@@ -1,0 +1,211 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/dma.hpp"
+
+namespace decimate {
+namespace {
+
+using namespace reg;
+
+/// Each core writes its hartid at L1[base + 4*hartid], then barriers, then
+/// core 0's neighbour sum is checked by the host.
+Program make_parallel_program() {
+  KernelBuilder b;
+  b.hartid(t0);
+  b.slli(t1, t0, 2);
+  b.li(t2, static_cast<int32_t>(MemoryMap::kL1Base));
+  b.add(t2, t2, t1);
+  b.sw(t0, 0, t2);
+  b.barrier();
+  b.halt();
+  return b.build();
+}
+
+TEST(Cluster, AllCoresRunAndBarrier) {
+  Cluster cluster(ClusterConfig{});
+  const RunResult res = cluster.run(make_parallel_program(), 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(cluster.mem().read32(MemoryMap::kL1Base + 4 * i),
+              static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(res.per_core.size(), 8u);
+  EXPECT_GT(res.wall_cycles, 0u);
+}
+
+TEST(Cluster, WallCyclesIsMaxOverCoresPlusBarrier) {
+  // Core i spins i*10 iterations; wall = slowest + barrier overhead.
+  KernelBuilder b;
+  b.hartid(t0);
+  b.li(t1, 10);
+  b.mul(t0, t0, t1);
+  b.beq(t0, zero, "skip");
+  b.bind("loop");
+  b.addi(t0, t0, -1);
+  b.bne(t0, zero, "loop");
+  b.bind("skip");
+  b.barrier();
+  b.halt();
+  ClusterConfig cfg;
+  cfg.barrier_cycles = 8;
+  Cluster cluster(cfg);
+  const RunResult res = cluster.run(b.build(), 0);
+  uint64_t max_cycles = 0;
+  for (const auto& cs : res.per_core) {
+    max_cycles = std::max(max_cycles, cs.cycles);
+  }
+  EXPECT_EQ(res.wall_cycles, max_cycles + 8);
+}
+
+TEST(Cluster, MultipleBarrierEpochs) {
+  // Epoch 1: core writes hartid; epoch 2: core reads neighbour's value
+  // (written before the barrier) and stores the sum.
+  KernelBuilder b;
+  b.hartid(t0);
+  b.slli(t1, t0, 2);
+  b.li(t2, static_cast<int32_t>(MemoryMap::kL1Base));
+  b.add(t3, t2, t1);
+  b.sw(t0, 0, t3);
+  b.barrier();
+  // neighbour = (hartid + 1) % 8 without division: mask with 7
+  b.addi(t4, t0, 1);
+  b.andi(t4, t4, 7);
+  b.slli(t4, t4, 2);
+  b.add(t4, t2, t4);
+  b.lw(t5, 0, t4);
+  b.add(t5, t5, t0);
+  b.sw(t5, 64, t3);
+  b.barrier();
+  b.halt();
+  Cluster cluster(ClusterConfig{});
+  cluster.run(b.build(), 0);
+  for (int i = 0; i < 8; ++i) {
+    const uint32_t expect = static_cast<uint32_t>(i + (i + 1) % 8);
+    EXPECT_EQ(cluster.mem().read32(MemoryMap::kL1Base + 64 + 4 * i), expect);
+  }
+}
+
+TEST(Cluster, LockstepMatchesSequentialResults) {
+  ClusterConfig seq_cfg;
+  Cluster seq(seq_cfg);
+  seq.run(make_parallel_program(), 0);
+  ClusterConfig ls_cfg;
+  ls_cfg.lockstep = true;
+  Cluster ls(ls_cfg);
+  ls.run(make_parallel_program(), 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ls.mem().read32(MemoryMap::kL1Base + 4 * i),
+              seq.mem().read32(MemoryMap::kL1Base + 4 * i));
+  }
+}
+
+TEST(Cluster, LockstepBankConflictsAddStalls) {
+  // All cores hammer the same word -> same bank -> contention stalls.
+  KernelBuilder b;
+  b.li(t2, static_cast<int32_t>(MemoryMap::kL1Base));
+  b.li(t3, 64);
+  b.bind("loop");
+  b.lw(t4, 0, t2);  // same bank for every core
+  b.addi(t3, t3, -1);
+  b.bne(t3, zero, "loop");
+  b.barrier();
+  b.halt();
+  const Program conflict_prog = b.build();
+
+  // Variant: each core reads its own word in a different bank.
+  KernelBuilder b2;
+  b2.hartid(t0);
+  b2.slli(t1, t0, 2);
+  b2.li(t2, static_cast<int32_t>(MemoryMap::kL1Base));
+  b2.add(t2, t2, t1);
+  b2.li(t3, 64);
+  b2.bind("loop");
+  b2.lw(t4, 0, t2);
+  b2.addi(t3, t3, -1);
+  b2.bne(t3, zero, "loop");
+  b2.barrier();
+  b2.halt();
+  const Program spread_prog = b2.build();
+
+  ClusterConfig cfg;
+  cfg.lockstep = true;
+  Cluster c1(cfg);
+  const RunResult conflicted = c1.run(conflict_prog, 0);
+  Cluster c2(cfg);
+  const RunResult spread = c2.run(spread_prog, 0);
+  EXPECT_GT(conflicted.total_mem_stalls, 0u);
+  EXPECT_EQ(spread.total_mem_stalls, 0u);
+  EXPECT_GT(conflicted.wall_cycles, spread.wall_cycles);
+}
+
+TEST(Cluster, SingleCoreConfig) {
+  ClusterConfig cfg;
+  cfg.num_cores = 1;
+  Cluster cluster(cfg);
+  const RunResult res = cluster.run(make_parallel_program(), 0);
+  EXPECT_EQ(res.per_core.size(), 1u);
+  EXPECT_EQ(cluster.mem().read32(MemoryMap::kL1Base), 0u);
+}
+
+TEST(Dma, CostModelBasics) {
+  SocMemory mem;
+  DmaModel dma(mem);
+  const auto& cfg = dma.config();
+  EXPECT_EQ(dma.cost_1d(0, MemRegion::kL2, MemRegion::kL1), 0u);
+  EXPECT_EQ(dma.cost_1d(800, MemRegion::kL2, MemRegion::kL1),
+            cfg.l2_startup_cycles + 100);
+  EXPECT_EQ(dma.cost_1d(100, MemRegion::kL3, MemRegion::kL2),
+            cfg.l3_startup_cycles + 100);
+  // 2D adds per-row overhead
+  EXPECT_EQ(dma.cost_2d(10, 80, MemRegion::kL2, MemRegion::kL1),
+            dma.cost_1d(800, MemRegion::kL2, MemRegion::kL1) +
+                10 * cfg.per_row_cycles);
+}
+
+TEST(Dma, FunctionalCopiesMoveData) {
+  SocMemory mem;
+  DmaModel dma(mem);
+  std::vector<uint8_t> src(256);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<uint8_t>(i);
+  mem.write_block(MemoryMap::kL2Base, src);
+  const uint64_t cycles = dma.copy_1d(MemoryMap::kL1Base, MemoryMap::kL2Base, 256);
+  EXPECT_GT(cycles, 0u);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(mem.read8(MemoryMap::kL1Base + i), static_cast<uint8_t>(i));
+  }
+}
+
+TEST(Dma, Copy2dStridedGather) {
+  SocMemory mem;
+  DmaModel dma(mem);
+  // 4 rows of 8 bytes with source stride 16 -> packed destination
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      mem.write8(MemoryMap::kL2Base + r * 16 + c,
+                 static_cast<uint8_t>(r * 8 + c));
+    }
+  }
+  dma.copy_2d(MemoryMap::kL1Base, MemoryMap::kL2Base, 4, 8, 8, 16);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(mem.read8(MemoryMap::kL1Base + i), static_cast<uint8_t>(i));
+  }
+}
+
+TEST(Memory, AlignmentEnforced) {
+  SocMemory mem;
+  EXPECT_THROW(mem.read32(MemoryMap::kL1Base + 2), Error);
+  EXPECT_THROW(mem.read16(MemoryMap::kL1Base + 1), Error);
+  EXPECT_THROW(mem.write32(MemoryMap::kL1Base + 1, 0), Error);
+}
+
+TEST(Memory, UnmappedAccessThrows) {
+  SocMemory mem;
+  EXPECT_THROW(mem.read8(0x0), Error);
+  EXPECT_THROW(mem.read8(MemoryMap::kL1Base + MemoryMap::kL1Size), Error);
+  EXPECT_THROW((void)mem.region(0x500), Error);
+}
+
+}  // namespace
+}  // namespace decimate

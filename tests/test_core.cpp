@@ -1,0 +1,301 @@
+#include "sim/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hpp"
+#include "isa/builder.hpp"
+
+namespace decimate {
+namespace {
+
+using namespace reg;
+
+struct CoreRig {
+  SocMemory mem;
+  CoreConfig cfg;
+  Program prog;
+
+  Core run(KernelBuilder& b, uint32_t arg0 = 0) {
+    b.halt();
+    prog = b.build();
+    Core core(0, mem, cfg);
+    core.reset(prog.code, arg0, MemoryMap::kL1Base + MemoryMap::kL1Size);
+    core.run_segment();
+    return core;
+  }
+};
+
+TEST(Core, AluBasics) {
+  CoreRig rig;
+  KernelBuilder b;
+  b.li(a0, 7);
+  b.li(a1, -3);
+  b.add(a2, a0, a1);    // 4
+  b.sub(a3, a0, a1);    // 10
+  b.mul(a4, a0, a1);    // -21
+  b.and_(a5, a0, a1);   // 7 & -3 = 5
+  b.xor_(a6, a0, a1);   // 7 ^ -3
+  b.slt(a7, a1, a0);    // 1
+  b.sltu(t0, a0, a1);   // 7 < 0xFFFFFFFD unsigned -> 1
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a2), 4u);
+  EXPECT_EQ(c.reg(a3), 10u);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a4)), -21);
+  EXPECT_EQ(c.reg(a5), 5u);
+  EXPECT_EQ(c.reg(a6), static_cast<uint32_t>(7 ^ -3));
+  EXPECT_EQ(c.reg(a7), 1u);
+  EXPECT_EQ(c.reg(t0), 1u);
+}
+
+TEST(Core, ShiftsAndClip) {
+  CoreRig rig;
+  KernelBuilder b;
+  b.li(a0, -256);
+  b.srai(a1, a0, 4);  // -16
+  b.srli(a2, a0, 28);
+  b.slli(a3, a0, 2);
+  b.li(a4, 300);
+  b.pclip(a5, a4, 8);  // 127
+  b.li(a6, -300);
+  b.pclip(a7, a6, 8);  // -128
+  const Core c = rig.run(b);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a1)), -16);
+  EXPECT_EQ(c.reg(a2), 0xFu);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a3)), -1024);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a5)), 127);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a7)), -128);
+}
+
+TEST(Core, MulhDivRem) {
+  CoreRig rig;
+  KernelBuilder b;
+  b.li(a0, 1 << 20);
+  b.li(a1, 1 << 15);
+  b.mulh(a2, a0, a1);  // (2^35) >> 32 = 8
+  b.li(a3, -100);
+  b.li(a4, 7);
+  b.div(a5, a3, a4);   // -14
+  b.rem(a6, a3, a4);   // -2
+  b.li(t0, 100);
+  b.divu(t1, t0, a4);  // 14
+  b.div(t2, t0, zero); // div by zero -> -1
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a2), 8u);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a5)), -14);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a6)), -2);
+  EXPECT_EQ(c.reg(t1), 14u);
+  EXPECT_EQ(c.reg(t2), 0xFFFFFFFFu);
+}
+
+TEST(Core, LoadsStoresAndSignExtension) {
+  CoreRig rig;
+  const uint32_t base = MemoryMap::kL1Base;
+  rig.mem.write8(base + 0, 0x80);      // -128 as int8
+  rig.mem.write16(base + 2, 0x8000);   // -32768 as int16
+  rig.mem.write32(base + 4, 0xDEADBEEF);
+  KernelBuilder b;
+  b.li(a0, static_cast<int32_t>(base));
+  b.lb(a1, 0, a0);
+  b.lbu(a2, 0, a0);
+  b.lh(a3, 2, a0);
+  b.lhu(a4, 2, a0);
+  b.lw(a5, 4, a0);
+  b.li(t0, -77);
+  b.sb(t0, 8, a0);
+  b.lb(a6, 8, a0);
+  b.li(t1, 0x1234);
+  b.sh(t1, 10, a0);
+  b.lhu(a7, 10, a0);
+  const Core c = rig.run(b);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a1)), -128);
+  EXPECT_EQ(c.reg(a2), 0x80u);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a3)), -32768);
+  EXPECT_EQ(c.reg(a4), 0x8000u);
+  EXPECT_EQ(c.reg(a5), 0xDEADBEEFu);
+  EXPECT_EQ(static_cast<int32_t>(c.reg(a6)), -77);
+  EXPECT_EQ(c.reg(a7), 0x1234u);
+}
+
+TEST(Core, PostIncrementLoadsAdvancePointer) {
+  CoreRig rig;
+  const uint32_t base = MemoryMap::kL1Base;
+  rig.mem.write32(base + 0, 0x11111111);
+  rig.mem.write32(base + 4, 0x22222222);
+  KernelBuilder b;
+  b.li(a0, static_cast<int32_t>(base));
+  b.lw_pi(a1, a0, 4);
+  b.lw_pi(a2, a0, 4);
+  b.li(t0, 0x33);
+  b.sb_pi(t0, a0, 1);
+  b.sb_pi(t0, a0, 1);
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a1), 0x11111111u);
+  EXPECT_EQ(c.reg(a2), 0x22222222u);
+  EXPECT_EQ(c.reg(a0), base + 10);
+  EXPECT_EQ(rig.mem.read8(base + 8), 0x33);
+  EXPECT_EQ(rig.mem.read8(base + 9), 0x33);
+}
+
+TEST(Core, RegRegAddressing) {
+  CoreRig rig;
+  const uint32_t base = MemoryMap::kL1Base;
+  rig.mem.write8(base + 17, 0xAB);
+  KernelBuilder b;
+  b.li(a0, static_cast<int32_t>(base));
+  b.li(a1, 17);
+  b.lbu_rr(a2, a0, a1);
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a2), 0xABu);
+}
+
+TEST(Core, BranchesAndTakenPenalty) {
+  CoreRig rig;
+  KernelBuilder b;
+  b.li(a0, 0);
+  b.li(a1, 3);
+  b.bind("loop");
+  b.addi(a0, a0, 1);
+  b.blt(a0, a1, "loop");
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a0), 3u);
+  // 2 li + 3 addi + 3 blt + halt = 9 instructions; 2 taken branches add 2
+  EXPECT_EQ(c.stats().instructions, 9u);
+  EXPECT_EQ(c.stats().cycles, 11u);
+  EXPECT_EQ(c.stats().taken_branches, 2u);
+}
+
+TEST(Core, HardwareLoopZeroOverhead) {
+  CoreRig rig;
+  KernelBuilder b;
+  b.li(a0, 0);
+  b.li(t0, 100);
+  b.hw_loop(0, t0, [&] {
+    b.addi(a0, a0, 1);
+    b.addi(a1, a1, 2);
+  });
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a0), 100u);
+  EXPECT_EQ(c.reg(a1), 200u);
+  // 2 li + lp.setup + 200 body + halt = 204 instructions = 204 cycles
+  EXPECT_EQ(c.stats().instructions, 204u);
+  EXPECT_EQ(c.stats().cycles, 204u);
+}
+
+TEST(Core, NestedHardwareLoops) {
+  CoreRig rig;
+  KernelBuilder b;
+  b.li(a0, 0);
+  b.li(t0, 5);
+  b.hw_loop(1, t0, [&] {
+    b.li(t1, 7);
+    b.hw_loop(0, t1, [&] {
+      b.addi(a0, a0, 1);
+      b.nop();
+    });
+    b.nop();
+  });
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a0), 35u);
+}
+
+TEST(Core, HardwareLoopReentry) {
+  // A hw loop re-initialized inside a branch loop must restart cleanly.
+  CoreRig rig;
+  KernelBuilder b;
+  b.li(a0, 0);
+  b.li(a2, 0);
+  b.li(a3, 4);
+  b.bind("outer");
+  b.li(t0, 3);
+  b.hw_loop(0, t0, [&] {
+    b.addi(a0, a0, 1);
+    b.nop();
+  });
+  b.addi(a2, a2, 1);
+  b.blt(a2, a3, "outer");
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a0), 12u);
+}
+
+TEST(Core, SimdOps) {
+  CoreRig rig;
+  KernelBuilder b;
+  b.li(a0, static_cast<int32_t>(pack_b4(1, -2, 3, -4)));
+  b.li(a1, static_cast<int32_t>(pack_b4(5, 6, -7, 8)));
+  b.li(a2, 1000);
+  b.sdotsp_b(a2, a0, a1);  // 1000 + (5 -12 -21 -32) = 940
+  b.pv_max_b(a3, a0, a1);
+  b.pv_add_b(a4, a0, a1);
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a2), 940u);
+  EXPECT_EQ(c.reg(a3), pack_b4(5, 6, 3, 8));
+  EXPECT_EQ(c.reg(a4), pack_b4(6, 4, -4, 4));
+}
+
+TEST(Core, PvLbInsInsertsLaneWithStride) {
+  CoreRig rig;
+  const uint32_t base = MemoryMap::kL1Base;
+  // M=8 layout: blocks of 8; offsets 3, 5 in blocks 0 and 1.
+  rig.mem.write8(base + 3, 0x11);
+  rig.mem.write8(base + 8 + 5, 0x22);
+  KernelBuilder b;
+  b.li(a0, static_cast<int32_t>(base));
+  b.li(a1, 3);
+  b.pv_lb_ins(a3, 0, a0, a1, 8);
+  b.li(a1, 5);
+  b.pv_lb_ins(a3, 1, a0, a1, 8);  // lane 1 -> addr base + 1*8 + 5
+  const Core c = rig.run(b);
+  EXPECT_EQ(c.reg(a3) & 0xFF, 0x11u);
+  EXPECT_EQ((c.reg(a3) >> 8) & 0xFF, 0x22u);
+}
+
+TEST(Core, HartidAndJalJalr) {
+  SocMemory mem;
+  KernelBuilder b;
+  b.hartid(a0);
+  b.call("sub");
+  b.j("end");
+  b.bind("sub");
+  b.addi(a1, a1, 42);
+  b.ret();
+  b.bind("end");
+  b.halt();
+  Program p = b.build();
+  Core core(5, mem, CoreConfig{});
+  core.reset(p.code, 0, MemoryMap::kL1Base + 1024);
+  core.run_segment();
+  EXPECT_EQ(core.reg(a0), 5u);
+  EXPECT_EQ(core.reg(a1), 42u);
+}
+
+TEST(Core, L2AccessPenalty) {
+  CoreRig rig;
+  rig.cfg.l2_access_penalty = 8;
+  KernelBuilder b0;
+  b0.li(a0, static_cast<int32_t>(MemoryMap::kL1Base));
+  b0.lw(a1, 0, a0);
+  const Core c_l1 = rig.run(b0);
+  CoreRig rig2;
+  rig2.cfg.l2_access_penalty = 8;
+  KernelBuilder b1;
+  b1.li(a0, static_cast<int32_t>(MemoryMap::kL2Base));
+  b1.lw(a1, 0, a0);
+  const Core c_l2 = rig2.run(b1);
+  EXPECT_EQ(c_l2.stats().cycles, c_l1.stats().cycles + 8);
+}
+
+TEST(Core, RunawayGuardThrows) {
+  CoreRig rig;
+  KernelBuilder b;
+  b.bind("spin");
+  b.nop();
+  b.j("spin");
+  b.halt();
+  Program p = b.build();
+  Core core(0, rig.mem, rig.cfg);
+  core.reset(p.code, 0, MemoryMap::kL1Base + 1024);
+  EXPECT_THROW(core.run_segment(/*max_cycles=*/1000), Error);
+}
+
+}  // namespace
+}  // namespace decimate

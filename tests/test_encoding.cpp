@@ -1,0 +1,147 @@
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace decimate {
+namespace {
+
+using namespace reg;
+
+void expect_roundtrip(const Instr& in, int pc = 100) {
+  const uint32_t word = encode(in, pc);
+  const Instr out = decode(word, pc);
+  EXPECT_EQ(out.op, in.op) << opcode_name(in.op);
+  EXPECT_EQ(out.rd, in.rd) << opcode_name(in.op);
+  EXPECT_EQ(out.rs1, in.rs1) << opcode_name(in.op);
+  EXPECT_EQ(out.rs2, in.rs2) << opcode_name(in.op);
+  EXPECT_EQ(out.imm, in.imm) << opcode_name(in.op);
+  EXPECT_EQ(out.aux, in.aux) << opcode_name(in.op);
+  EXPECT_EQ(out.imm2, in.imm2) << opcode_name(in.op);
+}
+
+TEST(Encoding, AluRegisterRoundtrip) {
+  for (Opcode op : {Opcode::kAdd, Opcode::kSub, Opcode::kAnd, Opcode::kOr,
+                    Opcode::kXor, Opcode::kSll, Opcode::kSrl, Opcode::kSra,
+                    Opcode::kSlt, Opcode::kSltu, Opcode::kMul, Opcode::kMulh,
+                    Opcode::kDiv, Opcode::kDivu, Opcode::kRem}) {
+    expect_roundtrip(Instr{op, 5, 6, 7, 0, 0, 0});
+  }
+}
+
+TEST(Encoding, AluImmediateRoundtrip) {
+  for (Opcode op : {Opcode::kAddi, Opcode::kAndi, Opcode::kOri, Opcode::kXori,
+                    Opcode::kSlti, Opcode::kSltiu}) {
+    expect_roundtrip(Instr{op, 10, 11, 0, 0, -123, 0});
+    expect_roundtrip(Instr{op, 10, 11, 0, 0, 2047, 0});
+    expect_roundtrip(Instr{op, 10, 11, 0, 0, -2048, 0});
+  }
+  for (Opcode op : {Opcode::kSlli, Opcode::kSrli, Opcode::kSrai}) {
+    expect_roundtrip(Instr{op, 10, 11, 0, 0, 31, 0});
+    expect_roundtrip(Instr{op, 10, 11, 0, 0, 1, 0});
+  }
+  expect_roundtrip(Instr{Opcode::kLui, 10, 0, 0, 0, 0xABCDE, 0});
+}
+
+TEST(Encoding, LoadStoreRoundtrip) {
+  for (Opcode op : {Opcode::kLb, Opcode::kLbu, Opcode::kLh, Opcode::kLhu,
+                    Opcode::kLw}) {
+    expect_roundtrip(Instr{op, 8, 9, 0, 0, 444, 0});
+    expect_roundtrip(Instr{op, 8, 9, 0, 0, -444, 0});
+  }
+  for (Opcode op : {Opcode::kSb, Opcode::kSh, Opcode::kSw}) {
+    expect_roundtrip(Instr{op, 0, 9, 8, 0, 444, 0});
+    expect_roundtrip(Instr{op, 0, 9, 8, 0, -4, 0});
+  }
+}
+
+TEST(Encoding, PulpLoadStoreRoundtrip) {
+  for (Opcode op : {Opcode::kLbPi, Opcode::kLbuPi, Opcode::kLhuPi,
+                    Opcode::kLwPi}) {
+    expect_roundtrip(Instr{op, 8, 9, 0, 0, 4, 0});
+  }
+  for (Opcode op : {Opcode::kSbPi, Opcode::kSwPi}) {
+    expect_roundtrip(Instr{op, 0, 9, 8, 0, 4, 0});
+  }
+  for (Opcode op : {Opcode::kLbRr, Opcode::kLbuRr, Opcode::kLwRr}) {
+    expect_roundtrip(Instr{op, 8, 9, 10, 0, 0, 0});
+  }
+}
+
+TEST(Encoding, ClipMaxMinRoundtrip) {
+  expect_roundtrip(Instr{Opcode::kPClip, 5, 6, 0, 8, 0, 0});
+  expect_roundtrip(Instr{Opcode::kPClip, 5, 6, 0, 16, 0, 0});
+  expect_roundtrip(Instr{Opcode::kPMax, 5, 6, 7, 0, 0, 0});
+  expect_roundtrip(Instr{Opcode::kPMin, 5, 6, 7, 0, 0, 0});
+}
+
+TEST(Encoding, BranchJumpRoundtrip) {
+  for (Opcode op : {Opcode::kBeq, Opcode::kBne, Opcode::kBlt, Opcode::kBge,
+                    Opcode::kBltu, Opcode::kBgeu}) {
+    expect_roundtrip(Instr{op, 0, 5, 6, 0, 60, 0}, /*pc=*/100);
+    expect_roundtrip(Instr{op, 0, 5, 6, 0, 140, 0}, /*pc=*/100);
+  }
+  expect_roundtrip(Instr{Opcode::kJal, 1, 0, 0, 0, 5000, 0}, 100);
+  expect_roundtrip(Instr{Opcode::kJalr, 0, 1, 0, 0, 0, 0});
+}
+
+TEST(Encoding, HwLoopRoundtrip) {
+  expect_roundtrip(Instr{Opcode::kLpSetup, 0, 9, 0, 0, 130, 0}, 100);
+  expect_roundtrip(Instr{Opcode::kLpSetup, 0, 9, 0, 1, 130, 0}, 100);
+  expect_roundtrip(Instr{Opcode::kLpSetupImm, 0, 0, 0, 1, 130, 7}, 100);
+  expect_roundtrip(Instr{Opcode::kLpSetupImm, 0, 0, 0, 0, 103, 255}, 100);
+}
+
+TEST(Encoding, SimdAndXdecRoundtrip) {
+  expect_roundtrip(Instr{Opcode::kPvAddB, 5, 6, 7, 0, 0, 0});
+  expect_roundtrip(Instr{Opcode::kPvMaxB, 5, 6, 7, 0, 0, 0});
+  expect_roundtrip(Instr{Opcode::kPvSdotspB, 5, 6, 7, 0, 0, 0});
+  for (int lane = 0; lane < 4; ++lane) {
+    for (int lm : {0, 2, 3, 4}) {
+      expect_roundtrip(Instr{Opcode::kPvLbIns, 5, 6, 7,
+                             static_cast<uint8_t>(lane | (lm << 2)), 0, 0});
+    }
+  }
+  for (int m : {4, 8, 16}) {
+    expect_roundtrip(
+        Instr{Opcode::kXdec, 5, 6, 7, static_cast<uint8_t>(m), 0, 0});
+  }
+  expect_roundtrip(Instr{Opcode::kXdecClear, 0, 0, 0, 0, 0, 0});
+}
+
+TEST(Encoding, SystemRoundtrip) {
+  expect_roundtrip(Instr{Opcode::kHartid, 7, 0, 0, 0, 0, 0});
+  expect_roundtrip(Instr{Opcode::kHalt, 0, 0, 0, 0, 0, 0});
+  expect_roundtrip(Instr{Opcode::kBarrier, 0, 0, 0, 0, 0, 0});
+}
+
+TEST(Encoding, WholeKernelProgramsRoundtrip) {
+  // Encode/decode every kernel program and compare instruction streams.
+  // (Labels and markers are metadata and not part of the binary image.)
+  for (auto kind : {KernelKind::kConvDense4x2, KernelKind::kConvDense1x2}) {
+    const Program p = build_conv_kernel(kind, 0);
+    const auto words = encode_program(p);
+    const auto decoded = decode_program(words);
+    ASSERT_EQ(decoded.size(), p.code.size());
+    for (size_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i].op, p.code[i].op) << "at " << i;
+      EXPECT_EQ(decoded[i].imm, p.code[i].imm) << "at " << i;
+    }
+  }
+  for (int m : {4, 8, 16}) {
+    for (auto kind : {KernelKind::kConvSparseSw, KernelKind::kConvSparseIsa}) {
+      const Program p = build_conv_kernel(kind, m);
+      const auto words = encode_program(p);
+      const auto decoded = decode_program(words);
+      ASSERT_EQ(decoded.size(), p.code.size());
+      for (size_t i = 0; i < decoded.size(); ++i) {
+        EXPECT_EQ(decoded[i].op, p.code[i].op) << "m=" << m << " at " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decimate
