@@ -30,13 +30,15 @@ int main() {
     const Graph g = mlp.to_int8_graph(0.05f);
     CompileOptions copt;
     copt.enable_isa = true;
-    ScheduleExecutor exec(copt);
+    Compiler compiler(copt);
+    const CompiledPlan plan = compiler.compile(g);
+    ExecutionEngine engine;
     int correct = 0;
     uint64_t cycles = 0;
     int64_t mem = 0;
     for (int i = 0; i < test_set.size(); ++i) {
       const Tensor8 qx = mlp.quantize_input(test_set.sample(i), 0.05f);
-      const NetworkRun run = exec.run(g, qx);
+      const NetworkRun run = engine.run(plan, qx);
       int pred = 0;
       for (int k = 1; k < 10; ++k) {
         if (run.output[k] > run.output[pred]) pred = k;

@@ -1,101 +1,43 @@
 #pragma once
 // Schedule executor: runs a Graph end-to-end.
 //
-// Numerics come from the reference ops (bit-exact mirrors of the kernels,
-// enforced by the kernel test suite and by the optional verify mode that
-// replays single-tile layers on the ISS with the real data). Cycles come
-// from the ISS: each unique (kernel, tile geometry, sparsity) is simulated
-// once and cached; DMA transfers are costed by the DmaModel and overlapped
-// with compute tile-by-tile (double buffering), as MATCH does on Vega.
+// Thin compile+execute wrapper over the exec subsystem, kept for API
+// compatibility: each run() lowers the graph with exec::Compiler into a
+// CompiledPlan and executes it with exec::ExecutionEngine. The ISS latency
+// cache lives in the Compiler and persists across run() calls, so repeated
+// runs re-simulate nothing. Callers that execute one graph many times (or
+// over batches) should hold a CompiledPlan directly — see exec/compile.hpp
+// and exec/engine.hpp.
 
-#include <functional>
-#include <map>
-#include <string>
-
-#include "compiler/pattern.hpp"
-#include "compiler/tiling.hpp"
-#include "sim/cluster.hpp"
-#include "sim/dma.hpp"
+#include "exec/compile.hpp"
+#include "exec/engine.hpp"
 
 namespace decimate {
 
-struct LayerReport {
-  std::string name;
-  std::string impl;            // kernel / vector-op implementing the node
-  int64_t macs = 0;            // dense-equivalent
-  uint64_t compute_cycles = 0; // Σ tile compute
-  uint64_t dma_cycles = 0;     // Σ tile DMA (un-overlapped view)
-  uint64_t total_cycles = 0;   // pipelined total
-  int64_t weight_bytes = 0;    // deployed storage (values+offsets+bias)
-  int tiles = 1;
-  double bits_per_weight = 0.0;
-
-  double macs_per_cycle() const {
-    return total_cycles ? static_cast<double>(macs) /
-                              static_cast<double>(total_cycles)
-                        : 0.0;
-  }
-};
-
-struct NetworkRun {
-  Tensor8 output;
-  uint64_t total_cycles = 0;
-  int64_t total_macs = 0;
-  int64_t weight_bytes = 0;
-  std::vector<LayerReport> layers;
-
-  double macs_per_cycle() const {
-    return total_cycles ? static_cast<double>(total_macs) /
-                              static_cast<double>(total_cycles)
-                        : 0.0;
-  }
-};
-
 class ScheduleExecutor {
  public:
-  explicit ScheduleExecutor(const CompileOptions& opt = {});
+  explicit ScheduleExecutor(const CompileOptions& opt = {})
+      : compiler_(opt) {}
 
   /// Execute the graph on `input`; returns the last node's output plus the
   /// cycle/memory report.
-  NetworkRun run(const Graph& graph, const Tensor8& input);
+  NetworkRun run(const Graph& graph, const Tensor8& input) {
+    const CompiledPlan plan = compiler_.compile(graph);
+    return engine_.run(plan, input);
+  }
 
   /// Test mode: single-tile conv/fc layers are additionally replayed on
   /// the ISS with the real data and compared against the reference.
-  void set_verify_with_sim(bool v) { verify_with_sim_ = v; }
+  void set_verify_with_sim(bool v) { engine_.set_verify_with_sim(v); }
 
   /// Where this graph's weights live (decided by total deployed bytes).
-  static MemRegion weight_region(int64_t deployed_bytes);
+  static MemRegion weight_region(int64_t deployed_bytes) {
+    return Compiler::weight_region(deployed_bytes);
+  }
 
  private:
-  struct TileCost {
-    uint64_t compute = 0;
-    uint64_t dma_in = 0;
-    uint64_t dma_out = 0;
-  };
-  static uint64_t pipeline_total(const std::vector<TileCost>& tiles);
-
-  uint64_t measure(const std::string& key,
-                   const std::function<uint64_t()>& fn);
-  uint64_t measure_conv_tile(const KernelChoice& choice, const ConvGeom& g);
-  uint64_t measure_fc_tile(const KernelChoice& choice, const FcGeom& g);
-
-  void exec_gemm_node(const Node& node, const Tensor8& in,
-                      const Tensor8* b_operand, Tensor8& out,
-                      LayerReport& rep);
-  void exec_vec_node(const Node& node, const std::vector<const Tensor8*>& in,
-                     Tensor8& out, LayerReport& rep);
-
-  CompileOptions opt_;
-  Cluster cluster_;   // measurement cluster
-  DmaModel dma_;
-  MemRegion w_region_ = MemRegion::kL2;
-  bool verify_with_sim_ = false;
-  std::map<std::string, uint64_t> latency_cache_;
-  Rng rng_{0xBEEFCAFE};
+  Compiler compiler_;
+  ExecutionEngine engine_;
 };
-
-/// Deployed weight storage of one GEMM node under a kernel choice
-/// (NZ values + packed offsets + int32 bias), in bytes.
-int64_t deployed_weight_bytes(const Node& node, const KernelChoice& choice);
 
 }  // namespace decimate

@@ -1,19 +1,14 @@
-#include "compiler/schedule.hpp"
+#include "exec/compile.hpp"
 
-#include <cstring>
+#include <algorithm>
 #include <functional>
-#include <sstream>
 
 #include "common/bitutil.hpp"
-#include "kernels/launch.hpp"
+#include "exec/tile_runner.hpp"
 #include "kernels/vecops.hpp"
-#include "nn/nm_format.hpp"
 #include "nn/prune.hpp"
-#include "nn/ref_ops.hpp"
 
 namespace decimate {
-
-namespace {
 
 ClusterConfig cluster_config_from(const CompileOptions& opt) {
   ClusterConfig cfg;
@@ -22,6 +17,8 @@ ClusterConfig cluster_config_from(const CompileOptions& opt) {
   cfg.core.xdec_forwarding = opt.xdec_forwarding;
   return cfg;
 }
+
+namespace {
 
 /// Balanced ranges of `total` into pieces of at most `size` (grain-aligned
 /// except possibly the last).
@@ -33,14 +30,10 @@ std::vector<std::pair<int, int>> ranges_of(int total, int size) {
   return out;
 }
 
-Tensor8 transpose2d(const Tensor8& x) {
-  DECIMATE_CHECK(x.rank() == 2, "transpose expects 2D");
-  const int r = x.dim(0), c = x.dim(1);
-  Tensor8 out({c, r});
-  for (int i = 0; i < r; ++i) {
-    for (int j = 0; j < c; ++j) out.at({j, i}) = x.at({i, j});
-  }
-  return out;
+int64_t numel_of(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) n *= d;
+  return n;
 }
 
 }  // namespace
@@ -58,16 +51,7 @@ int64_t deployed_weight_bytes(const Node& node, const KernelChoice& choice) {
   return bytes + 4ll * rows;  // int32 bias
 }
 
-ScheduleExecutor::ScheduleExecutor(const CompileOptions& opt)
-    : opt_(opt), cluster_(cluster_config_from(opt)), dma_(cluster_.mem()) {}
-
-MemRegion ScheduleExecutor::weight_region(int64_t deployed_bytes) {
-  // Leave ~20% of L2 for activations and buffers.
-  const auto l2_budget = static_cast<int64_t>(MemoryMap::kL2Size * 8 / 10);
-  return deployed_bytes <= l2_budget ? MemRegion::kL2 : MemRegion::kL3;
-}
-
-uint64_t ScheduleExecutor::pipeline_total(const std::vector<TileCost>& tiles) {
+uint64_t pipeline_total(const std::vector<TileCost>& tiles) {
   if (tiles.empty()) return 0;
   uint64_t total = tiles.front().dma_in;
   const size_t n = tiles.size();
@@ -80,67 +64,67 @@ uint64_t ScheduleExecutor::pipeline_total(const std::vector<TileCost>& tiles) {
   return total;
 }
 
-uint64_t ScheduleExecutor::measure(const std::string& key,
-                                   const std::function<uint64_t()>& fn) {
-  auto it = latency_cache_.find(key);
-  if (it != latency_cache_.end()) return it->second;
-  const uint64_t cycles = fn();
-  latency_cache_.emplace(key, cycles);
-  return cycles;
+Compiler::Compiler(const CompileOptions& opt,
+                   std::shared_ptr<TileLatencyCache> latencies)
+    : opt_(opt),
+      cluster_(cluster_config_from(opt)),
+      dma_(cluster_.mem()),
+      cache_(latencies ? std::move(latencies)
+                       : std::make_shared<TileLatencyCache>()) {}
+
+MemRegion Compiler::weight_region(int64_t deployed_bytes) {
+  // Leave ~20% of L2 for activations and buffers.
+  const auto l2_budget = static_cast<int64_t>(MemoryMap::kL2Size * 8 / 10);
+  return deployed_bytes <= l2_budget ? MemRegion::kL2 : MemRegion::kL3;
 }
 
-uint64_t ScheduleExecutor::measure_conv_tile(const KernelChoice& choice,
-                                             const ConvGeom& g) {
-  std::ostringstream key;
-  key << "conv|" << static_cast<int>(choice.kind) << "|" << choice.m << "|"
-      << g.ix << "x" << g.iy << "x" << g.c << "|k" << g.k << "|f" << g.fx
-      << "x" << g.fy << "|s" << g.stride << "|p" << g.pad;
-  return measure(key.str(), [&]() -> uint64_t {
-    KernelLauncher launcher(cluster_);
-    const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng_);
-    Tensor32 bias({g.k}, 0);
-    const Requant rq{1, 8};
-    if (choice.sparse()) {
-      Tensor8 w = Tensor8::random({g.k, g.fsz()}, rng_);
-      nm_prune(w.flat(), g.k, g.fsz(), 1, choice.m);
-      const NmPacked packed = nm_pack(w.flat(), g.k, g.fsz(), choice.m,
-                                      KernelLauncher::layout_for(choice.kind));
-      return launcher.conv(choice.kind, g, rq, input, nullptr, &packed, bias)
-          .result.wall_cycles;
-    }
-    Tensor8 w = Tensor8::random({g.k, g.fsz()}, rng_);
-    return launcher.conv(choice.kind, g, rq, input, &w, nullptr, bias)
-        .result.wall_cycles;
-  });
+uint64_t Compiler::measure_conv_tile(const KernelChoice& choice,
+                                     const ConvGeom& g) {
+  return cache_->measure(
+      conv_tile_key(choice.kind, choice.m, g), [&]() -> uint64_t {
+        TileRunner runner(cluster_);
+        const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng_);
+        Tensor32 bias({g.k}, 0);
+        const Requant rq{1, 8};
+        if (choice.sparse()) {
+          Tensor8 w = Tensor8::random({g.k, g.fsz()}, rng_);
+          nm_prune(w.flat(), g.k, g.fsz(), 1, choice.m);
+          const NmPacked packed = nm_pack(w.flat(), g.k, g.fsz(), choice.m,
+                                          TileRunner::layout_for(choice.kind));
+          return runner.conv(choice.kind, g, rq, input, nullptr, &packed, bias)
+              .result.wall_cycles;
+        }
+        Tensor8 w = Tensor8::random({g.k, g.fsz()}, rng_);
+        return runner.conv(choice.kind, g, rq, input, &w, nullptr, bias)
+            .result.wall_cycles;
+      });
 }
 
-uint64_t ScheduleExecutor::measure_fc_tile(const KernelChoice& choice,
-                                           const FcGeom& g) {
-  std::ostringstream key;
-  key << "fc|" << static_cast<int>(choice.kind) << "|" << choice.m << "|t"
-      << g.tokens << "|c" << g.c << "|k" << g.k;
-  return measure(key.str(), [&]() -> uint64_t {
-    KernelLauncher launcher(cluster_);
-    const Tensor8 input = Tensor8::random({g.tokens, g.c}, rng_);
-    Tensor32 bias({g.k}, 0);
-    const Requant rq{1, 8};
-    if (choice.sparse()) {
-      Tensor8 w = Tensor8::random({g.k, g.c}, rng_);
-      nm_prune(w.flat(), g.k, g.c, 1, choice.m);
-      const NmPacked packed = nm_pack(w.flat(), g.k, g.c, choice.m,
-                                      KernelLauncher::layout_for(choice.kind));
-      return launcher.fc(choice.kind, g, rq, input, nullptr, &packed, bias)
-          .result.wall_cycles;
-    }
-    Tensor8 w = Tensor8::random({g.k, g.c}, rng_);
-    return launcher.fc(choice.kind, g, rq, input, &w, nullptr, bias)
-        .result.wall_cycles;
-  });
+uint64_t Compiler::measure_fc_tile(const KernelChoice& choice,
+                                   const FcGeom& g) {
+  return cache_->measure(
+      fc_tile_key(choice.kind, choice.m, g), [&]() -> uint64_t {
+        TileRunner runner(cluster_);
+        const Tensor8 input = Tensor8::random({g.tokens, g.c}, rng_);
+        Tensor32 bias({g.k}, 0);
+        const Requant rq{1, 8};
+        if (choice.sparse()) {
+          Tensor8 w = Tensor8::random({g.k, g.c}, rng_);
+          nm_prune(w.flat(), g.k, g.c, 1, choice.m);
+          const NmPacked packed = nm_pack(w.flat(), g.k, g.c, choice.m,
+                                          TileRunner::layout_for(choice.kind));
+          return runner.fc(choice.kind, g, rq, input, nullptr, &packed, bias)
+              .result.wall_cycles;
+        }
+        Tensor8 w = Tensor8::random({g.k, g.c}, rng_);
+        return runner.fc(choice.kind, g, rq, input, &w, nullptr, bias)
+            .result.wall_cycles;
+      });
 }
 
-void ScheduleExecutor::exec_gemm_node(const Node& node, const Tensor8& in,
-                                      const Tensor8* b_operand, Tensor8& out,
-                                      LayerReport& rep) {
+void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
+                                 PlanStep& step) {
+  LayerReport& rep = step.report;
   const int64_t l1_budget = cluster_.l1_data_limit() - MemoryMap::kL1Base;
   const int startups_per_w =
       opt_.interleaved_weights ? 1 : (3);  // values + offsets + bias
@@ -150,6 +134,10 @@ void ScheduleExecutor::exec_gemm_node(const Node& node, const Tensor8& in,
     const KernelChoice choice = select_kernel(node, opt_);
     const ConvTilePlan plan =
         plan_conv_tiles(g, choice, opt_.num_cores, l1_budget);
+    step.choice = choice;
+    step.conv_tiles = plan;
+    step.weight_region = w_region_;
+    step.program = &TileRunner::program_for(choice.kind, choice.m);
     rep.impl = kernel_kind_name(choice.kind);
     if (choice.sparse()) rep.impl += ":1:" + std::to_string(choice.m);
     rep.macs = g.macs();
@@ -161,7 +149,6 @@ void ScheduleExecutor::exec_gemm_node(const Node& node, const Tensor8& in,
     const int ixp = g.ix + 2 * g.pad;
     const auto oy_ranges = ranges_of(g.oy(), plan.oy_t);
     const auto k_ranges = ranges_of(g.k, plan.k_t);
-    std::vector<TileCost> tiles;
     const auto& outer = plan.k_outer ? k_ranges : oy_ranges;
     const auto& inner = plan.k_outer ? oy_ranges : k_ranges;
     for (size_t o = 0; o < outer.size(); ++o) {
@@ -199,62 +186,44 @@ void ScheduleExecutor::exec_gemm_node(const Node& node, const Tensor8& in,
             MemRegion::kL2);
         rep.compute_cycles += tc.compute;
         rep.dma_cycles += tc.dma_in + tc.dma_out;
-        tiles.push_back(tc);
+        step.tile_costs.push_back(tc);
       }
     }
     rep.total_cycles = plan.double_buffered
-                           ? pipeline_total(tiles)
+                           ? pipeline_total(step.tile_costs)
                            : rep.compute_cycles + rep.dma_cycles;
 
-    // numerics
-    out = conv2d_s8(in, node.weights, node.bias, g, node.rq);
-    if (verify_with_sim_ && rep.tiles == 1) {
-      KernelLauncher launcher(cluster_);
-      KernelRun kr;
-      if (choice.sparse()) {
-        const NmPacked packed =
-            nm_pack(node.weights.flat(), g.k, g.fsz(), choice.m,
-                    KernelLauncher::layout_for(choice.kind));
-        kr = launcher.conv(choice.kind, g, node.rq, in, nullptr, &packed,
-                           node.bias);
-      } else {
-        kr = launcher.conv(choice.kind, g, node.rq, in, &node.weights,
-                           nullptr, node.bias);
-      }
-      DECIMATE_CHECK(kr.output == out,
-                     "verify: ISS conv output mismatch on " << node.name);
+    if (choice.sparse()) {
+      step.packed = nm_pack(node.weights.flat(), g.k, g.fsz(), choice.m,
+                            TileRunner::layout_for(choice.kind));
+      step.has_packed = true;
     }
     return;
   }
 
   // FC / matmul
-  FcGeom g = node.fc;
-  KernelChoice choice = select_kernel(node, opt_);
-  Tensor8 bmat;  // matmul operand acting as weights
-  const Tensor8* weights = &node.weights;
-  Tensor32 zero_bias;
-  const Tensor32* bias = &node.bias;
+  const FcGeom& g = node.fc;
+  const KernelChoice choice = select_kernel(node, opt_);
+  step.choice = choice;
+  step.program = &TileRunner::program_for(choice.kind, choice.m);
   uint64_t extra_cycles = 0;
   if (node.op == OpType::kMatmul) {
-    DECIMATE_CHECK(b_operand != nullptr, "matmul needs a second operand");
-    bmat = node.transpose_b ? transpose2d(*b_operand) : *b_operand;
+    DECIMATE_CHECK(node.inputs.size() >= 2, "matmul needs a second operand");
+    const auto& b_shape = graph.node(node.inputs.at(1)).out_shape;
+    DECIMATE_CHECK(b_shape.size() == 2, "matmul operand must be 2D");
     // the on-device transpose is a strided 2D DMA pass inside L2
     if (node.transpose_b) {
-      extra_cycles += dma_.cost_2d(static_cast<uint64_t>(bmat.dim(0)),
-                                   static_cast<uint64_t>(bmat.dim(1)),
+      extra_cycles += dma_.cost_2d(static_cast<uint64_t>(b_shape[1]),
+                                   static_cast<uint64_t>(b_shape[0]),
                                    MemRegion::kL2, MemRegion::kL2);
     }
-    weights = &bmat;
-    zero_bias = Tensor32({g.k}, 0);
-    bias = &zero_bias;
   }
-  // numerics first (on the logical geometry)
-  out = fc_s8(in, *weights, *bias, node.rq);
 
   // odd K with a pair kernel: pad the cycle-model geometry to even
   FcGeom cg = g;
   if (choice.kind != KernelKind::kFcSparseSw && cg.k % 2 != 0) cg.k += 1;
   const FcTilePlan plan = plan_fc_tiles(cg, choice, opt_.num_cores, l1_budget);
+  step.fc_tiles = plan;
   rep.impl = kernel_kind_name(choice.kind);
   if (choice.sparse()) rep.impl += ":1:" + std::to_string(choice.m);
   rep.macs = g.macs();
@@ -267,9 +236,9 @@ void ScheduleExecutor::exec_gemm_node(const Node& node, const Tensor8& in,
   // matmul "weights" are activations living in L2
   const MemRegion wreg =
       (node.op == OpType::kMatmul) ? MemRegion::kL2 : w_region_;
+  step.weight_region = wreg;
   const auto tok_ranges = ranges_of(cg.tokens, plan.tok_t);
   const auto k_ranges = ranges_of(cg.k, plan.k_t);
-  std::vector<TileCost> tiles;
   const auto& outer = plan.k_outer ? k_ranges : tok_ranges;
   const auto& inner = plan.k_outer ? tok_ranges : k_ranges;
   for (size_t o = 0; o < outer.size(); ++o) {
@@ -304,67 +273,39 @@ void ScheduleExecutor::exec_gemm_node(const Node& node, const Tensor8& in,
                        MemRegion::kL1, MemRegion::kL2);
       rep.compute_cycles += tc.compute;
       rep.dma_cycles += tc.dma_in + tc.dma_out;
-      tiles.push_back(tc);
+      step.tile_costs.push_back(tc);
     }
   }
   rep.total_cycles = (plan.double_buffered
-                          ? pipeline_total(tiles)
+                          ? pipeline_total(step.tile_costs)
                           : rep.compute_cycles + rep.dma_cycles) +
                      extra_cycles;
 
-  if (verify_with_sim_ && rep.tiles == 1 && node.op == OpType::kFc &&
-      (choice.kind == KernelKind::kFcSparseSw || g.k % 2 == 0)) {
-    KernelLauncher launcher(cluster_);
-    KernelRun kr;
-    if (choice.sparse()) {
-      const NmPacked packed =
-          nm_pack(node.weights.flat(), g.k, g.c, choice.m,
-                  KernelLauncher::layout_for(choice.kind));
-      kr = launcher.fc(choice.kind, g, node.rq, in, nullptr, &packed,
-                       node.bias);
-    } else {
-      kr = launcher.fc(choice.kind, g, node.rq, in, &node.weights, nullptr,
-                       node.bias);
-    }
-    DECIMATE_CHECK(kr.output == out,
-                   "verify: ISS fc output mismatch on " << node.name);
+  if (node.op == OpType::kFc && choice.sparse()) {
+    step.packed = nm_pack(node.weights.flat(), g.k, g.c, choice.m,
+                          TileRunner::layout_for(choice.kind));
+    step.has_packed = true;
   }
 }
 
-void ScheduleExecutor::exec_vec_node(const Node& node,
-                                     const std::vector<const Tensor8*>& in,
-                                     Tensor8& out, LayerReport& rep) {
-  const auto& x = *in[0];
+void Compiler::compile_vec_node(const Graph& graph, const Node& node,
+                                PlanStep& step) {
+  LayerReport& rep = step.report;
+  const std::vector<int>& in_shape = graph.node(node.inputs.at(0)).out_shape;
+  const int64_t in_numel = numel_of(in_shape);
   rep.impl = op_name(node.op);
 
-  // numerics via the reference op
+  // data-marshalling ops are pure DMA passes; no ISS measurement
   switch (node.op) {
-    case OpType::kRelu: out = relu_s8(x); break;
-    case OpType::kAdd: out = add_s8(x, node.rq, *in[1], node.rq2); break;
-    case OpType::kMaxPool2: out = maxpool2x2_s8(x); break;
-    case OpType::kAvgPool: out = global_avgpool_s8(x, node.rq); break;
-    case OpType::kLut: out = lut_s8(x, node.lut); break;
-    case OpType::kSoftmax: out = softmax_s8(x, node.exp_lut); break;
-    case OpType::kLayerNorm: out = layernorm_s8(x, node.gamma, node.beta); break;
-    case OpType::kReshape: {
-      out = Tensor8(node.out_shape);
-      DECIMATE_CHECK(out.numel() == x.numel(), "reshape numel mismatch");
-      std::copy(x.flat().begin(), x.flat().end(), out.flat().begin());
+    case OpType::kReshape:
       rep.total_cycles = 0;
       return;
-    }
     case OpType::kSlice: {
-      DECIMATE_CHECK(x.rank() == 2, "slice expects {T, C}");
-      const int t = x.dim(0);
+      DECIMATE_CHECK(in_shape.size() == 2, "slice expects {T, C}");
+      const int t = in_shape[0];
       const int w = node.slice_end - node.slice_begin;
-      DECIMATE_CHECK(w > 0 && node.slice_end <= x.dim(1), "bad slice range");
-      out = Tensor8({t, w});
-      for (int i = 0; i < t; ++i) {
-        std::memcpy(out.data() + static_cast<int64_t>(i) * w,
-                    x.data() + static_cast<int64_t>(i) * x.dim(1) +
-                        node.slice_begin,
-                    static_cast<size_t>(w));
-      }
+      DECIMATE_CHECK(w > 0 && node.slice_end <= in_shape[1],
+                     "bad slice range");
       // column gather = strided 2D DMA inside L2
       rep.dma_cycles = dma_.cost_2d(static_cast<uint64_t>(t),
                                     static_cast<uint64_t>(w), MemRegion::kL2,
@@ -373,70 +314,57 @@ void ScheduleExecutor::exec_vec_node(const Node& node,
       return;
     }
     case OpType::kConcat: {
-      const int t = in[0]->dim(0);
-      int total_c = 0;
-      for (const Tensor8* p : in) {
-        DECIMATE_CHECK(p->rank() == 2 && p->dim(0) == t, "concat mismatch");
-        total_c += p->dim(1);
-      }
-      out = Tensor8({t, total_c});
-      int col = 0;
-      for (const Tensor8* p : in) {
-        const int w = p->dim(1);
-        for (int i = 0; i < t; ++i) {
-          std::memcpy(out.data() + static_cast<int64_t>(i) * total_c + col,
-                      p->data() + static_cast<int64_t>(i) * w,
-                      static_cast<size_t>(w));
-        }
+      const int t = in_shape[0];
+      for (int input_id : node.inputs) {
+        const auto& p_shape = graph.node(input_id).out_shape;
+        DECIMATE_CHECK(p_shape.size() == 2 && p_shape[0] == t,
+                       "concat mismatch");
         rep.dma_cycles += dma_.cost_2d(static_cast<uint64_t>(t),
-                                       static_cast<uint64_t>(w),
+                                       static_cast<uint64_t>(p_shape[1]),
                                        MemRegion::kL2, MemRegion::kL2);
-        col += w;
       }
       rep.total_cycles = rep.dma_cycles;
       return;
     }
-    default: DECIMATE_FAIL("bad vec op");
+    default: break;
   }
 
   // cycles: chunked ISS measurement + DMA pipeline
   auto chunked = [&](int total_rows, int row_bytes, int out_row_bytes,
-                     int l1_per_row, const char* tag,
+                     int l1_per_row,
                      const std::function<uint64_t(int)>& measure_rows) {
     const int64_t budget =
         (cluster_.l1_data_limit() - MemoryMap::kL1Base) - 4096;
     int rows_per_chunk = std::max<int>(
         1, static_cast<int>(budget / std::max(1, 2 * l1_per_row)));
     rows_per_chunk = std::min(rows_per_chunk, total_rows);
-    std::vector<TileCost> tiles;
     for (const auto& [s, e] : ranges_of(total_rows, rows_per_chunk)) {
-      std::ostringstream key;
-      key << tag << "|rows" << (e - s) << "|rb" << row_bytes;
       TileCost tc;
-      tc.compute = measure(key.str(), [&] { return measure_rows(e - s); });
+      tc.compute = cache_->measure(vec_tile_key(node.op, e - s, row_bytes),
+                                   [&] { return measure_rows(e - s); });
       tc.dma_in = dma_.cost_1d(static_cast<uint64_t>(e - s) * row_bytes,
                                MemRegion::kL2, MemRegion::kL1);
       tc.dma_out = dma_.cost_1d(static_cast<uint64_t>(e - s) * out_row_bytes,
                                 MemRegion::kL1, MemRegion::kL2);
       rep.compute_cycles += tc.compute;
       rep.dma_cycles += tc.dma_in + tc.dma_out;
-      tiles.push_back(tc);
+      step.tile_costs.push_back(tc);
     }
-    rep.tiles = static_cast<int>(tiles.size());
-    rep.total_cycles = pipeline_total(tiles);
+    rep.tiles = static_cast<int>(step.tile_costs.size());
+    rep.total_cycles = pipeline_total(step.tile_costs);
   };
 
   switch (node.op) {
     case OpType::kRelu: {
-      const int words = static_cast<int>(x.numel() / 4);
-      chunked(words, 4, 4, 8, "relu", [&](int rows) {
+      const int words = static_cast<int>(in_numel / 4);
+      chunked(words, 4, 4, 8, [&](int rows) {
         Tensor8 chunk = Tensor8::random({rows * 4}, rng_);
         return run_relu(cluster_, chunk).result.wall_cycles;
       });
       break;
     }
     case OpType::kAdd: {
-      chunked(static_cast<int>(x.numel()), 2, 1, 3, "add", [&](int rows) {
+      chunked(static_cast<int>(in_numel), 2, 1, 3, [&](int rows) {
         Tensor8 a = Tensor8::random({rows}, rng_);
         Tensor8 b = Tensor8::random({rows}, rng_);
         return run_add(cluster_, a, node.rq, b, node.rq2).result.wall_cycles;
@@ -444,60 +372,63 @@ void ScheduleExecutor::exec_vec_node(const Node& node,
       break;
     }
     case OpType::kLut: {
-      chunked(static_cast<int>(x.numel()), 1, 1, 2, "lut", [&](int rows) {
+      chunked(static_cast<int>(in_numel), 1, 1, 2, [&](int rows) {
         Tensor8 chunk = Tensor8::random({rows}, rng_);
         return run_lut(cluster_, chunk, node.lut).result.wall_cycles;
       });
       break;
     }
     case OpType::kMaxPool2: {
-      const int h = x.dim(0), w = x.dim(1), c = x.dim(2);
-      chunked(h / 2, 2 * w * c, (w / 2) * c, 3 * w * c, "maxpool",
-              [&](int rows) {
-                Tensor8 chunk = Tensor8::random({2 * rows, w, c}, rng_);
-                return run_maxpool2x2(cluster_, chunk).result.wall_cycles;
-              });
+      const int h = in_shape[0], w = in_shape[1], c = in_shape[2];
+      chunked(h / 2, 2 * w * c, (w / 2) * c, 3 * w * c, [&](int rows) {
+        Tensor8 chunk = Tensor8::random({2 * rows, w, c}, rng_);
+        return run_maxpool2x2(cluster_, chunk).result.wall_cycles;
+      });
       break;
     }
     case OpType::kAvgPool: {
-      const int h = x.dim(0), w = x.dim(1), c = x.dim(2);
-      std::ostringstream key;
-      key << "avgpool|" << h << "x" << w << "x" << c;
+      const int h = in_shape[0], w = in_shape[1], c = in_shape[2];
       TileCost tc;
-      tc.compute = measure(key.str(), [&] {
+      tc.compute = cache_->measure(vec_tile_key(node.op, h, w, c), [&] {
         Tensor8 chunk = Tensor8::random({h, w, c}, rng_);
         return run_avgpool(cluster_, chunk, node.rq).result.wall_cycles;
       });
-      tc.dma_in = dma_.cost_1d(x.numel(), MemRegion::kL2, MemRegion::kL1);
+      tc.dma_in = dma_.cost_1d(in_numel, MemRegion::kL2, MemRegion::kL1);
       tc.dma_out = dma_.cost_1d(static_cast<uint64_t>(c), MemRegion::kL1,
                                 MemRegion::kL2);
       rep.compute_cycles = tc.compute;
       rep.dma_cycles = tc.dma_in + tc.dma_out;
-      rep.total_cycles = pipeline_total({tc});
+      step.tile_costs.push_back(tc);
+      rep.total_cycles = pipeline_total(step.tile_costs);
       break;
     }
     case OpType::kSoftmax: {
-      const int t = x.dim(0), l = x.dim(1);
-      chunked(t, l, l, 3 * l, "softmax", [&](int rows) {
+      const int t = in_shape[0], l = in_shape[1];
+      chunked(t, l, l, 3 * l, [&](int rows) {
         Tensor8 chunk = Tensor8::random({rows, l}, rng_);
         return run_softmax(cluster_, chunk, node.exp_lut).result.wall_cycles;
       });
       break;
     }
     case OpType::kLayerNorm: {
-      const int t = x.dim(0), l = x.dim(1);
-      chunked(t, l, l, 3 * l, "layernorm", [&](int rows) {
+      const int t = in_shape[0], l = in_shape[1];
+      chunked(t, l, l, 3 * l, [&](int rows) {
         Tensor8 chunk = Tensor8::random({rows, l}, rng_);
         return run_layernorm(cluster_, chunk, node.gamma, node.beta)
             .result.wall_cycles;
       });
       break;
     }
-    default: break;
+    default: DECIMATE_FAIL("bad vec op");
   }
 }
 
-NetworkRun ScheduleExecutor::run(const Graph& graph, const Tensor8& input) {
+CompiledPlan Compiler::compile(const Graph& graph) {
+  CompiledPlan plan;
+  plan.graph = &graph;
+  plan.options = opt_;
+  plan.latencies = cache_;
+
   // decide weight residency for the whole model
   int64_t deployed = 0;
   for (const auto& node : graph.nodes()) {
@@ -506,50 +437,32 @@ NetworkRun ScheduleExecutor::run(const Graph& graph, const Tensor8& input) {
     }
   }
   w_region_ = weight_region(deployed);
-
-  NetworkRun net;
-  net.weight_bytes = deployed;
-  std::vector<Tensor8> outputs(static_cast<size_t>(graph.size()));
-  DECIMATE_CHECK(input.shape() == graph.node(0).out_shape,
-                 "graph input shape mismatch");
-  outputs[0] = input;
+  plan.weight_region = w_region_;
+  plan.weight_bytes = deployed;
 
   for (int id = 1; id < graph.size(); ++id) {
     const Node& node = graph.node(id);
-    LayerReport rep;
-    rep.name = node.name;
-    const Tensor8& in0 = outputs[static_cast<size_t>(node.inputs.at(0))];
+    PlanStep step;
+    step.node_id = id;
+    step.op = node.op;
+    step.report.name = node.name;
     switch (node.op) {
       case OpType::kConv2d:
       case OpType::kFc:
-        exec_gemm_node(node, in0, nullptr, outputs[static_cast<size_t>(id)],
-                       rep);
-        break;
       case OpType::kMatmul:
-        exec_gemm_node(node, in0,
-                       &outputs[static_cast<size_t>(node.inputs.at(1))],
-                       outputs[static_cast<size_t>(id)], rep);
+        compile_gemm_node(graph, node, step);
         break;
       case OpType::kInput:
         DECIMATE_FAIL("unexpected input node");
-      default: {
-        std::vector<const Tensor8*> ins;
-        ins.reserve(node.inputs.size());
-        for (int i : node.inputs) {
-          ins.push_back(&outputs[static_cast<size_t>(i)]);
-        }
-        exec_vec_node(node, ins, outputs[static_cast<size_t>(id)], rep);
+      default:
+        compile_vec_node(graph, node, step);
         break;
-      }
     }
-    DECIMATE_CHECK(outputs[static_cast<size_t>(id)].shape() == node.out_shape,
-                   "node " << node.name << " produced unexpected shape");
-    net.total_cycles += rep.total_cycles;
-    net.total_macs += rep.macs;
-    net.layers.push_back(std::move(rep));
+    plan.total_cycles += step.report.total_cycles;
+    plan.total_macs += step.report.macs;
+    plan.steps.push_back(std::move(step));
   }
-  net.output = outputs.back();
-  return net;
+  return plan;
 }
 
 }  // namespace decimate

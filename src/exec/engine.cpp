@@ -1,0 +1,200 @@
+#include "exec/engine.hpp"
+
+#include <cstring>
+
+#include "exec/tile_runner.hpp"
+#include "nn/ref_ops.hpp"
+
+namespace decimate {
+
+namespace {
+
+Tensor8 transpose2d(const Tensor8& x) {
+  DECIMATE_CHECK(x.rank() == 2, "transpose expects 2D");
+  const int r = x.dim(0), c = x.dim(1);
+  Tensor8 out({c, r});
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) out.at({j, i}) = x.at({i, j});
+  }
+  return out;
+}
+
+}  // namespace
+
+Cluster& ExecutionEngine::verify_cluster(const CompileOptions& opt) {
+  const ClusterConfig cfg = cluster_config_from(opt);
+  if (verify_cluster_ == nullptr || !(cfg == verify_cfg_)) {
+    verify_cluster_ = std::make_unique<Cluster>(cfg);
+    verify_cfg_ = cfg;
+  }
+  return *verify_cluster_;
+}
+
+void ExecutionEngine::exec_gemm_node(const CompiledPlan& plan,
+                                     const PlanStep& step, const Node& node,
+                                     const Tensor8& in,
+                                     const Tensor8* b_operand, Tensor8& out) {
+  if (node.op == OpType::kConv2d) {
+    const ConvGeom& g = node.conv;
+    out = conv2d_s8(in, node.weights, node.bias, g, node.rq);
+    if (verify_with_sim_ && step.report.tiles == 1) {
+      TileRunner runner(verify_cluster(plan.options));
+      KernelRun kr;
+      if (step.has_packed) {
+        kr = runner.conv(step.choice.kind, g, node.rq, in, nullptr,
+                         &step.packed, node.bias);
+      } else {
+        kr = runner.conv(step.choice.kind, g, node.rq, in, &node.weights,
+                         nullptr, node.bias);
+      }
+      DECIMATE_CHECK(kr.output == out,
+                     "verify: ISS conv output mismatch on " << node.name);
+    }
+    return;
+  }
+
+  // FC / matmul
+  const FcGeom& g = node.fc;
+  Tensor8 bmat;  // matmul operand acting as weights
+  const Tensor8* weights = &node.weights;
+  Tensor32 zero_bias;
+  const Tensor32* bias = &node.bias;
+  if (node.op == OpType::kMatmul) {
+    DECIMATE_CHECK(b_operand != nullptr, "matmul needs a second operand");
+    bmat = node.transpose_b ? transpose2d(*b_operand) : *b_operand;
+    weights = &bmat;
+    zero_bias = Tensor32({g.k}, 0);
+    bias = &zero_bias;
+  }
+  out = fc_s8(in, *weights, *bias, node.rq);
+
+  if (verify_with_sim_ && step.report.tiles == 1 && node.op == OpType::kFc &&
+      (step.choice.kind == KernelKind::kFcSparseSw || g.k % 2 == 0)) {
+    TileRunner runner(verify_cluster(plan.options));
+    KernelRun kr;
+    if (step.has_packed) {
+      kr = runner.fc(step.choice.kind, g, node.rq, in, nullptr, &step.packed,
+                     node.bias);
+    } else {
+      kr = runner.fc(step.choice.kind, g, node.rq, in, &node.weights, nullptr,
+                     node.bias);
+    }
+    DECIMATE_CHECK(kr.output == out,
+                   "verify: ISS fc output mismatch on " << node.name);
+  }
+}
+
+void ExecutionEngine::exec_vec_node(const Node& node,
+                                    const std::vector<const Tensor8*>& in,
+                                    Tensor8& out) {
+  const auto& x = *in[0];
+  switch (node.op) {
+    case OpType::kRelu: out = relu_s8(x); break;
+    case OpType::kAdd: out = add_s8(x, node.rq, *in[1], node.rq2); break;
+    case OpType::kMaxPool2: out = maxpool2x2_s8(x); break;
+    case OpType::kAvgPool: out = global_avgpool_s8(x, node.rq); break;
+    case OpType::kLut: out = lut_s8(x, node.lut); break;
+    case OpType::kSoftmax: out = softmax_s8(x, node.exp_lut); break;
+    case OpType::kLayerNorm:
+      out = layernorm_s8(x, node.gamma, node.beta);
+      break;
+    case OpType::kReshape: {
+      out = Tensor8(node.out_shape);
+      DECIMATE_CHECK(out.numel() == x.numel(), "reshape numel mismatch");
+      std::copy(x.flat().begin(), x.flat().end(), out.flat().begin());
+      break;
+    }
+    case OpType::kSlice: {
+      DECIMATE_CHECK(x.rank() == 2, "slice expects {T, C}");
+      const int t = x.dim(0);
+      const int w = node.slice_end - node.slice_begin;
+      DECIMATE_CHECK(w > 0 && node.slice_end <= x.dim(1), "bad slice range");
+      out = Tensor8({t, w});
+      for (int i = 0; i < t; ++i) {
+        std::memcpy(out.data() + static_cast<int64_t>(i) * w,
+                    x.data() + static_cast<int64_t>(i) * x.dim(1) +
+                        node.slice_begin,
+                    static_cast<size_t>(w));
+      }
+      break;
+    }
+    case OpType::kConcat: {
+      const int t = in[0]->dim(0);
+      int total_c = 0;
+      for (const Tensor8* p : in) {
+        DECIMATE_CHECK(p->rank() == 2 && p->dim(0) == t, "concat mismatch");
+        total_c += p->dim(1);
+      }
+      out = Tensor8({t, total_c});
+      int col = 0;
+      for (const Tensor8* p : in) {
+        const int w = p->dim(1);
+        for (int i = 0; i < t; ++i) {
+          std::memcpy(out.data() + static_cast<int64_t>(i) * total_c + col,
+                      p->data() + static_cast<int64_t>(i) * w,
+                      static_cast<size_t>(w));
+        }
+        col += w;
+      }
+      break;
+    }
+    default: DECIMATE_FAIL("bad vec op");
+  }
+}
+
+NetworkRun ExecutionEngine::run(const CompiledPlan& plan,
+                                const Tensor8& input) {
+  DECIMATE_CHECK(plan.graph != nullptr, "plan has no graph");
+  const Graph& graph = *plan.graph;
+  DECIMATE_CHECK(static_cast<int>(plan.steps.size()) == graph.size() - 1,
+                 "plan does not match graph");
+
+  NetworkRun net;
+  net.weight_bytes = plan.weight_bytes;
+  std::vector<Tensor8> outputs(static_cast<size_t>(graph.size()));
+  DECIMATE_CHECK(input.shape() == graph.node(0).out_shape,
+                 "graph input shape mismatch");
+  outputs[0] = input;
+
+  for (const PlanStep& step : plan.steps) {
+    const Node& node = graph.node(step.node_id);
+    Tensor8& out = outputs[static_cast<size_t>(step.node_id)];
+    const Tensor8& in0 = outputs[static_cast<size_t>(node.inputs.at(0))];
+    switch (node.op) {
+      case OpType::kConv2d:
+      case OpType::kFc:
+        exec_gemm_node(plan, step, node, in0, nullptr, out);
+        break;
+      case OpType::kMatmul:
+        exec_gemm_node(plan, step, node, in0,
+                       &outputs[static_cast<size_t>(node.inputs.at(1))], out);
+        break;
+      default: {
+        std::vector<const Tensor8*> ins;
+        ins.reserve(node.inputs.size());
+        for (int i : node.inputs) {
+          ins.push_back(&outputs[static_cast<size_t>(i)]);
+        }
+        exec_vec_node(node, ins, out);
+        break;
+      }
+    }
+    DECIMATE_CHECK(out.shape() == node.out_shape,
+                   "node " << node.name << " produced unexpected shape");
+    net.total_cycles += step.report.total_cycles;
+    net.total_macs += step.report.macs;
+    net.layers.push_back(step.report);
+  }
+  net.output = outputs.back();
+  return net;
+}
+
+std::vector<NetworkRun> ExecutionEngine::run_batch(
+    const CompiledPlan& plan, std::span<const Tensor8> inputs) {
+  std::vector<NetworkRun> runs;
+  runs.reserve(inputs.size());
+  for (const Tensor8& input : inputs) runs.push_back(run(plan, input));
+  return runs;
+}
+
+}  // namespace decimate

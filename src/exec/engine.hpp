@@ -1,0 +1,50 @@
+#pragma once
+// ExecutionEngine: executes a CompiledPlan over one input or a batch.
+//
+// The plan is immutable and shareable: one engine can serve many inputs
+// (run_batch), and many engines can serve one plan. Numerics come from
+// the reference ops (bit-exact mirrors of the ISS kernels, enforced by
+// the kernel test suite and the optional verify mode); cycle and memory
+// reports were fixed at compile time, so no ISS simulation happens on the
+// execution path — each unique (kernel, tile geometry) was simulated
+// exactly once when the plan was built, however large the batch.
+
+#include <memory>
+#include <span>
+
+#include "exec/compile.hpp"
+#include "sim/cluster.hpp"
+
+namespace decimate {
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine() = default;
+
+  /// Execute the plan's graph on `input`; returns the last node's output
+  /// plus the cycle/memory report.
+  NetworkRun run(const CompiledPlan& plan, const Tensor8& input);
+
+  /// Execute the plan over a batch of independent inputs.
+  std::vector<NetworkRun> run_batch(const CompiledPlan& plan,
+                                    std::span<const Tensor8> inputs);
+
+  /// Test mode: single-tile conv/fc layers are additionally replayed on
+  /// the ISS with the real data (using the plan's pre-packed weights) and
+  /// compared against the reference.
+  void set_verify_with_sim(bool v) { verify_with_sim_ = v; }
+
+ private:
+  void exec_gemm_node(const CompiledPlan& plan, const PlanStep& step,
+                      const Node& node, const Tensor8& in,
+                      const Tensor8* b_operand, Tensor8& out);
+  void exec_vec_node(const Node& node,
+                     const std::vector<const Tensor8*>& in, Tensor8& out);
+  Cluster& verify_cluster(const CompileOptions& opt);
+
+  bool verify_with_sim_ = false;
+  std::unique_ptr<Cluster> verify_cluster_;
+  ClusterConfig verify_cfg_;  // config the verify cluster was built with
+};
+
+}  // namespace decimate

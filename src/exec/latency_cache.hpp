@@ -1,0 +1,94 @@
+#pragma once
+// Structured ISS latency cache.
+//
+// Each unique tile shape is simulated on the ISS exactly once; the result
+// is keyed by a typed (domain, kernel kind, M, geometry) tuple instead of
+// the stringly key the original schedule executor used. The cache is
+// shared: a Compiler threads one instance through every plan it builds
+// (CompiledPlan keeps a reference), so compiling N graphs — or executing
+// one plan over an arbitrarily large batch — re-simulates each unique
+// (kernel, tile geometry) only once.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+
+#include "compiler/graph.hpp"
+#include "kernels/abi.hpp"
+
+namespace decimate {
+
+struct TileKey {
+  enum class Domain : uint8_t { kConv, kFc, kVec };
+
+  Domain domain = Domain::kConv;
+  KernelKind kind = KernelKind::kConvDense1x2;  // gemm domains only
+  int m = 0;                                    // sparsity block (0 = dense)
+  OpType vec_op = OpType::kInput;               // vec domain only
+  std::array<int, 8> geom{};                    // domain-specific geometry
+
+  friend bool operator<(const TileKey& a, const TileKey& b) {
+    return std::tie(a.domain, a.kind, a.m, a.vec_op, a.geom) <
+           std::tie(b.domain, b.kind, b.m, b.vec_op, b.geom);
+  }
+  friend bool operator==(const TileKey& a, const TileKey& b) {
+    return std::tie(a.domain, a.kind, a.m, a.vec_op, a.geom) ==
+           std::tie(b.domain, b.kind, b.m, b.vec_op, b.geom);
+  }
+};
+
+inline TileKey conv_tile_key(KernelKind kind, int m, const ConvGeom& g) {
+  TileKey k;
+  k.domain = TileKey::Domain::kConv;
+  k.kind = kind;
+  k.m = m;
+  k.geom = {g.ix, g.iy, g.c, g.k, g.fx, g.fy, g.stride, g.pad};
+  return k;
+}
+
+inline TileKey fc_tile_key(KernelKind kind, int m, const FcGeom& g) {
+  TileKey k;
+  k.domain = TileKey::Domain::kFc;
+  k.kind = kind;
+  k.m = m;
+  k.geom = {g.tokens, g.c, g.k};
+  return k;
+}
+
+inline TileKey vec_tile_key(OpType op, int rows, int row_bytes, int extra = 0) {
+  TileKey k;
+  k.domain = TileKey::Domain::kVec;
+  k.vec_op = op;
+  k.geom = {rows, row_bytes, extra};
+  return k;
+}
+
+class TileLatencyCache {
+ public:
+  /// Return the cached cycle count for `key`, running `fn` (an ISS
+  /// simulation) only on the first request.
+  uint64_t measure(const TileKey& key, const std::function<uint64_t()>& fn) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    const uint64_t cycles = fn();
+    cache_.emplace(key, cycles);
+    return cycles;
+  }
+
+  size_t size() const { return cache_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::map<TileKey, uint64_t> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace decimate

@@ -1,0 +1,109 @@
+#pragma once
+// CompiledPlan: the immutable product of lowering a Graph (Sec. 4) —
+// per-node kernel choice, tile schedule, packed N:M weights, pre-built
+// kernel programs, L1/L2/L3 placement, and the full cycle/memory report.
+//
+// Compile once, execute many: every cycle number in this simulator is a
+// function of (kernel, tile geometry) alone — tiles are measured on the
+// ISS with synthetic data and cached — so the whole per-layer report is
+// input-independent and computed at compile time. The ExecutionEngine
+// only runs the numerics (reference ops, bit-exact mirrors of the
+// kernels) and stamps the precomputed reports onto each run.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/graph.hpp"
+#include "compiler/pattern.hpp"
+#include "compiler/tiling.hpp"
+#include "exec/latency_cache.hpp"
+#include "nn/nm_format.hpp"
+#include "sim/memory_map.hpp"
+
+namespace decimate {
+
+struct LayerReport {
+  std::string name;
+  std::string impl;            // kernel / vector-op implementing the node
+  int64_t macs = 0;            // dense-equivalent
+  uint64_t compute_cycles = 0; // Σ tile compute
+  uint64_t dma_cycles = 0;     // Σ tile DMA (un-overlapped view)
+  uint64_t total_cycles = 0;   // pipelined total
+  int64_t weight_bytes = 0;    // deployed storage (values+offsets+bias)
+  int tiles = 1;
+  double bits_per_weight = 0.0;
+
+  double macs_per_cycle() const {
+    return total_cycles ? static_cast<double>(macs) /
+                              static_cast<double>(total_cycles)
+                        : 0.0;
+  }
+};
+
+struct NetworkRun {
+  Tensor8 output;
+  uint64_t total_cycles = 0;
+  int64_t total_macs = 0;
+  int64_t weight_bytes = 0;
+  std::vector<LayerReport> layers;
+
+  double macs_per_cycle() const {
+    return total_cycles ? static_cast<double>(total_macs) /
+                              static_cast<double>(total_cycles)
+                        : 0.0;
+  }
+};
+
+/// Cycle cost of one tile in the double-buffered DMA pipeline.
+struct TileCost {
+  uint64_t compute = 0;
+  uint64_t dma_in = 0;
+  uint64_t dma_out = 0;
+};
+
+/// One graph node, lowered. Gemm fields are meaningful only for
+/// conv/fc/matmul nodes.
+struct PlanStep {
+  int node_id = 0;
+  OpType op = OpType::kInput;
+
+  // gemm lowering
+  KernelChoice choice;
+  ConvTilePlan conv_tiles;           // kConv2d
+  FcTilePlan fc_tiles;               // kFc / kMatmul
+  bool has_packed = false;           // sparse node with static weights
+  NmPacked packed;                   // pre-packed N:M values + offsets
+  const Program* program = nullptr;  // pre-built (kind, M) kernel program
+  MemRegion weight_region = MemRegion::kL2;
+
+  // cost model
+  std::vector<TileCost> tile_costs;  // per-tile, in schedule order
+  LayerReport report;                // precomputed, input-independent
+};
+
+struct CompiledPlan {
+  const Graph* graph = nullptr;  // must outlive the plan
+  CompileOptions options;
+  MemRegion weight_region = MemRegion::kL2;
+  int64_t weight_bytes = 0;   // total deployed (values+offsets+bias)
+  int64_t total_macs = 0;     // dense-equivalent
+  uint64_t total_cycles = 0;  // Σ per-layer pipelined totals
+  std::vector<PlanStep> steps;  // one per node, ids 1..graph->size()-1
+
+  /// The latency cache this plan was costed with; shared with the owning
+  /// Compiler so later compiles / engines reuse every ISS measurement.
+  std::shared_ptr<TileLatencyCache> latencies;
+
+  double macs_per_cycle() const {
+    return total_cycles ? static_cast<double>(total_macs) /
+                              static_cast<double>(total_cycles)
+                        : 0.0;
+  }
+};
+
+/// Deployed weight storage of one GEMM node under a kernel choice
+/// (NZ values + packed offsets + int32 bias), in bytes.
+int64_t deployed_weight_bytes(const Node& node, const KernelChoice& choice);
+
+}  // namespace decimate

@@ -1,7 +1,8 @@
-#include "kernels/launch.hpp"
+#include "exec/tile_runner.hpp"
 
 #include <cstring>
 #include <map>
+#include <mutex>
 
 #include "common/bitutil.hpp"
 #include "kernels/work_split.hpp"
@@ -54,9 +55,13 @@ void write_i32(SocMemory& mem, uint32_t addr, std::span<const int32_t> words) {
 
 }  // namespace
 
-const Program& KernelLauncher::program_for(KernelKind kind, int m) {
+const Program& TileRunner::program_for(KernelKind kind, int m) {
+  static std::mutex mutex;
   static std::map<std::pair<KernelKind, int>, Program> cache;
   const auto key = std::make_pair(kind, kernel_is_sparse(kind) ? m : 0);
+  // std::map nodes are stable, so references handed out earlier survive
+  // later insertions; entries are never mutated after insertion.
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(key);
   if (it == cache.end()) {
     Program prog = kernel_is_conv(kind) ? build_conv_kernel(kind, key.second)
@@ -66,7 +71,7 @@ const Program& KernelLauncher::program_for(KernelKind kind, int m) {
   return it->second;
 }
 
-NmLayout KernelLauncher::layout_for(KernelKind kind) {
+NmLayout TileRunner::layout_for(KernelKind kind) {
   switch (kind) {
     case KernelKind::kConvSparseSw:
     case KernelKind::kConvSparseIm2col:
@@ -81,8 +86,8 @@ NmLayout KernelLauncher::layout_for(KernelKind kind) {
   }
 }
 
-int KernelLauncher::inner_iters(KernelKind kind, int m, int dense_cols,
-                                int nz_padded) {
+int TileRunner::inner_iters(KernelKind kind, int m, int dense_cols,
+                            int nz_padded) {
   if (!kernel_is_sparse(kind)) {
     DECIMATE_CHECK(dense_cols % 4 == 0, "dense row length must be 4-aligned");
     return dense_cols / 4;
@@ -96,10 +101,10 @@ int KernelLauncher::inner_iters(KernelKind kind, int m, int dense_cols,
   return nz_padded / 4;
 }
 
-KernelRun KernelLauncher::conv(KernelKind kind, const ConvGeom& g,
-                               const Requant& rq, const Tensor8& input,
-                               const Tensor8* dense_w, const NmPacked* packed,
-                               const Tensor32& bias) {
+KernelRun TileRunner::conv(KernelKind kind, const ConvGeom& g,
+                           const Requant& rq, const Tensor8& input,
+                           const Tensor8* dense_w, const NmPacked* packed,
+                           const Tensor32& bias) {
   g.validate();
   DECIMATE_CHECK(kernel_is_conv(kind), "conv() needs a conv kernel kind");
   DECIMATE_CHECK(g.c % 4 == 0, "conv kernels need C % 4 == 0 (pad channels)");
@@ -133,13 +138,14 @@ KernelRun KernelLauncher::conv(KernelKind kind, const ConvGeom& g,
   const int ixp = g.ix + 2 * g.pad;
   const int oy = g.oy(), ox = g.ox();
   const int ncores = cluster_->num_cores();
-  const int buf_core =
-      static_cast<int>(round_up(g.fsz() + (sparse ? packed->gather_slack_bytes() : 0), 4));
+  const int buf_core = static_cast<int>(
+      round_up(g.fsz() + (sparse ? packed->gather_slack_bytes() : 0), 4));
   const int imcol_stride =
       (kind == KernelKind::kConvSparseIm2col) ? 4 * buf_core : 2 * buf_core;
 
   L1Alloc alloc(cluster_->l1_data_limit());
-  const uint32_t args_addr = alloc.take(ConvArgs::size_words(ncores) * 4, "args");
+  const uint32_t args_addr =
+      alloc.take(ConvArgs::size_words(ncores) * 4, "args");
   const uint32_t in_addr = alloc.take(padded.numel(), "input");
   uint32_t w_addr = 0, off_addr = 0;
   if (sparse) {
@@ -175,7 +181,8 @@ KernelRun KernelLauncher::conv(KernelKind kind, const ConvGeom& g,
   mem.fill(out_addr, static_cast<uint32_t>(oy) * ox * g.k, 0);
 
   // --- args block ---
-  std::vector<int32_t> args(static_cast<size_t>(ConvArgs::size_words(ncores)), 0);
+  std::vector<int32_t> args(static_cast<size_t>(ConvArgs::size_words(ncores)),
+                            0);
   args[ConvArgs::kInPtr] = static_cast<int32_t>(in_addr);
   args[ConvArgs::kOutPtr] = static_cast<int32_t>(out_addr);
   args[ConvArgs::kWPtr] = static_cast<int32_t>(w_addr);
@@ -218,10 +225,9 @@ KernelRun KernelLauncher::conv(KernelKind kind, const ConvGeom& g,
   return run;
 }
 
-KernelRun KernelLauncher::fc(KernelKind kind, const FcGeom& g,
-                             const Requant& rq, const Tensor8& input,
-                             const Tensor8* dense_w, const NmPacked* packed,
-                             const Tensor32& bias) {
+KernelRun TileRunner::fc(KernelKind kind, const FcGeom& g, const Requant& rq,
+                         const Tensor8& input, const Tensor8* dense_w,
+                         const NmPacked* packed, const Tensor32& bias) {
   g.validate();
   DECIMATE_CHECK(!kernel_is_conv(kind), "fc() needs an fc kernel kind");
   DECIMATE_CHECK(g.c % 4 == 0, "fc kernels need C % 4 == 0");
@@ -237,7 +243,8 @@ KernelRun KernelLauncher::fc(KernelKind kind, const FcGeom& g,
   int64_t slack = 0;
   if (sparse) {
     DECIMATE_CHECK(packed != nullptr, "sparse fc needs packed weights");
-    DECIMATE_CHECK(packed->layout == layout_for(kind), "packed layout mismatch");
+    DECIMATE_CHECK(packed->layout == layout_for(kind),
+                   "packed layout mismatch");
     DECIMATE_CHECK(packed->rows == g.k && packed->cols == g.c,
                    "packed dims mismatch with geometry");
     m = packed->m;
@@ -285,9 +292,11 @@ KernelRun KernelLauncher::fc(KernelKind kind, const FcGeom& g,
     mem.write_block(w_addr, wbuf);
   }
   write_i32(mem, bias_addr, bias.flat());
-  mem.fill(out_addr, static_cast<uint32_t>(g.tokens) * static_cast<uint32_t>(g.k), 0);
+  mem.fill(out_addr,
+           static_cast<uint32_t>(g.tokens) * static_cast<uint32_t>(g.k), 0);
 
-  std::vector<int32_t> args(static_cast<size_t>(FcArgs::size_words(ncores)), 0);
+  std::vector<int32_t> args(static_cast<size_t>(FcArgs::size_words(ncores)),
+                            0);
   args[FcArgs::kInPtr] = static_cast<int32_t>(in_addr);
   args[FcArgs::kOutPtr] = static_cast<int32_t>(out_addr);
   args[FcArgs::kWPtr] = static_cast<int32_t>(w_addr);

@@ -1,63 +1,57 @@
 #pragma once
-// Host-side kernel launcher: places operands in L1, fills the args block,
-// runs the cluster and reads the result back. This is the single-tile
-// execution path ("data already in L1", as the paper's kernels assume);
-// multi-tile layers with DMA double-buffering live in compiler/schedule.
+// Host-side kernel launcher — compatibility facade over exec::TileRunner,
+// which is the single home of L1 placement, args-block setup and requant
+// plumbing for single-tile conv/fc execution ("data already in L1", as the
+// paper's kernels assume). Multi-tile layers with DMA double-buffering are
+// planned by exec/compile and executed via exec/engine.
 
-#include "nn/layer_geometry.hpp"
-#include "nn/nm_format.hpp"
-#include "nn/quant.hpp"
+#include "exec/tile_runner.hpp"
 #include "nn/ref_ops.hpp"
-#include "kernels/kernels.hpp"
-#include "sim/cluster.hpp"
 
 namespace decimate {
 
-struct KernelRun {
-  Tensor8 output;
-  RunResult result;
-  int64_t dense_macs = 0;
-
-  double macs_per_cycle() const {
-    return result.wall_cycles == 0
-               ? 0.0
-               : static_cast<double>(dense_macs) /
-                     static_cast<double>(result.wall_cycles);
-  }
-};
-
 class KernelLauncher {
  public:
-  explicit KernelLauncher(Cluster& cluster) : cluster_(&cluster) {}
+  explicit KernelLauncher(Cluster& cluster) : runner_(cluster) {}
 
   /// Convolution. Dense kinds take `dense_w` ({K, FSZ}); sparse kinds take
   /// `packed` (layout must match the kind). Input is the *logical* tensor
-  /// {IY, IX, C}; padding is materialized into L1 by the launcher.
+  /// {IY, IX, C}; padding is materialized into L1 by the runner.
   KernelRun conv(KernelKind kind, const ConvGeom& g, const Requant& rq,
                  const Tensor8& input, const Tensor8* dense_w,
-                 const NmPacked* packed, const Tensor32& bias);
+                 const NmPacked* packed, const Tensor32& bias) {
+    return runner_.conv(kind, g, rq, input, dense_w, packed, bias);
+  }
 
   /// Fully-connected. Input {T, C}; dense weights {K, C} or packed.
   KernelRun fc(KernelKind kind, const FcGeom& g, const Requant& rq,
                const Tensor8& input, const Tensor8* dense_w,
-               const NmPacked* packed, const Tensor32& bias);
+               const NmPacked* packed, const Tensor32& bias) {
+    return runner_.fc(kind, g, rq, input, dense_w, packed, bias);
+  }
 
   /// Program cache shared by all launchers (programs depend only on
-  /// (kind, M)).
-  static const Program& program_for(KernelKind kind, int m);
+  /// (kind, M)); thread-safe.
+  static const Program& program_for(KernelKind kind, int m) {
+    return TileRunner::program_for(kind, m);
+  }
 
   /// The expected NmLayout for a sparse kernel kind.
-  static NmLayout layout_for(KernelKind kind);
+  static NmLayout layout_for(KernelKind kind) {
+    return TileRunner::layout_for(kind);
+  }
 
   /// Inner hardware-loop trip count for a geometry (dense row length or
   /// padded NZ count).
   static int inner_iters(KernelKind kind, int m, int dense_cols,
-                         int nz_padded);
+                         int nz_padded) {
+    return TileRunner::inner_iters(kind, m, dense_cols, nz_padded);
+  }
 
-  Cluster& cluster() { return *cluster_; }
+  Cluster& cluster() { return runner_.cluster(); }
 
  private:
-  Cluster* cluster_;
+  TileRunner runner_;
 };
 
 }  // namespace decimate

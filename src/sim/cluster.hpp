@@ -25,6 +25,8 @@ struct ClusterConfig {
   int barrier_cycles = 8;  // event-unit round trip per barrier epoch
   uint64_t max_cycles = 1ull << 40;
   uint32_t stack_bytes_per_core = 512;
+
+  bool operator==(const ClusterConfig&) const = default;
 };
 
 struct RunResult {

@@ -28,6 +28,8 @@ struct CoreConfig {
   int l2_access_penalty = 8;     // extra cycles for a core-issued L2 access
   int l3_access_penalty = 40;    // extra cycles for a core-issued L3 access
   bool xdec_forwarding = true;   // WB->EX forwarding inside the XFU
+
+  bool operator==(const CoreConfig&) const = default;
 };
 
 struct CoreStats {

@@ -200,15 +200,18 @@ std::vector<AccuracyPoint> accuracy_trend_experiment(int test_samples,
     AccuracyPoint pt;
     pt.m = m;
     pt.float_acc = mlp.accuracy(test_set);
-    // int8 deployment through the compiler/executor stack
+    // int8 deployment through the compiler/executor stack: compile the
+    // graph once, then run the engine over every test sample
     const Graph g = mlp.to_int8_graph(input_scale);
     CompileOptions copt;
     copt.enable_isa = true;
-    ScheduleExecutor exec(copt);
+    Compiler compiler(copt);
+    const CompiledPlan plan = compiler.compile(g);
+    ExecutionEngine engine;
     int correct = 0;
     for (int i = 0; i < test_set.size(); ++i) {
       const Tensor8 qx = mlp.quantize_input(test_set.sample(i), input_scale);
-      const NetworkRun run = exec.run(g, qx);
+      const NetworkRun run = engine.run(plan, qx);
       int pred = 0;
       for (int k = 1; k < classes; ++k) {
         if (run.output[k] > run.output[pred]) pred = k;

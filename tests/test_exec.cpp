@@ -1,0 +1,240 @@
+// Exec-layer tests: compile-once/execute-many. A CompiledPlan reused over
+// N inputs (or a batch) must be bit-exact — outputs AND per-layer cycle
+// reports — with N independent ScheduleExecutor::run calls, while each
+// unique (kernel, tile geometry) is simulated on the ISS only once across
+// the whole batch.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "compiler/schedule.hpp"
+#include "exec/compile.hpp"
+#include "exec/engine.hpp"
+#include "exec/tile_runner.hpp"
+#include "models/models.hpp"
+
+namespace decimate {
+namespace {
+
+void expect_same_report(const LayerReport& a, const LayerReport& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.impl, b.impl);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.compute_cycles, b.compute_cycles);
+  EXPECT_EQ(a.dma_cycles, b.dma_cycles);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.weight_bytes, b.weight_bytes);
+  EXPECT_EQ(a.tiles, b.tiles);
+  EXPECT_EQ(a.bits_per_weight, b.bits_per_weight);
+}
+
+void expect_same_run(const NetworkRun& a, const NetworkRun& b) {
+  EXPECT_TRUE(a.output == b.output);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.total_macs, b.total_macs);
+  EXPECT_EQ(a.weight_bytes, b.weight_bytes);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (size_t i = 0; i < a.layers.size(); ++i) {
+    expect_same_report(a.layers[i], b.layers[i]);
+  }
+}
+
+Graph scaled_resnet18(int sparsity_m = 8) {
+  Resnet18Options opt;
+  opt.sparsity_m = sparsity_m;
+  opt.input_hw = 16;  // scaled-down spatial size for test speed
+  return build_resnet18(opt);
+}
+
+Graph scaled_vit(int sparsity_m = 8) {
+  VitOptions opt;
+  opt.image_hw = 64;
+  opt.dim = 64;
+  opt.depth = 2;
+  opt.heads = 2;
+  opt.mlp = 256;
+  opt.sparsity_m = sparsity_m;
+  return build_vit(opt);
+}
+
+CompileOptions isa_options() {
+  CompileOptions opt;
+  opt.enable_isa = true;
+  return opt;
+}
+
+std::vector<Tensor8> distinct_inputs(const std::vector<int>& shape, int n,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor8> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(Tensor8::random(shape, rng));
+  return inputs;
+}
+
+TEST(Exec, PlanReuseBitExactWithFreshExecutorsResnet18) {
+  const Graph g = scaled_resnet18();
+  const CompileOptions opt = isa_options();
+  const auto inputs = distinct_inputs({16, 16, 4}, 4, 11);
+
+  Compiler compiler(opt);
+  const CompiledPlan plan = compiler.compile(g);
+  ExecutionEngine engine;
+
+  for (const Tensor8& input : inputs) {
+    const NetworkRun reused = engine.run(plan, input);
+    ScheduleExecutor fresh(opt);  // fresh latency cache, re-simulates
+    const NetworkRun reference = fresh.run(g, input);
+    expect_same_run(reused, reference);
+  }
+}
+
+TEST(Exec, RunBatchMatchesIndividualRunsResnet18) {
+  const Graph g = scaled_resnet18();
+  const auto inputs = distinct_inputs({16, 16, 4}, 4, 12);
+
+  Compiler compiler(isa_options());
+  const CompiledPlan plan = compiler.compile(g);
+  ExecutionEngine engine;
+  const std::vector<NetworkRun> batch = engine.run_batch(plan, inputs);
+
+  ASSERT_EQ(batch.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    expect_same_run(batch[i], engine.run(plan, inputs[i]));
+  }
+  // cycle reports are input-independent: identical across the batch
+  EXPECT_EQ(batch[0].total_cycles, batch[1].total_cycles);
+}
+
+TEST(Exec, RunBatchBitExactWithFreshExecutorsVit) {
+  const Graph g = scaled_vit();
+  const CompileOptions opt = isa_options();
+  const auto inputs = distinct_inputs({64, 64, 4}, 2, 13);
+
+  Compiler compiler(opt);
+  const CompiledPlan plan = compiler.compile(g);
+  ExecutionEngine engine;
+  const std::vector<NetworkRun> batch = engine.run_batch(plan, inputs);
+
+  ASSERT_EQ(batch.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    ScheduleExecutor fresh(opt);
+    expect_same_run(batch[i], fresh.run(g, inputs[i]));
+  }
+}
+
+TEST(Exec, UniqueTileSimulatedOnceAcrossBatch) {
+  const Graph g = scaled_resnet18();
+  Compiler compiler(isa_options());
+  const CompiledPlan plan = compiler.compile(g);
+
+  // every ISS simulation happened at compile time, one per unique tile
+  const uint64_t misses_after_compile = compiler.latencies().misses();
+  EXPECT_GT(misses_after_compile, 0u);
+  EXPECT_EQ(misses_after_compile, compiler.latencies().size());
+
+  ExecutionEngine engine;
+  const auto inputs = distinct_inputs({16, 16, 4}, 4, 14);
+  engine.run_batch(plan, inputs);
+  EXPECT_EQ(compiler.latencies().misses(), misses_after_compile);
+
+  // recompiling the same graph hits the cache for every tile
+  compiler.compile(g);
+  EXPECT_EQ(compiler.latencies().misses(), misses_after_compile);
+}
+
+TEST(Exec, LatencyCacheSharedAcrossCompilers) {
+  const Graph g = scaled_resnet18();
+  Compiler first(isa_options());
+  first.compile(g);
+  const uint64_t misses = first.latencies().misses();
+
+  Compiler second(isa_options(), first.shared_latencies());
+  second.compile(g);
+  EXPECT_EQ(second.latencies().misses(), misses);
+}
+
+TEST(Exec, PlanCarriesDeploymentArtifacts) {
+  const Graph g = scaled_resnet18();
+  Compiler compiler(isa_options());
+  const CompiledPlan plan = compiler.compile(g);
+
+  EXPECT_EQ(plan.graph, &g);
+  EXPECT_GT(plan.weight_bytes, 0);
+  EXPECT_GT(plan.total_cycles, 0u);
+  EXPECT_EQ(plan.weight_region, Compiler::weight_region(plan.weight_bytes));
+  EXPECT_EQ(plan.steps.size(), static_cast<size_t>(g.size() - 1));
+
+  int gemm_steps = 0, packed_steps = 0;
+  for (const PlanStep& step : plan.steps) {
+    const Node& node = g.node(step.node_id);
+    EXPECT_EQ(step.op, node.op);
+    if (node.op == OpType::kConv2d || node.op == OpType::kFc ||
+        node.op == OpType::kMatmul) {
+      ++gemm_steps;
+      EXPECT_NE(step.program, nullptr) << node.name;
+      EXPECT_GT(step.program->size(), 0) << node.name;
+      EXPECT_GT(step.report.tiles, 0) << node.name;
+      if (step.choice.sparse()) {
+        EXPECT_TRUE(step.has_packed) << node.name;
+        EXPECT_EQ(step.packed.m, step.choice.m) << node.name;
+        EXPECT_EQ(step.packed.layout,
+                  TileRunner::layout_for(step.choice.kind))
+            << node.name;
+        ++packed_steps;
+      }
+    }
+  }
+  EXPECT_GT(gemm_steps, 0);
+  EXPECT_EQ(packed_steps, 16);  // 8 residual blocks x 2 sparse 3x3 convs
+}
+
+TEST(Exec, VerifyWithSimOnReusedPlan) {
+  // Single-tile layers replay on the ISS with the plan's pre-packed
+  // weights; a reused plan must verify for every batch element.
+  VitOptions vopt;
+  vopt.image_hw = 32;
+  vopt.dim = 32;
+  vopt.depth = 1;
+  vopt.heads = 2;
+  vopt.mlp = 64;
+  vopt.sparsity_m = 8;
+  const Graph g = build_vit(vopt);
+
+  Compiler compiler(isa_options());
+  const CompiledPlan plan = compiler.compile(g);
+  ExecutionEngine engine;
+  engine.set_verify_with_sim(true);
+  const auto inputs = distinct_inputs({32, 32, 4}, 2, 15);
+  const auto batch = engine.run_batch(plan, inputs);  // throws on mismatch
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(Exec, ProgramCacheIsThreadSafe) {
+  const std::pair<KernelKind, int> wanted[] = {
+      {KernelKind::kConvDense4x2, 0},  {KernelKind::kConvDense1x2, 0},
+      {KernelKind::kConvSparseSw, 8},  {KernelKind::kConvSparseIsa, 16},
+      {KernelKind::kFcDense, 0},       {KernelKind::kFcSparseSw, 4},
+      {KernelKind::kFcSparseIsa, 8},
+  };
+  std::vector<std::thread> threads;
+  std::array<const Program*, 8 * std::size(wanted)> seen{};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t, &wanted, &seen] {
+      for (size_t i = 0; i < std::size(wanted); ++i) {
+        seen[t * std::size(wanted) + i] =
+            &TileRunner::program_for(wanted[i].first, wanted[i].second);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // all threads observed the same cached Program instances
+  for (size_t i = 0; i < std::size(wanted); ++i) {
+    for (int t = 1; t < 8; ++t) {
+      EXPECT_EQ(seen[t * std::size(wanted) + i], seen[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decimate
