@@ -1,0 +1,166 @@
+// Serving throughput of the pipelined batch engine: host images/sec and
+// modeled cycles/image for batch sizes {1, 4, 16} on ResNet18 (conv-
+// dominated) and the ViT FFN block (FC-dominated, compiled batch-fused so
+// weight DMA amortizes across images). Results land in BENCH_batch.json.
+//
+//   ./bench_batch_throughput [--smoke] [--out PATH]
+//
+// --smoke shrinks the models so CI can run the bench in seconds.
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exec/compile.hpp"
+#include "exec/engine.hpp"
+
+using namespace decimate;
+
+namespace {
+
+struct Row {
+  std::string model;
+  int batch = 0;
+  double images_per_sec = 0.0;
+  double modeled_cycles_per_image = 0.0;
+  uint64_t batch_cycles = 0;
+  uint64_t sequential_cycles = 0;
+  uint64_t weight_dma_per_image = 0;
+};
+
+Row time_batch(const std::string& model, const CompiledPlan& plan,
+               const std::vector<int>& in_shape, int batch) {
+  Rng rng(17);
+  std::vector<Tensor8> images;
+  images.reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    images.push_back(Tensor8::random(in_shape, rng));
+  }
+  ExecutionEngine engine;
+  const auto t0 = std::chrono::steady_clock::now();
+  const BatchRun run = engine.run_batch(plan, images);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  Row row;
+  row.model = model;
+  row.batch = batch;
+  row.images_per_sec = secs > 0.0 ? batch / secs : 0.0;
+  row.batch_cycles = run.batch_cycles;
+  row.sequential_cycles = run.sequential_cycles;
+  row.modeled_cycles_per_image = run.cycles_per_image();
+  for (const PlanStep& s : plan.steps) {
+    row.weight_dma_per_image += s.report.weight_dma_cycles;
+  }
+  return row;
+}
+
+Graph ffn_block(int tokens, int d, int hidden, int m, uint64_t seed) {
+  Rng rng(seed);
+  Graph g({tokens, d});
+  const auto fc = [&](const char* name, int in, int c, int k) {
+    Node n;
+    n.op = OpType::kFc;
+    n.name = name;
+    n.inputs = {in};
+    n.fc = FcGeom{.tokens = tokens, .c = c, .k = k};
+    n.weights = Tensor8::random({k, c}, rng);
+    if (m) nm_prune(n.weights.flat(), k, c, 1, m);
+    n.bias = Tensor32({k}, 0);
+    n.rq = calibrate_requant(c);
+    n.out_shape = {tokens, k};
+    return g.add(std::move(n));
+  };
+  fc("fc2", fc("fc1", 0, d, hidden), hidden, d);
+  return g;
+}
+
+void emit_json(std::ostream& os, bool smoke, const std::vector<Row>& rows) {
+  os << "{\n  \"bench\": \"batch_throughput\",\n  \"smoke\": "
+     << (smoke ? "true" : "false") << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"model\": \"" << r.model << "\", \"batch\": " << r.batch
+       << ", \"images_per_sec\": " << r.images_per_sec
+       << ", \"modeled_cycles_per_image\": " << r.modeled_cycles_per_image
+       << ", \"batch_cycles\": " << r.batch_cycles
+       << ", \"sequential_cycles\": " << r.sequential_cycles
+       << ", \"weight_dma_cycles_per_image\": " << r.weight_dma_per_image
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_batch.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_batch_throughput [--smoke] [--out PATH]\n";
+      return 1;
+    }
+  }
+  const std::vector<int> batches = {1, 4, 16};
+  std::vector<Row> rows;
+
+  // conv-dominated: one plan serves every batch size
+  Resnet18Options mopt;
+  mopt.sparsity_m = 8;
+  mopt.input_hw = smoke ? 16 : 32;
+  const Graph resnet = build_resnet18(mopt);
+  CompileOptions copt;
+  copt.enable_isa = true;
+  Compiler conv_compiler(copt);
+  const CompiledPlan conv_plan = conv_compiler.compile(resnet);
+  for (int b : batches) {
+    rows.push_back(time_batch("resnet18", conv_plan,
+                              {mopt.input_hw, mopt.input_hw, 4}, b));
+  }
+
+  // FC-dominated: recompile per batch size with batch-fused tiling, so
+  // each weight tile is fetched once per batch; tile measurements are
+  // shared across the compiles through one latency cache
+  const int tokens = smoke ? 96 : 196;
+  const int d = smoke ? 128 : 384;
+  const int hidden = smoke ? 512 : 1536;
+  const Graph ffn = ffn_block(tokens, d, hidden, 8, 11);
+  auto cache = conv_compiler.shared_latencies();
+  for (int b : batches) {
+    CompileOptions fopt = copt;
+    fopt.batch = b;
+    Compiler fc_compiler(fopt, cache);
+    const CompiledPlan plan = fc_compiler.compile(ffn);
+    rows.push_back(time_batch("vit_ffn", plan, {tokens, d}, b));
+  }
+
+  Table t({"model", "batch", "img/s", "Mcyc/img", "w-DMA kcyc/img",
+           "overlap"});
+  for (const Row& r : rows) {
+    t.add_row({r.model, std::to_string(r.batch),
+               Table::num(r.images_per_sec, 1),
+               Table::num(r.modeled_cycles_per_image / 1e6, 2),
+               Table::num(r.weight_dma_per_image / 1e3, 1),
+               Table::num(static_cast<double>(r.sequential_cycles) /
+                              static_cast<double>(r.batch_cycles), 3) + "x"});
+  }
+  std::cout << t;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  emit_json(out, smoke, rows);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

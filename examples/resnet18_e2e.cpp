@@ -36,8 +36,8 @@ int main() {
     images.push_back(Tensor8::random({32, 32, 4}, rng));
   }
   ExecutionEngine engine;
-  const std::vector<NetworkRun> batch = engine.run_batch(plan, images);
-  const NetworkRun& run = batch.front();
+  const BatchRun batch = engine.run_batch(plan, images);
+  const NetworkRun& run = batch.runs.front();
 
   Table t({"layer", "impl", "MMAC", "kcyc", "MAC/cyc", "tiles", "bits/w"});
   for (const auto& l : run.layers) {
@@ -51,12 +51,19 @@ int main() {
   std::cout << "total: " << Table::num(run.total_cycles / 1e6, 2) << " Mcyc, "
             << Table::num(run.macs_per_cycle(), 2) << " dense-equiv MAC/cyc, "
             << Table::num(run.weight_bytes / 1e6, 2) << " MB weights\n";
-  std::cout << "batch of " << batch.size() << " images: "
+  std::cout << "batch of " << batch.batch_size() << " images: "
             << compiler.latencies().size() << " unique tiles simulated once, "
             << compiler.latencies().hits() << " cache hits\n";
-  for (size_t b = 0; b < batch.size(); ++b) {
+  std::cout << "pipelined batch: "
+            << Table::num(batch.batch_cycles / 1e6, 2) << " Mcyc vs "
+            << Table::num(batch.sequential_cycles / 1e6, 2)
+            << " Mcyc sequential ("
+            << Table::num(batch.pipeline_speedup(), 3) << "x overlap)\n";
+  for (size_t b = 0; b < batch.runs.size(); ++b) {
     std::cout << "logits[" << b << "] (first 8): ";
-    for (int i = 0; i < 8; ++i) std::cout << int(batch[b].output[i]) << " ";
+    for (int i = 0; i < 8; ++i) {
+      std::cout << int(batch.runs[b].output[i]) << " ";
+    }
     std::cout << "\n";
   }
   return 0;

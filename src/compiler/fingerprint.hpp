@@ -1,0 +1,27 @@
+#pragma once
+// Graph / options identity fingerprints.
+//
+// A CompiledPlan is a pure function of (graph content, compile options):
+// kernel selection reads the weight values (the 1:M pattern matcher), the
+// cost model reads every geometry field, and the engine reads weights,
+// biases, LUTs and requant constants. A sound compile-once key therefore
+// hashes all of it — topology, geometry, op payloads, and the raw
+// parameter bytes — so two Graph objects with equal fingerprints lower to
+// identical plans and produce identical runs.
+//
+// 64-bit FNV-1a. Used by ScheduleExecutor's plan cache; a collision would
+// silently reuse the wrong plan, so everything the compiler or engine can
+// observe must be folded in.
+
+#include <cstdint>
+
+#include "compiler/graph.hpp"
+
+namespace decimate {
+
+/// Content fingerprint of a graph: node topology, shapes, geometries,
+/// requant constants, and all parameter tensors (weights/bias/LUTs/...).
+/// Options are not part of the key — they are fixed per ScheduleExecutor.
+uint64_t graph_fingerprint(const Graph& graph);
+
+}  // namespace decimate

@@ -17,6 +17,11 @@ struct CompileOptions {
   bool lockstep = false;       // TCDM-contention simulation mode
   bool xdec_forwarding = true; // XFU forwarding path present
   int num_cores = 8;
+  // Batch size the plan is costed for. When > 1, FC tiling fuses the batch
+  // dimension into FcGeom::tokens so each weight tile is fetched once per
+  // batch instead of once per image; reports stay per-image (amortized).
+  // Numerics are unaffected — FC rows are independent.
+  int batch = 1;
 };
 
 struct KernelChoice {

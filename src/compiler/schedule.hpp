@@ -1,14 +1,19 @@
 #pragma once
 // Schedule executor: runs a Graph end-to-end.
 //
-// Thin compile+execute wrapper over the exec subsystem, kept for API
-// compatibility: each run() lowers the graph with exec::Compiler into a
-// CompiledPlan and executes it with exec::ExecutionEngine. The ISS latency
-// cache lives in the Compiler and persists across run() calls, so repeated
-// runs re-simulate nothing. Callers that execute one graph many times (or
-// over batches) should hold a CompiledPlan directly — see exec/compile.hpp
-// and exec/engine.hpp.
+// Compile-once wrapper over the exec subsystem, kept for API
+// compatibility: run() lowers the graph with exec::Compiler into a
+// CompiledPlan *once* per distinct (graph content, options) identity —
+// keyed by a sound fingerprint of topology + geometry + parameters +
+// options — and reuses the cached plan on every later call, so repeated
+// runs neither re-simulate tiles nor re-pack weights. Callers that
+// execute one graph many times (or over batches) can still hold a
+// CompiledPlan directly — see exec/compile.hpp and exec/engine.hpp.
 
+#include <map>
+#include <memory>
+
+#include "compiler/fingerprint.hpp"
 #include "exec/compile.hpp"
 #include "exec/engine.hpp"
 
@@ -20,15 +25,26 @@ class ScheduleExecutor {
       : compiler_(opt) {}
 
   /// Execute the graph on `input`; returns the last node's output plus the
-  /// cycle/memory report.
+  /// cycle/memory report. The first call for a given graph identity
+  /// compiles; later calls reuse the cached plan.
   NetworkRun run(const Graph& graph, const Tensor8& input) {
-    const CompiledPlan plan = compiler_.compile(graph);
-    return engine_.run(plan, input);
+    return engine_.run(plan_for(graph), input);
+  }
+
+  /// Execute the graph over a batch through the pipelined engine.
+  BatchRun run_batch(const Graph& graph, std::span<const Tensor8> inputs) {
+    return engine_.run_batch(plan_for(graph), inputs);
   }
 
   /// Test mode: single-tile conv/fc layers are additionally replayed on
   /// the ISS with the real data and compared against the reference.
   void set_verify_with_sim(bool v) { engine_.set_verify_with_sim(v); }
+
+  /// Number of actual compiles performed (cache misses) — a repeated
+  /// graph must compile exactly once.
+  int compiles() const { return compiles_; }
+
+  const TileLatencyCache& latencies() const { return compiler_.latencies(); }
 
   /// Where this graph's weights live (decided by total deployed bytes).
   static MemRegion weight_region(int64_t deployed_bytes) {
@@ -36,8 +52,53 @@ class ScheduleExecutor {
   }
 
  private:
+  // Soundness requires hashing the graph *content* (kernel selection
+  // reads the weight values), so every call pays an O(parameter-bytes)
+  // scan. That replaces a full recompile + re-pack, but callers on a hot
+  // serving path should hold a CompiledPlan directly and skip the wrapper.
+  const CompiledPlan& plan_for(const Graph& graph) {
+    const uint64_t key = graph_fingerprint(graph);
+    ++tick_;
+    auto it = plans_.find(key);
+    if (it == plans_.end()) {
+      if (plans_.size() >= kMaxCachedPlans) {
+        auto lru = plans_.begin();
+        for (auto p = plans_.begin(); p != plans_.end(); ++p) {
+          if (p->second.last_use < lru->second.last_use) lru = p;
+        }
+        plans_.erase(lru);
+      }
+      ++compiles_;
+      it = plans_
+               .emplace(key, Entry{std::make_unique<CompiledPlan>(
+                                       compiler_.compile(graph)),
+                                   tick_})
+               .first;
+    } else {
+      // same content, possibly a different (or re-created) Graph object:
+      // re-point the cached plan at the caller's live graph so the engine
+      // never reads a stale pointer
+      it->second.plan->graph = &graph;
+      it->second.last_use = tick_;
+    }
+    return *it->second.plan;
+  }
+
+  // Bounds the cache when callers stream many distinct graph contents
+  // through one executor (e.g. re-running after weight updates): least-
+  // recently-used plans are evicted, so memory stays O(kMaxCachedPlans).
+  static constexpr size_t kMaxCachedPlans = 16;
+  struct Entry {
+    std::unique_ptr<CompiledPlan> plan;
+    uint64_t last_use = 0;
+  };
+
   Compiler compiler_;
   ExecutionEngine engine_;
+  // options are fixed per executor, so graph content alone keys the cache
+  std::map<uint64_t, Entry> plans_;
+  uint64_t tick_ = 0;
+  int compiles_ = 0;
 };
 
 }  // namespace decimate

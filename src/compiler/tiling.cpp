@@ -179,7 +179,12 @@ FcTilePlan plan_fc_tiles(const FcGeom& g, const KernelChoice& choice,
             static_cast<double>(theoretical_peak(choice));
         const double compute =
             static_cast<double>(g.macs()) / (peak * num_cores);
-        const double cost = std::max(dma, compute) +
+        // Secondary preference for less total DMA traffic: when compute
+        // hides the DMA entirely, max() alone cannot see weight re-fetches,
+        // so batch-fused token dims would never amortize weight DMA. The
+        // small traffic term steers near-ties toward schedules that fetch
+        // each weight tile once per (batched) token pass.
+        const double cost = std::max(dma, compute) + 0.01 * dma +
                             0.001 * static_cast<double>(n_tok * n_k);
         if (cost < best_cost) {
           best_cost = cost;

@@ -78,10 +78,15 @@ MemRegion Compiler::weight_region(int64_t deployed_bytes) {
   return deployed_bytes <= l2_budget ? MemRegion::kL2 : MemRegion::kL3;
 }
 
+int Compiler::tile_cfg() const {
+  return opt_.num_cores | (opt_.lockstep ? 1 << 8 : 0) |
+         (opt_.xdec_forwarding ? 1 << 9 : 0);
+}
+
 uint64_t Compiler::measure_conv_tile(const KernelChoice& choice,
                                      const ConvGeom& g) {
   return cache_->measure(
-      conv_tile_key(choice.kind, choice.m, g), [&]() -> uint64_t {
+      conv_tile_key(choice.kind, choice.m, g, tile_cfg()), [&]() -> uint64_t {
         TileRunner runner(cluster_);
         const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng_);
         Tensor32 bias({g.k}, 0);
@@ -103,7 +108,7 @@ uint64_t Compiler::measure_conv_tile(const KernelChoice& choice,
 uint64_t Compiler::measure_fc_tile(const KernelChoice& choice,
                                    const FcGeom& g) {
   return cache_->measure(
-      fc_tile_key(choice.kind, choice.m, g), [&]() -> uint64_t {
+      fc_tile_key(choice.kind, choice.m, g, tile_cfg()), [&]() -> uint64_t {
         TileRunner runner(cluster_);
         const Tensor8 input = Tensor8::random({g.tokens, g.c}, rng_);
         Tensor32 bias({g.k}, 0);
@@ -173,13 +178,15 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
         if (load_w) {
           const uint64_t w_bytes =
               static_cast<uint64_t>(k_len) * row.total() + 4ull * k_len;
-          tc.dma_in += dma_.cost_1d(w_bytes, w_region_, MemRegion::kL1);
+          uint64_t w_dma = dma_.cost_1d(w_bytes, w_region_, MemRegion::kL1);
           // separate-transfer ablation: extra startups
           for (int s = 1; s < startups_per_w; ++s) {
-            tc.dma_in += (w_region_ == MemRegion::kL3)
-                             ? dma_.config().l3_startup_cycles
-                             : dma_.config().l2_startup_cycles;
+            w_dma += (w_region_ == MemRegion::kL3)
+                         ? dma_.config().l3_startup_cycles
+                         : dma_.config().l2_startup_cycles;
           }
+          tc.dma_in += w_dma;
+          rep.weight_dma_cycles += w_dma;
         }
         tc.dma_out = dma_.cost_1d(
             static_cast<uint64_t>(oy_len) * g.ox() * k_len, MemRegion::kL1,
@@ -189,6 +196,7 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
         step.tile_costs.push_back(tc);
       }
     }
+    step.pipelined = plan.double_buffered;
     rep.total_cycles = plan.double_buffered
                            ? pipeline_total(step.tile_costs)
                            : rep.compute_cycles + rep.dma_cycles;
@@ -219,8 +227,16 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
     }
   }
 
+  // Batch-aware FC tiling: fuse the batch dimension into the token dim so
+  // the tile search sees all images' rows at once and each weight tile is
+  // fetched once per batch, not once per image. Matmul operands are
+  // per-image activations, so matmul never fuses.
+  const int batch =
+      (node.op == OpType::kFc) ? std::max(1, opt_.batch) : 1;
+
   // odd K with a pair kernel: pad the cycle-model geometry to even
   FcGeom cg = g;
+  cg.tokens = g.tokens * batch;
   if (choice.kind != KernelKind::kFcSparseSw && cg.k % 2 != 0) cg.k += 1;
   const FcTilePlan plan = plan_fc_tiles(cg, choice, opt_.num_cores, l1_budget);
   step.fc_tiles = plan;
@@ -261,12 +277,14 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
       if (load_w) {
         const uint64_t w_bytes =
             static_cast<uint64_t>(tg.k) * row.total() + 4ull * tg.k;
-        tc.dma_in += dma_.cost_1d(w_bytes, wreg, MemRegion::kL1);
+        uint64_t w_dma = dma_.cost_1d(w_bytes, wreg, MemRegion::kL1);
         for (int s = 1; s < startups_per_w; ++s) {
-          tc.dma_in += (wreg == MemRegion::kL3)
-                           ? dma_.config().l3_startup_cycles
-                           : dma_.config().l2_startup_cycles;
+          w_dma += (wreg == MemRegion::kL3)
+                       ? dma_.config().l3_startup_cycles
+                       : dma_.config().l2_startup_cycles;
         }
+        tc.dma_in += w_dma;
+        rep.weight_dma_cycles += w_dma;
       }
       tc.dma_out =
           dma_.cost_1d(static_cast<uint64_t>(tg.tokens) * tg.k,
@@ -276,10 +294,27 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
       step.tile_costs.push_back(tc);
     }
   }
-  rep.total_cycles = (plan.double_buffered
-                          ? pipeline_total(step.tile_costs)
-                          : rep.compute_cycles + rep.dma_cycles) +
-                     extra_cycles;
+  step.pipelined = plan.double_buffered;
+  step.serial_cycles = extra_cycles;
+  step.batch_fused = batch > 1;
+  const uint64_t batch_total = plan.double_buffered
+                                   ? pipeline_total(step.tile_costs)
+                                   : rep.compute_cycles + rep.dma_cycles;
+  if (batch > 1) {
+    // tile_costs — and rep.tiles — span the whole fused batch; the cycle
+    // fields are per-image amortized (rounded up), which is where the
+    // weight-DMA saving shows. The impl tag marks the mixed granularity.
+    rep.impl += "@b" + std::to_string(batch);
+    const auto amort = [batch](uint64_t v) {
+      return (v + static_cast<uint64_t>(batch) - 1) / batch;
+    };
+    rep.compute_cycles = amort(rep.compute_cycles);
+    rep.dma_cycles = amort(rep.dma_cycles);
+    rep.weight_dma_cycles = amort(rep.weight_dma_cycles);
+    rep.total_cycles = amort(batch_total) + extra_cycles;
+  } else {
+    rep.total_cycles = batch_total + extra_cycles;
+  }
 
   if (node.op == OpType::kFc && choice.sparse()) {
     step.packed = nm_pack(node.weights.flat(), g.k, g.c, choice.m,
@@ -311,6 +346,7 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
                                     static_cast<uint64_t>(w), MemRegion::kL2,
                                     MemRegion::kL2);
       rep.total_cycles = rep.dma_cycles;
+      step.serial_cycles = rep.total_cycles;
       return;
     }
     case OpType::kConcat: {
@@ -324,14 +360,17 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
                                        MemRegion::kL2, MemRegion::kL2);
       }
       rep.total_cycles = rep.dma_cycles;
+      step.serial_cycles = rep.total_cycles;
       return;
     }
     default: break;
   }
 
-  // cycles: chunked ISS measurement + DMA pipeline
+  // cycles: chunked ISS measurement + DMA pipeline. `key_extra`
+  // disambiguates shapes whose (rows, row_bytes) coincide (e.g. maxpool
+  // rows with equal 2*w*c products but different channel counts).
   auto chunked = [&](int total_rows, int row_bytes, int out_row_bytes,
-                     int l1_per_row,
+                     int l1_per_row, int key_extra,
                      const std::function<uint64_t(int)>& measure_rows) {
     const int64_t budget =
         (cluster_.l1_data_limit() - MemoryMap::kL1Base) - 4096;
@@ -340,8 +379,9 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
     rows_per_chunk = std::min(rows_per_chunk, total_rows);
     for (const auto& [s, e] : ranges_of(total_rows, rows_per_chunk)) {
       TileCost tc;
-      tc.compute = cache_->measure(vec_tile_key(node.op, e - s, row_bytes),
-                                   [&] { return measure_rows(e - s); });
+      tc.compute = cache_->measure(
+          vec_tile_key(node.op, e - s, row_bytes, key_extra, tile_cfg()),
+          [&] { return measure_rows(e - s); });
       tc.dma_in = dma_.cost_1d(static_cast<uint64_t>(e - s) * row_bytes,
                                MemRegion::kL2, MemRegion::kL1);
       tc.dma_out = dma_.cost_1d(static_cast<uint64_t>(e - s) * out_row_bytes,
@@ -356,15 +396,16 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
 
   switch (node.op) {
     case OpType::kRelu: {
-      const int words = static_cast<int>(in_numel / 4);
-      chunked(words, 4, 4, 8, [&](int rows) {
+      // round up: a numel % 4 tail still costs a word of compute and DMA
+      const int words = static_cast<int>((in_numel + 3) / 4);
+      chunked(words, 4, 4, 8, 0, [&](int rows) {
         Tensor8 chunk = Tensor8::random({rows * 4}, rng_);
         return run_relu(cluster_, chunk).result.wall_cycles;
       });
       break;
     }
     case OpType::kAdd: {
-      chunked(static_cast<int>(in_numel), 2, 1, 3, [&](int rows) {
+      chunked(static_cast<int>(in_numel), 2, 1, 3, 0, [&](int rows) {
         Tensor8 a = Tensor8::random({rows}, rng_);
         Tensor8 b = Tensor8::random({rows}, rng_);
         return run_add(cluster_, a, node.rq, b, node.rq2).result.wall_cycles;
@@ -372,7 +413,7 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
       break;
     }
     case OpType::kLut: {
-      chunked(static_cast<int>(in_numel), 1, 1, 2, [&](int rows) {
+      chunked(static_cast<int>(in_numel), 1, 1, 2, 0, [&](int rows) {
         Tensor8 chunk = Tensor8::random({rows}, rng_);
         return run_lut(cluster_, chunk, node.lut).result.wall_cycles;
       });
@@ -380,7 +421,9 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
     }
     case OpType::kMaxPool2: {
       const int h = in_shape[0], w = in_shape[1], c = in_shape[2];
-      chunked(h / 2, 2 * w * c, (w / 2) * c, 3 * w * c, [&](int rows) {
+      // c rides in the key's extra field: (w, c) pairs with equal 2*w*c
+      // products are different kernels with different cycle counts
+      chunked(h / 2, 2 * w * c, (w / 2) * c, 3 * w * c, c, [&](int rows) {
         Tensor8 chunk = Tensor8::random({2 * rows, w, c}, rng_);
         return run_maxpool2x2(cluster_, chunk).result.wall_cycles;
       });
@@ -389,10 +432,11 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
     case OpType::kAvgPool: {
       const int h = in_shape[0], w = in_shape[1], c = in_shape[2];
       TileCost tc;
-      tc.compute = cache_->measure(vec_tile_key(node.op, h, w, c), [&] {
-        Tensor8 chunk = Tensor8::random({h, w, c}, rng_);
-        return run_avgpool(cluster_, chunk, node.rq).result.wall_cycles;
-      });
+      tc.compute =
+          cache_->measure(vec_tile_key(node.op, h, w, c, tile_cfg()), [&] {
+            Tensor8 chunk = Tensor8::random({h, w, c}, rng_);
+            return run_avgpool(cluster_, chunk, node.rq).result.wall_cycles;
+          });
       tc.dma_in = dma_.cost_1d(in_numel, MemRegion::kL2, MemRegion::kL1);
       tc.dma_out = dma_.cost_1d(static_cast<uint64_t>(c), MemRegion::kL1,
                                 MemRegion::kL2);
@@ -404,7 +448,7 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
     }
     case OpType::kSoftmax: {
       const int t = in_shape[0], l = in_shape[1];
-      chunked(t, l, l, 3 * l, [&](int rows) {
+      chunked(t, l, l, 3 * l, 0, [&](int rows) {
         Tensor8 chunk = Tensor8::random({rows, l}, rng_);
         return run_softmax(cluster_, chunk, node.exp_lut).result.wall_cycles;
       });
@@ -412,7 +456,7 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
     }
     case OpType::kLayerNorm: {
       const int t = in_shape[0], l = in_shape[1];
-      chunked(t, l, l, 3 * l, [&](int rows) {
+      chunked(t, l, l, 3 * l, 0, [&](int rows) {
         Tensor8 chunk = Tensor8::random({rows, l}, rng_);
         return run_layernorm(cluster_, chunk, node.gamma, node.beta)
             .result.wall_cycles;
@@ -424,6 +468,8 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
 }
 
 CompiledPlan Compiler::compile(const Graph& graph) {
+  DECIMATE_CHECK(opt_.batch >= 1,
+                 "CompileOptions::batch must be >= 1, got " << opt_.batch);
   CompiledPlan plan;
   plan.graph = &graph;
   plan.options = opt_;

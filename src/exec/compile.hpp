@@ -37,6 +37,10 @@ class Compiler {
   static MemRegion weight_region(int64_t deployed_bytes);
 
  private:
+  /// Cluster-config salt for tile keys: measured cycles depend on the
+  /// core count / lockstep / forwarding configuration, and the cache may
+  /// be shared between compilers with different options.
+  int tile_cfg() const;
   uint64_t measure_conv_tile(const KernelChoice& choice, const ConvGeom& g);
   uint64_t measure_fc_tile(const KernelChoice& choice, const FcGeom& g);
   void compile_gemm_node(const Graph& graph, const Node& node, PlanStep& step);

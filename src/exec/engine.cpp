@@ -1,6 +1,10 @@
 #include "exec/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 #include "exec/tile_runner.hpp"
 #include "nn/ref_ops.hpp"
@@ -154,12 +158,16 @@ NetworkRun ExecutionEngine::run(const CompiledPlan& plan,
   std::vector<Tensor8> outputs(static_cast<size_t>(graph.size()));
   DECIMATE_CHECK(input.shape() == graph.node(0).out_shape,
                  "graph input shape mismatch");
-  outputs[0] = input;
+  // node 0's value is the caller's input, aliased — not copied: the
+  // O(input) deep copy per invocation is pure overhead on the serving path
+  std::vector<const Tensor8*> values(static_cast<size_t>(graph.size()),
+                                     nullptr);
+  values[0] = &input;
 
   for (const PlanStep& step : plan.steps) {
     const Node& node = graph.node(step.node_id);
     Tensor8& out = outputs[static_cast<size_t>(step.node_id)];
-    const Tensor8& in0 = outputs[static_cast<size_t>(node.inputs.at(0))];
+    const Tensor8& in0 = *values[static_cast<size_t>(node.inputs.at(0))];
     switch (node.op) {
       case OpType::kConv2d:
       case OpType::kFc:
@@ -167,13 +175,13 @@ NetworkRun ExecutionEngine::run(const CompiledPlan& plan,
         break;
       case OpType::kMatmul:
         exec_gemm_node(plan, step, node, in0,
-                       &outputs[static_cast<size_t>(node.inputs.at(1))], out);
+                       values[static_cast<size_t>(node.inputs.at(1))], out);
         break;
       default: {
         std::vector<const Tensor8*> ins;
         ins.reserve(node.inputs.size());
         for (int i : node.inputs) {
-          ins.push_back(&outputs[static_cast<size_t>(i)]);
+          ins.push_back(values[static_cast<size_t>(i)]);
         }
         exec_vec_node(node, ins, out);
         break;
@@ -181,20 +189,113 @@ NetworkRun ExecutionEngine::run(const CompiledPlan& plan,
     }
     DECIMATE_CHECK(out.shape() == node.out_shape,
                    "node " << node.name << " produced unexpected shape");
+    values[static_cast<size_t>(step.node_id)] = &out;
     net.total_cycles += step.report.total_cycles;
     net.total_macs += step.report.macs;
     net.layers.push_back(step.report);
   }
-  net.output = outputs.back();
+  if (plan.steps.empty()) {
+    net.output = input;
+  } else {
+    net.output = std::move(outputs.back());
+  }
   return net;
 }
 
-std::vector<NetworkRun> ExecutionEngine::run_batch(
-    const CompiledPlan& plan, std::span<const Tensor8> inputs) {
-  std::vector<NetworkRun> runs;
-  runs.reserve(inputs.size());
-  for (const Tensor8& input : inputs) runs.push_back(run(plan, input));
-  return runs;
+uint64_t ExecutionEngine::modeled_batch_cycles(const CompiledPlan& plan,
+                                               int n) {
+  if (n <= 0) return 0;
+  const int fused_b = std::max(1, plan.options.batch);
+  std::vector<TileCost> stream;
+  uint64_t total = 0;
+  const auto flush = [&] {
+    total += pipeline_total(stream);
+    stream.clear();
+  };
+  // A pipelined step's tiles join the running DMA/compute pipeline, so
+  // consecutive images/layers overlap each other's ramp-in/out. Serialized
+  // work (non-double-buffered tiles, marshalling DMA, matmul transpose)
+  // flushes the pipeline first.
+  const auto append_step = [&](const PlanStep& step) {
+    if (!step.tile_costs.empty()) {
+      if (step.pipelined) {
+        stream.insert(stream.end(), step.tile_costs.begin(),
+                      step.tile_costs.end());
+      } else {
+        flush();
+        for (const TileCost& tc : step.tile_costs) {
+          total += tc.compute + tc.dma_in + tc.dma_out;
+        }
+      }
+    }
+    if (step.serial_cycles != 0) {
+      flush();
+      total += step.serial_cycles;
+    }
+  };
+  if (fused_b > 1) {
+    // layer-major schedule: a batch-fused step's tile stream already
+    // spans a whole batch of fused_b images, so it runs once per batch
+    const int batches = (n + fused_b - 1) / fused_b;
+    for (const PlanStep& step : plan.steps) {
+      const int repeat = step.batch_fused ? batches : n;
+      for (int r = 0; r < repeat; ++r) append_step(step);
+    }
+  } else {
+    // image-major software pipeline: layer i+1 of image m overlaps layer
+    // i of image m+1
+    for (int img = 0; img < n; ++img) {
+      for (const PlanStep& step : plan.steps) append_step(step);
+    }
+  }
+  flush();
+  return total;
+}
+
+BatchRun ExecutionEngine::run_batch(const CompiledPlan& plan,
+                                    std::span<const Tensor8> inputs) {
+  BatchRun out;
+  const int n = static_cast<int>(inputs.size());
+  out.runs.resize(static_cast<size_t>(n));
+
+  int workers = workers_ > 0
+                    ? workers_
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  workers = std::clamp(workers, 1, std::max(1, n));
+  if (verify_with_sim_) workers = 1;  // the verify cluster is shared state
+
+  if (workers == 1) {
+    for (int i = 0; i < n; ++i) out.runs[static_cast<size_t>(i)] =
+        run(plan, inputs[static_cast<size_t>(i)]);
+  } else {
+    // work-claiming pipeline: each worker advances one image through the
+    // plan's steps front-to-back, so at any moment the batch occupies
+    // different pipeline depths (layer i+1 of image m concurrent with
+    // layer i of image m+1)
+    std::atomic<int> next{0};
+    std::mutex err_mu;
+    std::exception_ptr err;
+    const auto work = [&] {
+      try {
+        for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          out.runs[static_cast<size_t>(i)] =
+              run(plan, inputs[static_cast<size_t>(i)]);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+    if (err) std::rethrow_exception(err);
+  }
+
+  for (const NetworkRun& r : out.runs) out.sequential_cycles += r.total_cycles;
+  out.batch_cycles = modeled_batch_cycles(plan, n);
+  return out;
 }
 
 }  // namespace decimate

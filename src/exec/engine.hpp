@@ -8,31 +8,78 @@
 // reports were fixed at compile time, so no ISS simulation happens on the
 // execution path — each unique (kernel, tile geometry) was simulated
 // exactly once when the plan was built, however large the batch.
+//
+// run_batch is a software pipeline: images advance through the plan's
+// steps concurrently on a worker pool (layer i+1 of image n overlaps
+// layer i of image n+1), and the BatchRun cycle model merges the
+// per-step tile streams across images so DMA ramp-in/out overlaps
+// instead of summing independent per-image totals.
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "exec/compile.hpp"
 #include "sim/cluster.hpp"
 
 namespace decimate {
 
+/// Aggregate of a pipelined batch execution. Per-image outputs and
+/// reports are bit-exact with N sequential run() calls; the batch cycle
+/// model additionally accounts cross-image DMA/compute overlap.
+struct BatchRun {
+  std::vector<NetworkRun> runs;  // one per input, in input order
+
+  /// Modeled cycles for the whole batch under cross-image double
+  /// buffering: tile streams of consecutive images/layers merge into one
+  /// DMA/compute pipeline (image-major; batch-fused FC steps contribute
+  /// their whole-batch stream once per compiled batch).
+  uint64_t batch_cycles = 0;
+
+  /// Σ independent per-image totals — the no-overlap baseline.
+  uint64_t sequential_cycles = 0;
+
+  int batch_size() const { return static_cast<int>(runs.size()); }
+  double cycles_per_image() const {
+    return runs.empty() ? 0.0
+                        : static_cast<double>(batch_cycles) /
+                              static_cast<double>(runs.size());
+  }
+  double pipeline_speedup() const {
+    return batch_cycles ? static_cast<double>(sequential_cycles) /
+                              static_cast<double>(batch_cycles)
+                        : 0.0;
+  }
+};
+
 class ExecutionEngine {
  public:
   ExecutionEngine() = default;
 
   /// Execute the plan's graph on `input`; returns the last node's output
-  /// plus the cycle/memory report.
+  /// plus the cycle/memory report. Thread-safe while verify mode is off.
   NetworkRun run(const CompiledPlan& plan, const Tensor8& input);
 
-  /// Execute the plan over a batch of independent inputs.
-  std::vector<NetworkRun> run_batch(const CompiledPlan& plan,
-                                    std::span<const Tensor8> inputs);
+  /// Execute the plan over a batch of independent inputs on a worker
+  /// pool; outputs are bit-exact with per-image run() calls.
+  BatchRun run_batch(const CompiledPlan& plan,
+                     std::span<const Tensor8> inputs);
+
+  /// Worker threads for run_batch. 0 (default) = min(batch size,
+  /// hardware concurrency). Verify mode always runs single-threaded
+  /// (the verify cluster is shared state).
+  void set_workers(int n) { workers_ = n; }
 
   /// Test mode: single-tile conv/fc layers are additionally replayed on
   /// the ISS with the real data (using the plan's pre-packed weights) and
   /// compared against the reference.
   void set_verify_with_sim(bool v) { verify_with_sim_ = v; }
+
+  /// The BatchRun cycle model for `n` images of `plan`, exposed for
+  /// benches and tests: per-step tile streams are concatenated (with
+  /// flushes at serialized/non-pipelined steps) and costed as one
+  /// double-buffered pipeline.
+  static uint64_t modeled_batch_cycles(const CompiledPlan& plan, int n);
 
  private:
   void exec_gemm_node(const CompiledPlan& plan, const PlanStep& step,
@@ -43,6 +90,7 @@ class ExecutionEngine {
   Cluster& verify_cluster(const CompileOptions& opt);
 
   bool verify_with_sim_ = false;
+  int workers_ = 0;
   std::unique_ptr<Cluster> verify_cluster_;
   ClusterConfig verify_cfg_;  // config the verify cluster was built with
 };

@@ -2,17 +2,27 @@
 // Structured ISS latency cache.
 //
 // Each unique tile shape is simulated on the ISS exactly once; the result
-// is keyed by a typed (domain, kernel kind, M, geometry) tuple instead of
-// the stringly key the original schedule executor used. The cache is
-// shared: a Compiler threads one instance through every plan it builds
-// (CompiledPlan keeps a reference), so compiling N graphs — or executing
-// one plan over an arbitrarily large batch — re-simulates each unique
-// (kernel, tile geometry) only once.
+// is keyed by a typed (domain, kernel kind, M, geometry, cluster config)
+// tuple instead of the stringly key the original schedule executor used.
+// The cache is shared: a Compiler threads one instance through every plan
+// it builds (CompiledPlan keeps a reference), so compiling N graphs — or
+// executing one plan over an arbitrarily large batch — re-simulates each
+// unique (kernel, tile geometry) only once.
+//
+// Thread safety: measure() may be called from concurrent compiles and the
+// batch-pipeline workers. The map is mutex-guarded, and each key holds a
+// shared_future so the first caller simulates while later callers for the
+// same key wait on the in-flight result instead of re-simulating — the
+// exactly-once guarantee holds under concurrency too. If the owning
+// simulation throws, every waiter rethrows and the entry is erased so a
+// later call can retry.
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "compiler/graph.hpp"
@@ -27,40 +37,47 @@ struct TileKey {
   KernelKind kind = KernelKind::kConvDense1x2;  // gemm domains only
   int m = 0;                                    // sparsity block (0 = dense)
   OpType vec_op = OpType::kInput;               // vec domain only
+  int cfg = 0;  // cluster-config salt (cores/lockstep/forwarding)
   std::array<int, 8> geom{};                    // domain-specific geometry
 
   friend bool operator<(const TileKey& a, const TileKey& b) {
-    return std::tie(a.domain, a.kind, a.m, a.vec_op, a.geom) <
-           std::tie(b.domain, b.kind, b.m, b.vec_op, b.geom);
+    return std::tie(a.domain, a.kind, a.m, a.vec_op, a.cfg, a.geom) <
+           std::tie(b.domain, b.kind, b.m, b.vec_op, b.cfg, b.geom);
   }
   friend bool operator==(const TileKey& a, const TileKey& b) {
-    return std::tie(a.domain, a.kind, a.m, a.vec_op, a.geom) ==
-           std::tie(b.domain, b.kind, b.m, b.vec_op, b.geom);
+    return std::tie(a.domain, a.kind, a.m, a.vec_op, a.cfg, a.geom) ==
+           std::tie(b.domain, b.kind, b.m, b.vec_op, b.cfg, b.geom);
   }
 };
 
-inline TileKey conv_tile_key(KernelKind kind, int m, const ConvGeom& g) {
+inline TileKey conv_tile_key(KernelKind kind, int m, const ConvGeom& g,
+                             int cfg = 0) {
   TileKey k;
   k.domain = TileKey::Domain::kConv;
   k.kind = kind;
   k.m = m;
+  k.cfg = cfg;
   k.geom = {g.ix, g.iy, g.c, g.k, g.fx, g.fy, g.stride, g.pad};
   return k;
 }
 
-inline TileKey fc_tile_key(KernelKind kind, int m, const FcGeom& g) {
+inline TileKey fc_tile_key(KernelKind kind, int m, const FcGeom& g,
+                           int cfg = 0) {
   TileKey k;
   k.domain = TileKey::Domain::kFc;
   k.kind = kind;
   k.m = m;
+  k.cfg = cfg;
   k.geom = {g.tokens, g.c, g.k};
   return k;
 }
 
-inline TileKey vec_tile_key(OpType op, int rows, int row_bytes, int extra = 0) {
+inline TileKey vec_tile_key(OpType op, int rows, int row_bytes, int extra = 0,
+                            int cfg = 0) {
   TileKey k;
   k.domain = TileKey::Domain::kVec;
   k.vec_op = op;
+  k.cfg = cfg;
   k.geom = {rows, row_bytes, extra};
   return k;
 }
@@ -68,25 +85,55 @@ inline TileKey vec_tile_key(OpType op, int rows, int row_bytes, int extra = 0) {
 class TileLatencyCache {
  public:
   /// Return the cached cycle count for `key`, running `fn` (an ISS
-  /// simulation) only on the first request.
+  /// simulation) only on the first request. Safe to call concurrently;
+  /// racing callers for the same key block on one shared simulation.
   uint64_t measure(const TileKey& key, const std::function<uint64_t()>& fn) {
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++hits_;
-      return it->second;
+    std::promise<uint64_t> prom;
+    std::shared_future<uint64_t> fut;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++hits_;
+        fut = it->second;
+      } else {
+        fut = prom.get_future().share();
+        cache_.emplace(key, fut);
+        ++misses_;
+        owner = true;
+      }
     }
-    ++misses_;
-    const uint64_t cycles = fn();
-    cache_.emplace(key, cycles);
-    return cycles;
+    if (owner) {
+      try {
+        prom.set_value(fn());
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          cache_.erase(key);
+        }
+        prom.set_exception(std::current_exception());
+      }
+    }
+    return fut.get();
   }
 
-  size_t size() const { return cache_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
-  std::map<TileKey, uint64_t> cache_;
+  mutable std::mutex mu_;
+  std::map<TileKey, std::shared_future<uint64_t>> cache_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

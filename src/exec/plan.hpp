@@ -29,9 +29,10 @@ struct LayerReport {
   int64_t macs = 0;            // dense-equivalent
   uint64_t compute_cycles = 0; // Σ tile compute
   uint64_t dma_cycles = 0;     // Σ tile DMA (un-overlapped view)
+  uint64_t weight_dma_cycles = 0;  // weight-fetch part of dma_cycles
   uint64_t total_cycles = 0;   // pipelined total
   int64_t weight_bytes = 0;    // deployed storage (values+offsets+bias)
-  int tiles = 1;
+  int tiles = 1;  // batch-fused FC steps ("...@bN" impl): whole-batch count
   double bits_per_weight = 0.0;
 
   double macs_per_cycle() const {
@@ -79,6 +80,13 @@ struct PlanStep {
 
   // cost model
   std::vector<TileCost> tile_costs;  // per-tile, in schedule order
+  bool pipelined = true;    // tiles double-buffer (join the cross-layer
+                            // DMA pipeline); false: DMA serializes
+  uint64_t serial_cycles = 0;  // non-overlappable extras (marshalling DMA,
+                               // matmul transpose) outside tile_costs
+  bool batch_fused = false;    // FC tiles cover options.batch images at
+                               // once; tile_costs span the whole batch and
+                               // the report is per-image amortized
   LayerReport report;                // precomputed, input-independent
 };
 

@@ -201,17 +201,23 @@ std::vector<AccuracyPoint> accuracy_trend_experiment(int test_samples,
     pt.m = m;
     pt.float_acc = mlp.accuracy(test_set);
     // int8 deployment through the compiler/executor stack: compile the
-    // graph once, then run the engine over every test sample
+    // graph once, then stream the whole test set through the pipelined
+    // batch engine in one call
     const Graph g = mlp.to_int8_graph(input_scale);
     CompileOptions copt;
     copt.enable_isa = true;
     Compiler compiler(copt);
     const CompiledPlan plan = compiler.compile(g);
     ExecutionEngine engine;
+    std::vector<Tensor8> qx;
+    qx.reserve(static_cast<size_t>(test_set.size()));
+    for (int i = 0; i < test_set.size(); ++i) {
+      qx.push_back(mlp.quantize_input(test_set.sample(i), input_scale));
+    }
+    const BatchRun batch = engine.run_batch(plan, qx);
     int correct = 0;
     for (int i = 0; i < test_set.size(); ++i) {
-      const Tensor8 qx = mlp.quantize_input(test_set.sample(i), input_scale);
-      const NetworkRun run = engine.run(plan, qx);
+      const NetworkRun& run = batch.runs[static_cast<size_t>(i)];
       int pred = 0;
       for (int k = 1; k < classes; ++k) {
         if (run.output[k] > run.output[pred]) pred = k;

@@ -23,6 +23,7 @@ void expect_same_report(const LayerReport& a, const LayerReport& b) {
   EXPECT_EQ(a.macs, b.macs);
   EXPECT_EQ(a.compute_cycles, b.compute_cycles);
   EXPECT_EQ(a.dma_cycles, b.dma_cycles);
+  EXPECT_EQ(a.weight_dma_cycles, b.weight_dma_cycles);
   EXPECT_EQ(a.total_cycles, b.total_cycles);
   EXPECT_EQ(a.weight_bytes, b.weight_bytes);
   EXPECT_EQ(a.tiles, b.tiles);
@@ -96,14 +97,20 @@ TEST(Exec, RunBatchMatchesIndividualRunsResnet18) {
   Compiler compiler(isa_options());
   const CompiledPlan plan = compiler.compile(g);
   ExecutionEngine engine;
-  const std::vector<NetworkRun> batch = engine.run_batch(plan, inputs);
+  const BatchRun batch = engine.run_batch(plan, inputs);
 
-  ASSERT_EQ(batch.size(), inputs.size());
+  ASSERT_EQ(batch.runs.size(), inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {
-    expect_same_run(batch[i], engine.run(plan, inputs[i]));
+    expect_same_run(batch.runs[i], engine.run(plan, inputs[i]));
   }
   // cycle reports are input-independent: identical across the batch
-  EXPECT_EQ(batch[0].total_cycles, batch[1].total_cycles);
+  EXPECT_EQ(batch.runs[0].total_cycles, batch.runs[1].total_cycles);
+  // the pipelined batch model overlaps DMA across images: never slower
+  // than the independent per-image sum, and both are populated
+  EXPECT_GT(batch.batch_cycles, 0u);
+  EXPECT_EQ(batch.sequential_cycles,
+            batch.runs[0].total_cycles * batch.runs.size());
+  EXPECT_LE(batch.batch_cycles, batch.sequential_cycles);
 }
 
 TEST(Exec, RunBatchBitExactWithFreshExecutorsVit) {
@@ -114,12 +121,12 @@ TEST(Exec, RunBatchBitExactWithFreshExecutorsVit) {
   Compiler compiler(opt);
   const CompiledPlan plan = compiler.compile(g);
   ExecutionEngine engine;
-  const std::vector<NetworkRun> batch = engine.run_batch(plan, inputs);
+  const BatchRun batch = engine.run_batch(plan, inputs);
 
-  ASSERT_EQ(batch.size(), inputs.size());
+  ASSERT_EQ(batch.runs.size(), inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {
     ScheduleExecutor fresh(opt);
-    expect_same_run(batch[i], fresh.run(g, inputs[i]));
+    expect_same_run(batch.runs[i], fresh.run(g, inputs[i]));
   }
 }
 
@@ -207,7 +214,7 @@ TEST(Exec, VerifyWithSimOnReusedPlan) {
   engine.set_verify_with_sim(true);
   const auto inputs = distinct_inputs({32, 32, 4}, 2, 15);
   const auto batch = engine.run_batch(plan, inputs);  // throws on mismatch
-  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.runs.size(), 2u);
 }
 
 TEST(Exec, ProgramCacheIsThreadSafe) {
