@@ -1,7 +1,9 @@
 // Serving throughput of the pipelined batch engine: host images/sec and
 // modeled cycles/image for batch sizes {1, 4, 16} on ResNet18 (conv-
-// dominated) and the ViT FFN block (FC-dominated, compiled batch-fused so
-// weight DMA amortizes across images). Results land in BENCH_batch.json.
+// dominated) and the ViT FFN block (FC-dominated). Both recompile per
+// batch size with batch-fused tiling — FC fuses the batch into the token
+// dim, conv into the OY tile loop — so weight DMA amortizes across the
+// images of a batch. Results land in BENCH_batch.json.
 //
 //   ./bench_batch_throughput [--smoke] [--out PATH]
 //
@@ -59,26 +61,6 @@ Row time_batch(const std::string& model, const CompiledPlan& plan,
   return row;
 }
 
-Graph ffn_block(int tokens, int d, int hidden, int m, uint64_t seed) {
-  Rng rng(seed);
-  Graph g({tokens, d});
-  const auto fc = [&](const char* name, int in, int c, int k) {
-    Node n;
-    n.op = OpType::kFc;
-    n.name = name;
-    n.inputs = {in};
-    n.fc = FcGeom{.tokens = tokens, .c = c, .k = k};
-    n.weights = Tensor8::random({k, c}, rng);
-    if (m) nm_prune(n.weights.flat(), k, c, 1, m);
-    n.bias = Tensor32({k}, 0);
-    n.rq = calibrate_requant(c);
-    n.out_shape = {tokens, k};
-    return g.add(std::move(n));
-  };
-  fc("fc2", fc("fc1", 0, d, hidden), hidden, d);
-  return g;
-}
-
 void emit_json(std::ostream& os, bool smoke, const std::vector<Row>& rows) {
   os << "{\n  \"bench\": \"batch_throughput\",\n  \"smoke\": "
      << (smoke ? "true" : "false") << ",\n  \"results\": [\n";
@@ -113,28 +95,33 @@ int main(int argc, char** argv) {
   const std::vector<int> batches = {1, 4, 16};
   std::vector<Row> rows;
 
-  // conv-dominated: one plan serves every batch size
+  // per-batch-size compiles share one latency cache, so tile
+  // measurements never repeat across the fused plans
+  CompileOptions copt;
+  copt.enable_isa = true;
+  auto cache = std::make_shared<TileLatencyCache>();
+
+  // conv-dominated: conv fusion keeps each weight tile resident across
+  // the batch's row sweeps (K-outer order)
   Resnet18Options mopt;
   mopt.sparsity_m = 8;
   mopt.input_hw = smoke ? 16 : 32;
   const Graph resnet = build_resnet18(mopt);
-  CompileOptions copt;
-  copt.enable_isa = true;
-  Compiler conv_compiler(copt);
-  const CompiledPlan conv_plan = conv_compiler.compile(resnet);
   for (int b : batches) {
-    rows.push_back(time_batch("resnet18", conv_plan,
-                              {mopt.input_hw, mopt.input_hw, 4}, b));
+    CompileOptions fopt = copt;
+    fopt.batch = b;
+    Compiler conv_compiler(fopt, cache);
+    const CompiledPlan plan = conv_compiler.compile(resnet);
+    rows.push_back(
+        time_batch("resnet18", plan, {mopt.input_hw, mopt.input_hw, 4}, b));
   }
 
-  // FC-dominated: recompile per batch size with batch-fused tiling, so
-  // each weight tile is fetched once per batch; tile measurements are
-  // shared across the compiles through one latency cache
+  // FC-dominated: the batch fuses into the token dim, so each weight
+  // tile is fetched once per batch
   const int tokens = smoke ? 96 : 196;
   const int d = smoke ? 128 : 384;
   const int hidden = smoke ? 512 : 1536;
-  const Graph ffn = ffn_block(tokens, d, hidden, 8, 11);
-  auto cache = conv_compiler.shared_latencies();
+  const Graph ffn = build_ffn_block(tokens, d, hidden, 8, 11);
   for (int b : batches) {
     CompileOptions fopt = copt;
     fopt.batch = b;

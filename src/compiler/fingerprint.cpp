@@ -75,4 +75,25 @@ uint64_t graph_fingerprint(const Graph& graph) {
   return f.h;
 }
 
+uint64_t options_fingerprint(const CompileOptions& opt) {
+  Fnv f;
+  f.i32(opt.enable_sparse ? 1 : 0);
+  f.i32(opt.enable_isa ? 1 : 0);
+  f.i32(opt.pulpnn_dense ? 1 : 0);
+  f.i32(opt.interleaved_weights ? 1 : 0);
+  f.i32(opt.lockstep ? 1 : 0);
+  f.i32(opt.xdec_forwarding ? 1 : 0);
+  f.i32(opt.num_cores);
+  f.i32(opt.batch);
+  f.i32(opt.num_clusters);
+  return f.h;
+}
+
+uint64_t plan_fingerprint(const Graph& graph, const CompileOptions& opt) {
+  Fnv f;
+  f.u64(graph_fingerprint(graph));
+  f.u64(options_fingerprint(opt));
+  return f.h;
+}
+
 }  // namespace decimate

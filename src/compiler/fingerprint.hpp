@@ -16,12 +16,26 @@
 #include <cstdint>
 
 #include "compiler/graph.hpp"
+#include "compiler/pattern.hpp"
 
 namespace decimate {
 
 /// Content fingerprint of a graph: node topology, shapes, geometries,
 /// requant constants, and all parameter tensors (weights/bias/LUTs/...).
-/// Options are not part of the key — they are fixed per ScheduleExecutor.
+/// Carries no compile options — combine with options_fingerprint (or use
+/// plan_fingerprint) whenever plans under different options share a cache.
 uint64_t graph_fingerprint(const Graph& graph);
+
+/// Fingerprint of every compile option that shapes a plan: kernel
+/// selection flags, cluster configuration, batch fusion, and the shard
+/// config (num_clusters changes tile grids, so two shard counts must
+/// never collide in a plan cache).
+uint64_t options_fingerprint(const CompileOptions& opt);
+
+/// Plan identity: a CompiledPlan is a pure function of (graph content,
+/// options), so this is the sound key for any cache that outlives a
+/// single Compiler — the ScheduleExecutor plan cache and the
+/// MultiClusterEngine shard-plan cache both key on it.
+uint64_t plan_fingerprint(const Graph& graph, const CompileOptions& opt);
 
 }  // namespace decimate

@@ -19,9 +19,18 @@ struct CompileOptions {
   int num_cores = 8;
   // Batch size the plan is costed for. When > 1, FC tiling fuses the batch
   // dimension into FcGeom::tokens so each weight tile is fetched once per
-  // batch instead of once per image; reports stay per-image (amortized).
-  // Numerics are unaffected — FC rows are independent.
+  // batch instead of once per image, and conv tiling fuses the batch into
+  // the OY tile loop (K tiles outer, all images' row tiles swept per
+  // weight residency) so conv weight DMA amortizes the same way; reports
+  // stay per-image (amortized). Numerics are unaffected — images are
+  // independent.
   int batch = 1;
+  // Cluster count the plan is sharded across (see shard/). When > 1, the
+  // tile search is constrained to produce at least this many tiles per
+  // gemm/vector step where the geometry allows, so the ShardPlanner can
+  // hand every cluster work. Changes tile schedules (and therefore plan
+  // identity — plan_fingerprint salts on it); numerics are unaffected.
+  int num_clusters = 1;
 };
 
 struct KernelChoice {

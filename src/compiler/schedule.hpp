@@ -56,8 +56,11 @@ class ScheduleExecutor {
   // reads the weight values), so every call pays an O(parameter-bytes)
   // scan. That replaces a full recompile + re-pack, but callers on a hot
   // serving path should hold a CompiledPlan directly and skip the wrapper.
+  // Options are fixed per executor, but the key still salts on them
+  // (plan_fingerprint) so shard/batch configs can never collide if the
+  // cache is ever shared more widely.
   const CompiledPlan& plan_for(const Graph& graph) {
-    const uint64_t key = graph_fingerprint(graph);
+    const uint64_t key = plan_fingerprint(graph, compiler_.options());
     ++tick_;
     auto it = plans_.find(key);
     if (it == plans_.end()) {

@@ -24,6 +24,18 @@ std::vector<int> chunk_candidates(int total, int grain) {
 }
 
 
+/// Shard-aware imbalance of splitting `n_tiles` equal tiles over
+/// `clusters`: the busiest cluster's share relative to a perfect split
+/// (1.0 when tiles divide evenly). Scales the overlap term of the tile-
+/// search cost so a shard-aware compile prefers grids every cluster can
+/// fill — e.g. 4 tiles beat 3 under 2 clusters even though 3 tiles move
+/// slightly less DMA.
+double shard_imbalance(int n_tiles, int clusters) {
+  if (clusters <= 1 || n_tiles <= 0) return 1.0;
+  const int per = (n_tiles + clusters - 1) / clusters;
+  return static_cast<double>(per) * clusters / n_tiles;
+}
+
 /// Theoretical dense-equivalent MACs/instruction/core of a kernel choice
 /// (Sec. 4 analysis), used only to rank tilings.
 double theoretical_peak(const KernelChoice& c) {
@@ -71,9 +83,19 @@ double bits_per_dense_weight(const KernelChoice& choice, int dense_cols) {
          static_cast<double>(dense_cols);
 }
 
+std::vector<std::pair<int, int>> tile_ranges(int total, int size) {
+  std::vector<std::pair<int, int>> out;
+  for (int s = 0; s < total; s += size) {
+    out.emplace_back(s, std::min(total, s + size));
+  }
+  return out;
+}
+
 ConvTilePlan plan_conv_tiles(const ConvGeom& g, const KernelChoice& choice,
-                             int num_cores, int64_t l1_budget) {
+                             int num_cores, int64_t l1_budget,
+                             int min_tiles, int batch) {
   g.validate();
+  DECIMATE_CHECK(min_tiles >= 1 && batch >= 1, "bad min_tiles/batch");
   const int oy = g.oy(), ox = g.ox();
   const int ixp = g.ix + 2 * g.pad;
   const WeightRowBytes row = weight_row_bytes(choice, g.fsz());
@@ -85,53 +107,73 @@ ConvTilePlan plan_conv_tiles(const ConvGeom& g, const KernelChoice& choice,
                         : 0;
   const int64_t buf_core = round_up(g.fsz() + slack, 4);
   const int64_t imcol = static_cast<int64_t>(num_cores) * 2 * buf_core;
+  // the geometry may not be able to produce min_tiles tiles at all
+  const int need =
+      std::min<int>(min_tiles, oy * static_cast<int>(ceil_div(g.k, k_grain)));
 
   ConvTilePlan best;
   double best_cost = 1e30;
-  // db = 2: ping-pong buffers for overlap; db = 1: fallback when L1 is too
-  // tight (DMA then serializes with compute).
-  for (int db_try : {2, 1}) {
-  if (best.oy_t != 0) break;
-  for (int oy_t : chunk_candidates(oy, 1)) {
-    for (int k_t : chunk_candidates(g.k, k_grain)) {
-      const int n_oy = static_cast<int>(ceil_div(oy, oy_t));
-      const int n_k = static_cast<int>(ceil_div(g.k, k_t));
-      const int iy_t = (oy_t - 1) * g.stride + g.fy;
-      const int64_t in_tile = static_cast<int64_t>(iy_t) * ixp * g.c;
-      const int64_t w_tile =
-          static_cast<int64_t>(k_t) * row.total() + 4ll * k_t;  // + bias
-      const int64_t out_tile = static_cast<int64_t>(oy_t) * ox * k_t;
-      const bool multi = n_oy * n_k > 1;
-      const int64_t db = multi ? db_try : 1;  // double buffering
-      const int64_t l1 = args_bytes + imcol + db * (in_tile + out_tile) +
-                         (n_k > 1 ? db : 1) * w_tile;
-      if (l1 > l1_budget) continue;
-      for (bool k_outer : {false, true}) {
-        // bytes moved
-        const int64_t in_total =
-            static_cast<int64_t>(k_outer ? n_k : 1) * n_oy * in_tile;
-        const int64_t w_total =
-            static_cast<int64_t>(k_outer ? 1 : n_oy) * n_k * w_tile;
-        const int64_t out_total = static_cast<int64_t>(n_oy) * n_k * out_tile;
-        // crude cost: DMA cycles at 8 B/cyc + 30 cyc per transfer vs
-        // compute at the kernel's theoretical peak; they overlap.
-        const double dma =
-            static_cast<double>(in_total + w_total + out_total) / 8.0 +
-            30.0 * static_cast<double>(n_oy * n_k);
-        const double peak =
-            static_cast<double>(theoretical_peak(choice));
-        const double compute =
-            static_cast<double>(g.macs()) / (peak * num_cores);
-        const double cost = std::max(dma, compute) +
-                            0.001 * static_cast<double>(n_oy * n_k);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best = ConvTilePlan{oy_t, k_t, k_outer, l1, n_oy, n_k,
-                              in_total, w_total, out_total, db_try == 2};
+  const auto search = [&](int need_try, int db_try) {
+    for (int oy_t : chunk_candidates(oy, 1)) {
+      for (int k_t : chunk_candidates(g.k, k_grain)) {
+        const int n_oy = static_cast<int>(ceil_div(oy, oy_t));
+        const int n_k = static_cast<int>(ceil_div(g.k, k_t));
+        if (n_oy * n_k < need_try) continue;  // too few tiles to shard
+        const int iy_t = (oy_t - 1) * g.stride + g.fy;
+        const int64_t in_tile = static_cast<int64_t>(iy_t) * ixp * g.c;
+        const int64_t w_tile =
+            static_cast<int64_t>(k_t) * row.total() + 4ll * k_t;  // + bias
+        const int64_t out_tile = static_cast<int64_t>(oy_t) * ox * k_t;
+        const bool multi = n_oy * n_k > 1;
+        const int64_t db = multi ? db_try : 1;  // double buffering
+        const int64_t l1 = args_bytes + imcol + db * (in_tile + out_tile) +
+                           (n_k > 1 ? db : 1) * w_tile;
+        if (l1 > l1_budget) continue;
+        for (bool k_outer : {false, true}) {
+          // bytes moved; a batch streams inputs/outputs once per image,
+          // but a K-outer order keeps each weight tile resident across
+          // the whole batch (once per batch, not once per image)
+          const int64_t in_total = static_cast<int64_t>(k_outer ? n_k : 1) *
+                                   n_oy * batch * in_tile;
+          const int64_t w_total =
+              static_cast<int64_t>(k_outer ? 1 : n_oy * batch) * n_k * w_tile;
+          const int64_t out_total =
+              static_cast<int64_t>(n_oy) * n_k * batch * out_tile;
+          // crude cost: DMA cycles at 8 B/cyc + 30 cyc per transfer vs
+          // compute at the kernel's theoretical peak; they overlap.
+          const double dma =
+              static_cast<double>(in_total + w_total + out_total) / 8.0 +
+              30.0 * static_cast<double>(n_oy * n_k * batch);
+          const double peak =
+              static_cast<double>(theoretical_peak(choice));
+          const double compute = static_cast<double>(g.macs()) *
+                                 static_cast<double>(batch) /
+                                 (peak * num_cores);
+          // Secondary preference for less total DMA traffic (see the FC
+          // search): when compute hides the DMA entirely, max() alone
+          // cannot see weight re-fetches, so batch-fused schedules would
+          // never flip to the weight-resident K-outer order.
+          const double cost =
+              std::max(dma, compute) * shard_imbalance(n_oy * n_k, min_tiles) +
+              0.01 * dma + 0.001 * static_cast<double>(n_oy * n_k);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = ConvTilePlan{oy_t, k_t, k_outer, l1, n_oy, n_k,
+                                in_total, w_total, out_total, db_try == 2};
+          }
         }
       }
     }
-  }
+  };
+  // db = 2: ping-pong buffers for overlap; db = 1: fallback when L1 is too
+  // tight (DMA then serializes with compute). The shard min-tile
+  // constraint softens before double buffering does.
+  for (int need_try : {need, 1}) {
+    if (best.oy_t != 0) break;
+    for (int db_try : {2, 1}) {
+      if (best.oy_t != 0) break;
+      search(need_try, db_try);
+    }
   }
   DECIMATE_CHECK(best.oy_t != 0,
                  "no conv tiling fits L1 for K=" << g.k << " C=" << g.c
@@ -140,60 +182,73 @@ ConvTilePlan plan_conv_tiles(const ConvGeom& g, const KernelChoice& choice,
 }
 
 FcTilePlan plan_fc_tiles(const FcGeom& g, const KernelChoice& choice,
-                         int num_cores, int64_t l1_budget) {
+                         int num_cores, int64_t l1_budget, int min_tiles) {
   g.validate();
+  DECIMATE_CHECK(min_tiles >= 1, "bad min_tiles");
   const WeightRowBytes row = weight_row_bytes(choice, g.c);
   const int k_grain = (choice.kind == KernelKind::kFcSparseSw) ? 1 : 2;
   const int args_bytes = FcArgs::size_words(num_cores) * 4;
   const int slack = choice.sparse()
                         ? nz_padded_for(g.c, choice.m) * choice.m - g.c + 64
                         : 0;
+  const int need = std::min<int>(
+      min_tiles, g.tokens * static_cast<int>(ceil_div(g.k, k_grain)));
 
   FcTilePlan best;
   double best_cost = 1e30;
-  for (int db_try : {2, 1}) {
-  if (best.tok_t != 0) break;
-  for (int tok_t : chunk_candidates(g.tokens, 1)) {
-    for (int k_t : chunk_candidates(g.k, k_grain)) {
-      const int n_tok = static_cast<int>(ceil_div(g.tokens, tok_t));
-      const int n_k = static_cast<int>(ceil_div(g.k, k_t));
-      const int64_t in_tile = static_cast<int64_t>(tok_t) * g.c + slack;
-      const int64_t w_tile =
-          static_cast<int64_t>(k_t) * row.total() + 4ll * k_t;
-      const int64_t out_tile = static_cast<int64_t>(tok_t) * k_t;
-      const bool multi = n_tok * n_k > 1;
-      const int64_t db = multi ? db_try : 1;
-      const int64_t l1 =
-          args_bytes + db * (in_tile + out_tile) + (multi ? db : 1) * w_tile;
-      if (l1 > l1_budget) continue;
-      for (bool k_outer : {false, true}) {
-        const int64_t in_total =
-            static_cast<int64_t>(k_outer ? n_k : 1) * n_tok * in_tile;
-        const int64_t w_total =
-            static_cast<int64_t>(k_outer ? 1 : n_tok) * n_k * w_tile;
-        const int64_t out_total = static_cast<int64_t>(n_tok) * n_k * out_tile;
-        const double dma =
-            static_cast<double>(in_total + w_total + out_total) / 8.0 +
-            30.0 * static_cast<double>(n_tok * n_k);
-        const double peak =
-            static_cast<double>(theoretical_peak(choice));
-        const double compute =
-            static_cast<double>(g.macs()) / (peak * num_cores);
-        // Secondary preference for less total DMA traffic: when compute
-        // hides the DMA entirely, max() alone cannot see weight re-fetches,
-        // so batch-fused token dims would never amortize weight DMA. The
-        // small traffic term steers near-ties toward schedules that fetch
-        // each weight tile once per (batched) token pass.
-        const double cost = std::max(dma, compute) + 0.01 * dma +
-                            0.001 * static_cast<double>(n_tok * n_k);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best = FcTilePlan{tok_t, k_t, k_outer, l1, n_tok, n_k,
-                            in_total, w_total, out_total, db_try == 2};
+  const auto search = [&](int need_try, int db_try) {
+    for (int tok_t : chunk_candidates(g.tokens, 1)) {
+      for (int k_t : chunk_candidates(g.k, k_grain)) {
+        const int n_tok = static_cast<int>(ceil_div(g.tokens, tok_t));
+        const int n_k = static_cast<int>(ceil_div(g.k, k_t));
+        if (n_tok * n_k < need_try) continue;  // too few tiles to shard
+        const int64_t in_tile = static_cast<int64_t>(tok_t) * g.c + slack;
+        const int64_t w_tile =
+            static_cast<int64_t>(k_t) * row.total() + 4ll * k_t;
+        const int64_t out_tile = static_cast<int64_t>(tok_t) * k_t;
+        const bool multi = n_tok * n_k > 1;
+        const int64_t db = multi ? db_try : 1;
+        const int64_t l1 =
+            args_bytes + db * (in_tile + out_tile) + (multi ? db : 1) * w_tile;
+        if (l1 > l1_budget) continue;
+        for (bool k_outer : {false, true}) {
+          const int64_t in_total =
+              static_cast<int64_t>(k_outer ? n_k : 1) * n_tok * in_tile;
+          const int64_t w_total =
+              static_cast<int64_t>(k_outer ? 1 : n_tok) * n_k * w_tile;
+          const int64_t out_total =
+              static_cast<int64_t>(n_tok) * n_k * out_tile;
+          const double dma =
+              static_cast<double>(in_total + w_total + out_total) / 8.0 +
+              30.0 * static_cast<double>(n_tok * n_k);
+          const double peak =
+              static_cast<double>(theoretical_peak(choice));
+          const double compute =
+              static_cast<double>(g.macs()) / (peak * num_cores);
+          // Secondary preference for less total DMA traffic: when compute
+          // hides the DMA entirely, max() alone cannot see weight re-fetches,
+          // so batch-fused token dims would never amortize weight DMA. The
+          // small traffic term steers near-ties toward schedules that fetch
+          // each weight tile once per (batched) token pass.
+          const double cost =
+              std::max(dma, compute) *
+                  shard_imbalance(n_tok * n_k, min_tiles) +
+              0.01 * dma + 0.001 * static_cast<double>(n_tok * n_k);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = FcTilePlan{tok_t, k_t, k_outer, l1, n_tok, n_k,
+                              in_total, w_total, out_total, db_try == 2};
+          }
         }
       }
     }
-  }
+  };
+  for (int need_try : {need, 1}) {
+    if (best.tok_t != 0) break;
+    for (int db_try : {2, 1}) {
+      if (best.tok_t != 0) break;
+      search(need_try, db_try);
+    }
   }
   DECIMATE_CHECK(best.tok_t != 0, "no fc tiling fits L1 for K=" << g.k
                                                                 << " C=" << g.c);

@@ -8,11 +8,18 @@
 // end-to-end speedup on top of the kernel speedup.
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "compiler/pattern.hpp"
 #include "nn/layer_geometry.hpp"
 
 namespace decimate {
+
+/// Tile boundaries of one axis: [s, min(total, s + size)) for s = 0, size,
+/// 2*size, ... — the exact ranges the compiler's tile-cost loops walk, so
+/// the shard planner sees the same boundaries the cost model was built on.
+std::vector<std::pair<int, int>> tile_ranges(int total, int size);
 
 /// Per-row weight storage of a kernel choice (values + packed offsets,
 /// padded the way the launcher lays them out).
@@ -37,8 +44,17 @@ struct ConvTilePlan {
   bool double_buffered = true;  // false: L1 too tight, DMA serializes
 };
 
+/// Search the (oy_t, k_t, loop order) space for the cheapest schedule that
+/// fits L1. `min_tiles` (shard-aware compiles: CompileOptions::num_clusters)
+/// restricts the search to schedules with at least that many tiles so every
+/// cluster can own one; it softens to the best achievable count when the
+/// geometry cannot produce enough tiles. `batch` > 1 costs a batch-fused
+/// schedule: inputs/outputs stream once per image but a K-outer order keeps
+/// each weight tile resident across the whole batch, which the search's
+/// DMA-traffic term rewards.
 ConvTilePlan plan_conv_tiles(const ConvGeom& g, const KernelChoice& choice,
-                             int num_cores, int64_t l1_budget);
+                             int num_cores, int64_t l1_budget,
+                             int min_tiles = 1, int batch = 1);
 
 struct FcTilePlan {
   int tok_t = 0;
@@ -50,7 +66,11 @@ struct FcTilePlan {
   bool double_buffered = true;  // false: L1 too tight, DMA serializes
 };
 
+/// FC tile search; `min_tiles` as in plan_conv_tiles (batch fusion enters
+/// through an inflated g.tokens instead of a parameter — FC rows are
+/// independent, so the batch is just more rows).
 FcTilePlan plan_fc_tiles(const FcGeom& g, const KernelChoice& choice,
-                         int num_cores, int64_t l1_budget);
+                         int num_cores, int64_t l1_budget,
+                         int min_tiles = 1);
 
 }  // namespace decimate

@@ -20,16 +20,6 @@ ClusterConfig cluster_config_from(const CompileOptions& opt) {
 
 namespace {
 
-/// Balanced ranges of `total` into pieces of at most `size` (grain-aligned
-/// except possibly the last).
-std::vector<std::pair<int, int>> ranges_of(int total, int size) {
-  std::vector<std::pair<int, int>> out;
-  for (int s = 0; s < total; s += size) {
-    out.emplace_back(s, std::min(total, s + size));
-  }
-  return out;
-}
-
 int64_t numel_of(const std::vector<int>& shape) {
   int64_t n = 1;
   for (int d : shape) n *= d;
@@ -78,9 +68,9 @@ MemRegion Compiler::weight_region(int64_t deployed_bytes) {
   return deployed_bytes <= l2_budget ? MemRegion::kL2 : MemRegion::kL3;
 }
 
-int Compiler::tile_cfg() const {
-  return opt_.num_cores | (opt_.lockstep ? 1 << 8 : 0) |
-         (opt_.xdec_forwarding ? 1 << 9 : 0);
+int tile_cfg_salt(const CompileOptions& opt) {
+  return opt.num_cores | (opt.lockstep ? 1 << 8 : 0) |
+         (opt.xdec_forwarding ? 1 << 9 : 0);
 }
 
 uint64_t Compiler::measure_conv_tile(const KernelChoice& choice,
@@ -137,69 +127,115 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
   if (node.op == OpType::kConv2d) {
     const ConvGeom& g = node.conv;
     const KernelChoice choice = select_kernel(node, opt_);
-    const ConvTilePlan plan =
-        plan_conv_tiles(g, choice, opt_.num_cores, l1_budget);
+    // Batch-fused conv tiling: the batch enters the tile *schedule* (a
+    // K-outer pass sweeps every image's row tiles while the weight tile
+    // stays resident, so weights are fetched once per batch), never the
+    // kernel geometry — conv rows are not independent across images.
+    const int batch = std::max(1, opt_.batch);
+    const ConvTilePlan plan = plan_conv_tiles(
+        g, choice, opt_.num_cores, l1_budget, opt_.num_clusters, batch);
     step.choice = choice;
     step.conv_tiles = plan;
     step.weight_region = w_region_;
     step.program = &TileRunner::program_for(choice.kind, choice.m);
+    step.shard_axis = ShardAxis::kGemmTiles;
     rep.impl = kernel_kind_name(choice.kind);
     if (choice.sparse()) rep.impl += ":1:" + std::to_string(choice.m);
     rep.macs = g.macs();
     rep.weight_bytes = deployed_weight_bytes(node, choice);
     rep.bits_per_weight = bits_per_dense_weight(choice, g.fsz());
-    rep.tiles = plan.n_oy * plan.n_k;
+    rep.tiles = plan.n_oy * plan.n_k * batch;  // whole-batch count if fused
 
     const WeightRowBytes row = weight_row_bytes(choice, g.fsz());
     const int ixp = g.ix + 2 * g.pad;
-    const auto oy_ranges = ranges_of(g.oy(), plan.oy_t);
-    const auto k_ranges = ranges_of(g.k, plan.k_t);
-    const auto& outer = plan.k_outer ? k_ranges : oy_ranges;
-    const auto& inner = plan.k_outer ? oy_ranges : k_ranges;
-    for (size_t o = 0; o < outer.size(); ++o) {
-      for (size_t i = 0; i < inner.size(); ++i) {
-        const auto [oy_s, oy_e] = plan.k_outer ? inner[i] : outer[o];
-        const auto [k_s, k_e] = plan.k_outer ? outer[o] : inner[i];
-        const int oy_len = oy_e - oy_s, k_len = k_e - k_s;
-        ConvGeom tg = g;
-        tg.ix = ixp;
-        tg.iy = (oy_len - 1) * g.stride + g.fy;
-        tg.pad = 0;
-        tg.k = k_len;
-        TileCost tc;
-        tc.compute = measure_conv_tile(choice, tg);
-        const bool load_in = plan.k_outer || i == 0;
-        const bool load_w = plan.k_outer ? (i == 0) : true;
-        if (load_in) {
-          tc.dma_in += dma_.cost_2d(static_cast<uint64_t>(tg.iy),
-                                    static_cast<uint64_t>(ixp) * g.c,
-                                    MemRegion::kL2, MemRegion::kL1);
-        }
-        if (load_w) {
-          const uint64_t w_bytes =
-              static_cast<uint64_t>(k_len) * row.total() + 4ull * k_len;
-          uint64_t w_dma = dma_.cost_1d(w_bytes, w_region_, MemRegion::kL1);
-          // separate-transfer ablation: extra startups
-          for (int s = 1; s < startups_per_w; ++s) {
-            w_dma += (w_region_ == MemRegion::kL3)
-                         ? dma_.config().l3_startup_cycles
-                         : dma_.config().l2_startup_cycles;
+    const auto oy_ranges = tile_ranges(g.oy(), plan.oy_t);
+    const auto k_ranges = tile_ranges(g.k, plan.k_t);
+    const auto add_tile = [&](const std::pair<int, int>& oy_r,
+                              const std::pair<int, int>& k_r, bool load_in,
+                              bool load_w) {
+      const auto [oy_s, oy_e] = oy_r;
+      const auto [k_s, k_e] = k_r;
+      const int oy_len = oy_e - oy_s, k_len = k_e - k_s;
+      ConvGeom tg = g;
+      tg.ix = ixp;
+      tg.iy = (oy_len - 1) * g.stride + g.fy;
+      tg.pad = 0;
+      tg.k = k_len;
+      TileCost tc;
+      tc.compute = measure_conv_tile(choice, tg);
+      const uint64_t in_fetch = dma_.cost_2d(static_cast<uint64_t>(tg.iy),
+                                             static_cast<uint64_t>(ixp) * g.c,
+                                             MemRegion::kL2, MemRegion::kL1);
+      const uint64_t w_bytes =
+          static_cast<uint64_t>(k_len) * row.total() + 4ull * k_len;
+      uint64_t w_fetch = dma_.cost_1d(w_bytes, w_region_, MemRegion::kL1);
+      // separate-transfer ablation: extra startups
+      for (int s = 1; s < startups_per_w; ++s) {
+        w_fetch += (w_region_ == MemRegion::kL3)
+                       ? dma_.config().l3_startup_cycles
+                       : dma_.config().l2_startup_cycles;
+      }
+      if (load_in) tc.dma_in += in_fetch;
+      if (load_w) {
+        tc.dma_in += w_fetch;
+        rep.weight_dma_cycles += w_fetch;
+      }
+      tc.dma_out = dma_.cost_1d(
+          static_cast<uint64_t>(oy_len) * g.ox() * k_len, MemRegion::kL1,
+          MemRegion::kL2);
+      rep.compute_cycles += tc.compute;
+      rep.dma_cycles += tc.dma_in + tc.dma_out;
+      step.tile_costs.push_back(tc);
+      step.tiles_meta.push_back(
+          {oy_s, oy_e, k_s, k_e,
+           static_cast<int64_t>(oy_len) * g.ox() * k_len, in_fetch, w_fetch,
+           load_in, load_w});
+    };
+    if (plan.k_outer) {
+      // weights resident per K pass; the pass covers the whole (possibly
+      // batched) row sweep, so each weight tile is fetched exactly once
+      for (const auto& k_r : k_ranges) {
+        bool first = true;
+        for (int b = 0; b < batch; ++b) {
+          for (const auto& oy_r : oy_ranges) {
+            add_tile(oy_r, k_r, /*load_in=*/true, /*load_w=*/first);
+            first = false;
           }
-          tc.dma_in += w_dma;
-          rep.weight_dma_cycles += w_dma;
         }
-        tc.dma_out = dma_.cost_1d(
-            static_cast<uint64_t>(oy_len) * g.ox() * k_len, MemRegion::kL1,
-            MemRegion::kL2);
-        rep.compute_cycles += tc.compute;
-        rep.dma_cycles += tc.dma_in + tc.dma_out;
-        step.tile_costs.push_back(tc);
+      }
+    } else {
+      // row tiles outer: input rows loaded once per row tile, weights
+      // re-fetched per tile — batching cannot amortize this order
+      for (int b = 0; b < batch; ++b) {
+        for (const auto& oy_r : oy_ranges) {
+          bool first = true;
+          for (const auto& k_r : k_ranges) {
+            add_tile(oy_r, k_r, /*load_in=*/first, /*load_w=*/true);
+            first = false;
+          }
+        }
       }
     }
     step.pipelined = plan.double_buffered;
-    rep.total_cycles = plan.double_buffered
-                           ? pipeline_total(step.tile_costs)
-                           : rep.compute_cycles + rep.dma_cycles;
+    step.batch_fused = batch > 1;
+    const uint64_t batch_total = plan.double_buffered
+                                     ? pipeline_total(step.tile_costs)
+                                     : rep.compute_cycles + rep.dma_cycles;
+    if (batch > 1) {
+      // tile_costs — and rep.tiles — span the whole fused batch; cycle
+      // fields are per-image amortized (rounded up), which is where the
+      // weight-DMA saving shows. The impl tag marks the mixed granularity.
+      rep.impl += "@b" + std::to_string(batch);
+      const auto amort = [batch](uint64_t v) {
+        return (v + static_cast<uint64_t>(batch) - 1) / batch;
+      };
+      rep.compute_cycles = amort(rep.compute_cycles);
+      rep.dma_cycles = amort(rep.dma_cycles);
+      rep.weight_dma_cycles = amort(rep.weight_dma_cycles);
+      rep.total_cycles = amort(batch_total);
+    } else {
+      rep.total_cycles = batch_total;
+    }
 
     if (choice.sparse()) {
       step.packed = nm_pack(node.weights.flat(), g.k, g.fsz(), choice.m,
@@ -238,8 +274,10 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
   FcGeom cg = g;
   cg.tokens = g.tokens * batch;
   if (choice.kind != KernelKind::kFcSparseSw && cg.k % 2 != 0) cg.k += 1;
-  const FcTilePlan plan = plan_fc_tiles(cg, choice, opt_.num_cores, l1_budget);
+  const FcTilePlan plan = plan_fc_tiles(cg, choice, opt_.num_cores, l1_budget,
+                                        opt_.num_clusters);
   step.fc_tiles = plan;
+  step.shard_axis = ShardAxis::kGemmTiles;
   rep.impl = kernel_kind_name(choice.kind);
   if (choice.sparse()) rep.impl += ":1:" + std::to_string(choice.m);
   rep.macs = g.macs();
@@ -253,8 +291,8 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
   const MemRegion wreg =
       (node.op == OpType::kMatmul) ? MemRegion::kL2 : w_region_;
   step.weight_region = wreg;
-  const auto tok_ranges = ranges_of(cg.tokens, plan.tok_t);
-  const auto k_ranges = ranges_of(cg.k, plan.k_t);
+  const auto tok_ranges = tile_ranges(cg.tokens, plan.tok_t);
+  const auto k_ranges = tile_ranges(cg.k, plan.k_t);
   const auto& outer = plan.k_outer ? k_ranges : tok_ranges;
   const auto& inner = plan.k_outer ? tok_ranges : k_ranges;
   for (size_t o = 0; o < outer.size(); ++o) {
@@ -270,21 +308,21 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
       tc.compute = measure_fc_tile(choice, tg);
       const bool load_in = plan.k_outer || i == 0;
       const bool load_w = plan.k_outer ? (i == 0) : true;
-      if (load_in) {
-        tc.dma_in += dma_.cost_1d(static_cast<uint64_t>(tg.tokens) * cg.c,
-                                  MemRegion::kL2, MemRegion::kL1);
-      }
-      if (load_w) {
-        const uint64_t w_bytes =
-            static_cast<uint64_t>(tg.k) * row.total() + 4ull * tg.k;
-        uint64_t w_dma = dma_.cost_1d(w_bytes, wreg, MemRegion::kL1);
-        for (int s = 1; s < startups_per_w; ++s) {
-          w_dma += (wreg == MemRegion::kL3)
+      const uint64_t in_fetch =
+          dma_.cost_1d(static_cast<uint64_t>(tg.tokens) * cg.c,
+                       MemRegion::kL2, MemRegion::kL1);
+      const uint64_t w_bytes =
+          static_cast<uint64_t>(tg.k) * row.total() + 4ull * tg.k;
+      uint64_t w_fetch = dma_.cost_1d(w_bytes, wreg, MemRegion::kL1);
+      for (int s = 1; s < startups_per_w; ++s) {
+        w_fetch += (wreg == MemRegion::kL3)
                        ? dma_.config().l3_startup_cycles
                        : dma_.config().l2_startup_cycles;
-        }
-        tc.dma_in += w_dma;
-        rep.weight_dma_cycles += w_dma;
+      }
+      if (load_in) tc.dma_in += in_fetch;
+      if (load_w) {
+        tc.dma_in += w_fetch;
+        rep.weight_dma_cycles += w_fetch;
       }
       tc.dma_out =
           dma_.cost_1d(static_cast<uint64_t>(tg.tokens) * tg.k,
@@ -292,6 +330,13 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
       rep.compute_cycles += tc.compute;
       rep.dma_cycles += tc.dma_in + tc.dma_out;
       step.tile_costs.push_back(tc);
+      // meta ranges are real output coordinates (clamped to the graph's
+      // K — the cycle-model geometry may be padded to an even K)
+      const int mk_s = std::min(k_s, g.k), mk_e = std::min(k_e, g.k);
+      step.tiles_meta.push_back(
+          {t_s, t_e, mk_s, mk_e,
+           static_cast<int64_t>(t_e - t_s) * (mk_e - mk_s), in_fetch,
+           w_fetch, load_in, load_w});
     }
   }
   step.pipelined = plan.double_buffered;
@@ -368,7 +413,9 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
 
   // cycles: chunked ISS measurement + DMA pipeline. `key_extra`
   // disambiguates shapes whose (rows, row_bytes) coincide (e.g. maxpool
-  // rows with equal 2*w*c products but different channel counts).
+  // rows with equal 2*w*c products but different channel counts). Rows are
+  // independent, so chunks shard across clusters; a shard-aware compile
+  // caps the chunk size so every cluster can own at least one.
   auto chunked = [&](int total_rows, int row_bytes, int out_row_bytes,
                      int l1_per_row, int key_extra,
                      const std::function<uint64_t(int)>& measure_rows) {
@@ -377,7 +424,13 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
     int rows_per_chunk = std::max<int>(
         1, static_cast<int>(budget / std::max(1, 2 * l1_per_row)));
     rows_per_chunk = std::min(rows_per_chunk, total_rows);
-    for (const auto& [s, e] : ranges_of(total_rows, rows_per_chunk)) {
+    if (opt_.num_clusters > 1) {
+      rows_per_chunk = std::min(
+          rows_per_chunk,
+          std::max(1, static_cast<int>(ceil_div(total_rows,
+                                                opt_.num_clusters))));
+    }
+    for (const auto& [s, e] : tile_ranges(total_rows, rows_per_chunk)) {
       TileCost tc;
       tc.compute = cache_->measure(
           vec_tile_key(node.op, e - s, row_bytes, key_extra, tile_cfg()),
@@ -389,7 +442,11 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
       rep.compute_cycles += tc.compute;
       rep.dma_cycles += tc.dma_in + tc.dma_out;
       step.tile_costs.push_back(tc);
+      step.tiles_meta.push_back({s, e, 0, 0,
+                                 static_cast<int64_t>(e - s) * out_row_bytes,
+                                 tc.dma_in, 0, true, false});
     }
+    step.shard_axis = ShardAxis::kRows;
     rep.tiles = static_cast<int>(step.tile_costs.size());
     rep.total_cycles = pipeline_total(step.tile_costs);
   };
@@ -470,6 +527,9 @@ void Compiler::compile_vec_node(const Graph& graph, const Node& node,
 CompiledPlan Compiler::compile(const Graph& graph) {
   DECIMATE_CHECK(opt_.batch >= 1,
                  "CompileOptions::batch must be >= 1, got " << opt_.batch);
+  DECIMATE_CHECK(opt_.num_clusters >= 1,
+                 "CompileOptions::num_clusters must be >= 1, got "
+                     << opt_.num_clusters);
   CompiledPlan plan;
   plan.graph = &graph;
   plan.options = opt_;

@@ -18,6 +18,12 @@
 
 namespace decimate {
 
+/// Cluster-config salt for TileLatencyCache keys: measured cycles depend
+/// on the core count / lockstep / forwarding configuration, and the cache
+/// may be shared between compilers (and the ShardPlanner) with different
+/// options.
+int tile_cfg_salt(const CompileOptions& opt);
+
 class Compiler {
  public:
   /// `latencies` may be shared between compilers; a fresh cache is created
@@ -37,10 +43,7 @@ class Compiler {
   static MemRegion weight_region(int64_t deployed_bytes);
 
  private:
-  /// Cluster-config salt for tile keys: measured cycles depend on the
-  /// core count / lockstep / forwarding configuration, and the cache may
-  /// be shared between compilers with different options.
-  int tile_cfg() const;
+  int tile_cfg() const { return tile_cfg_salt(opt_); }
   uint64_t measure_conv_tile(const KernelChoice& choice, const ConvGeom& g);
   uint64_t measure_fc_tile(const KernelChoice& choice, const FcGeom& g);
   void compile_gemm_node(const Graph& graph, const Node& node, PlanStep& step);

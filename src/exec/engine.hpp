@@ -61,7 +61,9 @@ class ExecutionEngine {
   NetworkRun run(const CompiledPlan& plan, const Tensor8& input);
 
   /// Execute the plan over a batch of independent inputs on a worker
-  /// pool; outputs are bit-exact with per-image run() calls.
+  /// pool; outputs are bit-exact with per-image run() calls. A batch-fused
+  /// plan (options.batch > 1) only serves spans of exactly that size —
+  /// anything else throws rather than stamping mismatched cycle reports.
   BatchRun run_batch(const CompiledPlan& plan,
                      std::span<const Tensor8> inputs);
 
@@ -85,8 +87,6 @@ class ExecutionEngine {
   void exec_gemm_node(const CompiledPlan& plan, const PlanStep& step,
                       const Node& node, const Tensor8& in,
                       const Tensor8* b_operand, Tensor8& out);
-  void exec_vec_node(const Node& node,
-                     const std::vector<const Tensor8*>& in, Tensor8& out);
   Cluster& verify_cluster(const CompileOptions& opt);
 
   bool verify_with_sim_ = false;

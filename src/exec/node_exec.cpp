@@ -1,0 +1,77 @@
+#include "exec/node_exec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/ref_ops.hpp"
+
+namespace decimate {
+
+Tensor8 transpose2d(const Tensor8& x) {
+  DECIMATE_CHECK(x.rank() == 2, "transpose expects 2D");
+  const int r = x.dim(0), c = x.dim(1);
+  Tensor8 out({c, r});
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) out.at({j, i}) = x.at({i, j});
+  }
+  return out;
+}
+
+void exec_vec_node_ref(const Node& node,
+                       const std::vector<const Tensor8*>& in, Tensor8& out) {
+  const auto& x = *in[0];
+  switch (node.op) {
+    case OpType::kRelu: out = relu_s8(x); break;
+    case OpType::kAdd: out = add_s8(x, node.rq, *in[1], node.rq2); break;
+    case OpType::kMaxPool2: out = maxpool2x2_s8(x); break;
+    case OpType::kAvgPool: out = global_avgpool_s8(x, node.rq); break;
+    case OpType::kLut: out = lut_s8(x, node.lut); break;
+    case OpType::kSoftmax: out = softmax_s8(x, node.exp_lut); break;
+    case OpType::kLayerNorm:
+      out = layernorm_s8(x, node.gamma, node.beta);
+      break;
+    case OpType::kReshape: {
+      out = Tensor8(node.out_shape);
+      DECIMATE_CHECK(out.numel() == x.numel(), "reshape numel mismatch");
+      std::copy(x.flat().begin(), x.flat().end(), out.flat().begin());
+      break;
+    }
+    case OpType::kSlice: {
+      DECIMATE_CHECK(x.rank() == 2, "slice expects {T, C}");
+      const int t = x.dim(0);
+      const int w = node.slice_end - node.slice_begin;
+      DECIMATE_CHECK(w > 0 && node.slice_end <= x.dim(1), "bad slice range");
+      out = Tensor8({t, w});
+      for (int i = 0; i < t; ++i) {
+        std::memcpy(out.data() + static_cast<int64_t>(i) * w,
+                    x.data() + static_cast<int64_t>(i) * x.dim(1) +
+                        node.slice_begin,
+                    static_cast<size_t>(w));
+      }
+      break;
+    }
+    case OpType::kConcat: {
+      const int t = in[0]->dim(0);
+      int total_c = 0;
+      for (const Tensor8* p : in) {
+        DECIMATE_CHECK(p->rank() == 2 && p->dim(0) == t, "concat mismatch");
+        total_c += p->dim(1);
+      }
+      out = Tensor8({t, total_c});
+      int col = 0;
+      for (const Tensor8* p : in) {
+        const int w = p->dim(1);
+        for (int i = 0; i < t; ++i) {
+          std::memcpy(out.data() + static_cast<int64_t>(i) * total_c + col,
+                      p->data() + static_cast<int64_t>(i) * w,
+                      static_cast<size_t>(w));
+        }
+        col += w;
+      }
+      break;
+    }
+    default: DECIMATE_FAIL("bad vec op");
+  }
+}
+
+}  // namespace decimate

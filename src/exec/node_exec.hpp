@@ -1,0 +1,23 @@
+#pragma once
+// Reference-numerics execution of single graph nodes, shared by the
+// single-cluster ExecutionEngine and the sharded MultiClusterEngine (the
+// numerics of a node do not depend on how its tiles are scheduled or
+// which cluster runs them — both engines must produce identical bytes).
+
+#include <vector>
+
+#include "compiler/graph.hpp"
+#include "nn/tensor.hpp"
+
+namespace decimate {
+
+/// Row/column transpose of a 2D tensor (matmul transpose_b operand).
+Tensor8 transpose2d(const Tensor8& x);
+
+/// Execute a non-gemm node on its input values (reference ops, bit-exact
+/// mirrors of the ISS kernels). `in` holds one pointer per node input, in
+/// node.inputs order.
+void exec_vec_node_ref(const Node& node,
+                       const std::vector<const Tensor8*>& in, Tensor8& out);
+
+}  // namespace decimate

@@ -63,6 +63,33 @@ struct TileCost {
   uint64_t dma_out = 0;
 };
 
+/// How a step's tiles may be partitioned across clusters (see shard/).
+enum class ShardAxis : uint8_t {
+  kNone = 0,   // serial / marshalling / whole-tensor reduction: one cluster
+  kGemmTiles,  // conv oy x k / fc tok x k output tiles: disjoint rectangles
+  kRows,       // chunked row-parallel vector op (rows are independent)
+  kFcC,        // planner-chosen input-feature split of a single-tile FC:
+               // int32 partial sums, reduced in cluster order before requant
+};
+
+/// Output footprint of one tile — which slice of the step's output it
+/// produces (compiler-recorded, parallel to PlanStep::tile_costs). The
+/// shard planner assigns whole tiles to clusters, costs the stitch
+/// traffic from out_bytes, and re-bills operand staging from the fetch
+/// fields: the compiled stream amortizes input/weight loads across
+/// consecutive tiles (loads_* marks the tile that actually pays), but a
+/// cluster that receives only non-paying tiles of a pass still has to
+/// stage the operand in its own L1.
+struct ShardTile {
+  int a_s = 0, a_e = 0;     // conv: output rows; fc: tokens; vec: op rows
+  int k_s = 0, k_e = 0;     // output channels (gemm); unused for vec rows
+  int64_t out_bytes = 0;    // bytes this tile writes
+  uint64_t in_fetch_cycles = 0;  // cost to stage this tile's input in L1
+  uint64_t w_fetch_cycles = 0;   // cost to stage its weights in L1
+  bool loads_input = false;      // the compiled stream bills input here
+  bool loads_weights = false;    // ... and weights here
+};
+
 /// One graph node, lowered. Gemm fields are meaningful only for
 /// conv/fc/matmul nodes.
 struct PlanStep {
@@ -84,9 +111,16 @@ struct PlanStep {
                             // DMA pipeline); false: DMA serializes
   uint64_t serial_cycles = 0;  // non-overlappable extras (marshalling DMA,
                                // matmul transpose) outside tile_costs
-  bool batch_fused = false;    // FC tiles cover options.batch images at
-                               // once; tile_costs span the whole batch and
-                               // the report is per-image amortized
+  bool batch_fused = false;    // conv/FC tiles cover options.batch images
+                               // at once; tile_costs span the whole batch
+                               // and the report is per-image amortized
+  // shard metadata: which axis partitions this step across clusters, and
+  // each tile's output slice (parallel to tile_costs; empty when the step
+  // is not tile-shardable). kFcC is never set here — the ShardPlanner
+  // switches a single-tile FC to it when the tile grid cannot feed every
+  // cluster.
+  ShardAxis shard_axis = ShardAxis::kNone;
+  std::vector<ShardTile> tiles_meta;
   LayerReport report;                // precomputed, input-independent
 };
 

@@ -1,5 +1,7 @@
 #include "kernels/work_split.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace decimate {
@@ -11,6 +13,20 @@ std::pair<int, int> chunk(int i, int n, int total) {
           static_cast<int>(static_cast<int64_t>(i + 1) * total / n)};
 }
 }  // namespace
+
+std::vector<std::pair<int, int>> balanced_ranges(int total, int parts,
+                                                 int grain) {
+  DECIMATE_CHECK(total >= 0 && parts >= 1 && grain >= 1,
+                 "bad balanced_ranges dims");
+  std::vector<std::pair<int, int>> out(static_cast<size_t>(parts));
+  const int units = (total + grain - 1) / grain;
+  for (int i = 0; i < parts; ++i) {
+    const auto [us, ue] = chunk(i, parts, units);
+    out[static_cast<size_t>(i)] = {std::min(us * grain, total),
+                                   std::min(ue * grain, total)};
+  }
+  return out;
+}
 
 std::vector<ConvWork> split_conv_work(int oy, int ox_pairs, int k,
                                       int ncores) {

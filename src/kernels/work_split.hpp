@@ -1,12 +1,23 @@
 #pragma once
-// Host-side work partitioning across the cluster cores. The paper
-// parallelizes the outermost OX/OY loops (conv) and the K dimension (FC);
-// we generalize slightly to rectangles so that deep layers with few output
-// rows still occupy all 8 cores, and so the kernels need no division.
+// Host-side work partitioning across compute units. The paper
+// parallelizes the outermost OX/OY loops (conv) and the K dimension (FC)
+// across the cluster's cores; we generalize slightly to rectangles so that
+// deep layers with few output rows still occupy all 8 cores, and so the
+// kernels need no division. The same balanced-range splitter also carves
+// work across *clusters* (shard/): shards split tiles or feature ranges
+// between clusters, then each cluster splits its tile across cores here.
 
+#include <utility>
 #include <vector>
 
 namespace decimate {
+
+/// Balanced partition of [0, total) into `parts` contiguous ranges, each
+/// aligned to `grain` (except possibly the last). Trailing ranges may be
+/// empty when total/grain < parts. The concatenation of the ranges always
+/// covers [0, total) exactly, in order.
+std::vector<std::pair<int, int>> balanced_ranges(int total, int parts,
+                                                 int grain = 1);
 
 struct ConvWork {
   int oy_s = 0, oy_e = 0;  // output row range

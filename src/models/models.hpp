@@ -44,4 +44,11 @@ struct VitOptions {
 
 Graph build_vit(const VitOptions& opt = {});
 
+/// Bare transformer FFN pair (fc1: d -> hidden, fc2: hidden -> d) over
+/// `tokens` rows with deterministic synthetic weights, optionally 1:m
+/// pruned — the FC-dominated workload the batch/shard benches and tests
+/// share.
+Graph build_ffn_block(int tokens, int d, int hidden, int sparsity_m,
+                      uint64_t seed);
+
 }  // namespace decimate

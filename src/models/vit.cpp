@@ -213,4 +213,25 @@ Graph build_vit(const VitOptions& opt) {
   return std::move(b.g);
 }
 
+Graph build_ffn_block(int tokens, int d, int hidden, int sparsity_m,
+                      uint64_t seed) {
+  Rng rng(seed);
+  Graph g({tokens, d});
+  const auto fc = [&](const char* name, int in, int c, int k) {
+    Node n;
+    n.op = OpType::kFc;
+    n.name = name;
+    n.inputs = {in};
+    n.fc = FcGeom{.tokens = tokens, .c = c, .k = k};
+    n.weights = Tensor8::random({k, c}, rng);
+    if (sparsity_m) nm_prune(n.weights.flat(), k, c, 1, sparsity_m);
+    n.bias = Tensor32({k}, 0);
+    n.rq = calibrate_requant(c);
+    n.out_shape = {tokens, k};
+    return g.add(std::move(n));
+  };
+  fc("fc2", fc("fc1", 0, d, hidden), hidden, d);
+  return g;
+}
+
 }  // namespace decimate

@@ -8,6 +8,15 @@ namespace decimate {
 
 Tensor8 conv2d_s8(const Tensor8& input, const Tensor8& weights,
                   const Tensor32& bias, const ConvGeom& g, const Requant& rq) {
+  Tensor8 out({g.oy(), g.ox(), g.k});
+  conv2d_s8_into(input, weights, bias, g, rq, 0, g.oy(), 0, g.k, out);
+  return out;
+}
+
+void conv2d_s8_into(const Tensor8& input, const Tensor8& weights,
+                    const Tensor32& bias, const ConvGeom& g,
+                    const Requant& rq, int oy_s, int oy_e, int k_s, int k_e,
+                    Tensor8& out) {
   g.validate();
   DECIMATE_CHECK(input.shape() == (std::vector<int>{g.iy, g.ix, g.c}),
                  "conv input shape mismatch");
@@ -16,10 +25,14 @@ Tensor8 conv2d_s8(const Tensor8& input, const Tensor8& weights,
   DECIMATE_CHECK(bias.shape() == (std::vector<int>{g.k}),
                  "conv bias shape mismatch");
   const int oy = g.oy(), ox = g.ox();
-  Tensor8 out({oy, ox, g.k});
-  for (int y = 0; y < oy; ++y) {
+  DECIMATE_CHECK(out.shape() == (std::vector<int>{oy, ox, g.k}),
+                 "conv output shape mismatch");
+  DECIMATE_CHECK(0 <= oy_s && oy_s <= oy_e && oy_e <= oy && 0 <= k_s &&
+                     k_s <= k_e && k_e <= g.k,
+                 "conv range out of bounds");
+  for (int y = oy_s; y < oy_e; ++y) {
     for (int x = 0; x < ox; ++x) {
-      for (int k = 0; k < g.k; ++k) {
+      for (int k = k_s; k < k_e; ++k) {
         int32_t acc = bias[k];
         const int8_t* wrow = weights.data() + static_cast<int64_t>(k) * g.fsz();
         int wi = 0;
@@ -45,25 +58,59 @@ Tensor8 conv2d_s8(const Tensor8& input, const Tensor8& weights,
       }
     }
   }
-  return out;
 }
 
 Tensor8 fc_s8(const Tensor8& input, const Tensor8& weights,
               const Tensor32& bias, const Requant& rq) {
   DECIMATE_CHECK(input.rank() == 2 && weights.rank() == 2, "fc expects 2D");
+  Tensor8 out({input.dim(0), weights.dim(0)});
+  fc_s8_into(input, weights, bias, rq, 0, input.dim(0), 0, weights.dim(0),
+             out);
+  return out;
+}
+
+void fc_s8_into(const Tensor8& input, const Tensor8& weights,
+                const Tensor32& bias, const Requant& rq, int t_s, int t_e,
+                int k_s, int k_e, Tensor8& out) {
+  DECIMATE_CHECK(input.rank() == 2 && weights.rank() == 2, "fc expects 2D");
   const int t = input.dim(0), c = input.dim(1), k = weights.dim(0);
   DECIMATE_CHECK(weights.dim(1) == c, "fc weight/input dim mismatch");
   DECIMATE_CHECK(bias.shape() == (std::vector<int>{k}), "fc bias mismatch");
-  Tensor8 out({t, k});
-  for (int ti = 0; ti < t; ++ti) {
+  DECIMATE_CHECK(out.shape() == (std::vector<int>{t, k}),
+                 "fc output shape mismatch");
+  DECIMATE_CHECK(0 <= t_s && t_s <= t_e && t_e <= t && 0 <= k_s &&
+                     k_s <= k_e && k_e <= k,
+                 "fc range out of bounds");
+  for (int ti = t_s; ti < t_e; ++ti) {
     const int8_t* in = input.data() + static_cast<int64_t>(ti) * c;
-    for (int ki = 0; ki < k; ++ki) {
+    for (int ki = k_s; ki < k_e; ++ki) {
       const int8_t* w = weights.data() + static_cast<int64_t>(ki) * c;
       int32_t acc = bias[ki];
       for (int ci = 0; ci < c; ++ci) {
         acc += static_cast<int32_t>(in[ci]) * static_cast<int32_t>(w[ci]);
       }
       out.at({ti, ki}) = rq.apply(acc);
+    }
+  }
+}
+
+Tensor32 fc_s32_partial(const Tensor8& input, const Tensor8& weights,
+                        int c_s, int c_e) {
+  DECIMATE_CHECK(input.rank() == 2 && weights.rank() == 2, "fc expects 2D");
+  const int t = input.dim(0), c = input.dim(1), k = weights.dim(0);
+  DECIMATE_CHECK(weights.dim(1) == c, "fc weight/input dim mismatch");
+  DECIMATE_CHECK(0 <= c_s && c_s <= c_e && c_e <= c,
+                 "fc feature range out of bounds");
+  Tensor32 out({t, k}, 0);
+  for (int ti = 0; ti < t; ++ti) {
+    const int8_t* in = input.data() + static_cast<int64_t>(ti) * c;
+    for (int ki = 0; ki < k; ++ki) {
+      const int8_t* w = weights.data() + static_cast<int64_t>(ki) * c;
+      int32_t acc = 0;
+      for (int ci = c_s; ci < c_e; ++ci) {
+        acc += static_cast<int32_t>(in[ci]) * static_cast<int32_t>(w[ci]);
+      }
+      out.at({ti, ki}) = acc;
     }
   }
   return out;

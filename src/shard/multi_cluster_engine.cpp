@@ -1,0 +1,203 @@
+#include "shard/multi_cluster_engine.hpp"
+
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "compiler/fingerprint.hpp"
+#include "exec/node_exec.hpp"
+#include "nn/ref_ops.hpp"
+
+namespace decimate {
+
+namespace {
+
+/// Run the thunks concurrently (one thread each, "one per cluster") and
+/// rethrow the first failure. Inline when there is only one.
+void run_parallel(std::vector<std::function<void()>>& thunks) {
+  if (thunks.size() == 1) {
+    thunks.front()();
+    return;
+  }
+  std::mutex err_mu;
+  std::exception_ptr err;
+  std::vector<std::thread> pool;
+  pool.reserve(thunks.size());
+  for (auto& fn : thunks) {
+    pool.emplace_back([&err_mu, &err, &fn] {
+      try {
+        fn();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace
+
+MultiClusterEngine::MultiClusterEngine(int num_clusters)
+    : num_clusters_(num_clusters), planner_(num_clusters) {}
+
+const ShardPlan& MultiClusterEngine::shard_plan(const CompiledPlan& plan) {
+  DECIMATE_CHECK(plan.graph != nullptr, "plan has no graph");
+  const uint64_t key = plan_fingerprint(*plan.graph, plan.options);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++plans_;
+    // the schedule is content-addressed (tile indices), so it outlives
+    // the particular CompiledPlan object and serves any identical one
+    it = cache_.emplace(key, planner_.plan(plan)).first;
+  }
+  return it->second;
+}
+
+void MultiClusterEngine::exec_sharded_gemm(const StepShard& ss,
+                                           const PlanStep& step,
+                                           const Node& node,
+                                           const Tensor8& in,
+                                           const Tensor8* b_operand,
+                                           Tensor8& out) {
+  // operand selection mirrors ExecutionEngine::exec_gemm_node
+  const Tensor8* weights = &node.weights;
+  Tensor8 bmat;
+  Tensor32 zero_bias;
+  const Tensor32* bias = &node.bias;
+  if (node.op == OpType::kMatmul) {
+    DECIMATE_CHECK(b_operand != nullptr, "matmul needs a second operand");
+    bmat = node.transpose_b ? transpose2d(*b_operand) : *b_operand;
+    weights = &bmat;
+    zero_bias = Tensor32({node.fc.k}, 0);
+    bias = &zero_bias;
+  }
+  out = Tensor8(node.out_shape);
+
+  if (ss.axis == ShardAxis::kFcC) {
+    // input-feature split: int32 partial sums per cluster, reduced in
+    // ascending cluster order on top of the bias, then one requant —
+    // exactly the unsharded accumulation sequence, regrouped.
+    std::vector<const ShardSlice*> active;
+    for (const ShardSlice& slice : ss.slices) {
+      if (slice.active()) active.push_back(&slice);
+    }
+    DECIMATE_CHECK(!active.empty(), "kFcC step with no active slices");
+    std::vector<Tensor32> partials(active.size());
+    std::vector<std::function<void()>> thunks;
+    thunks.reserve(active.size());
+    for (size_t j = 0; j < active.size(); ++j) {
+      thunks.emplace_back([&, j] {
+        partials[j] = fc_s32_partial(in, *weights, active[j]->c_range.first,
+                                     active[j]->c_range.second);
+      });
+    }
+    run_parallel(thunks);
+    const int t = in.dim(0), k = weights->dim(0);
+    for (int ti = 0; ti < t; ++ti) {
+      for (int ki = 0; ki < k; ++ki) {
+        int32_t acc = (*bias)[ki];
+        for (const Tensor32& p : partials) acc += p.at({ti, ki});
+        out.at({ti, ki}) = node.rq.apply(acc);
+      }
+    }
+    return;
+  }
+
+  // output-tile shards: disjoint slices of `out`, written concurrently
+  std::vector<std::function<void()>> thunks;
+  for (const ShardSlice& slice : ss.slices) {
+    if (slice.tiles.empty()) continue;
+    thunks.emplace_back([&, &slice = slice] {
+      for (int idx : slice.tiles) {
+        const ShardTile& m = step.tiles_meta[static_cast<size_t>(idx)];
+        if (node.op == OpType::kConv2d) {
+          conv2d_s8_into(in, node.weights, node.bias, node.conv, node.rq,
+                         m.a_s, m.a_e, m.k_s, m.k_e, out);
+        } else {
+          fc_s8_into(in, *weights, *bias, node.rq, m.a_s, m.a_e, m.k_s,
+                     m.k_e, out);
+        }
+      }
+    });
+  }
+  DECIMATE_CHECK(!thunks.empty(), "gemm step with no assigned tiles");
+  run_parallel(thunks);
+}
+
+ShardedRun MultiClusterEngine::run(const CompiledPlan& plan,
+                                   const Tensor8& input) {
+  const ShardPlan& sp = shard_plan(plan);  // validates batch == 1
+  const Graph& graph = *plan.graph;
+  DECIMATE_CHECK(static_cast<int>(plan.steps.size()) == graph.size() - 1,
+                 "plan does not match graph");
+  DECIMATE_CHECK(sp.steps.size() == plan.steps.size(),
+                 "shard plan does not match plan");
+  DECIMATE_CHECK(input.shape() == graph.node(0).out_shape,
+                 "graph input shape mismatch");
+
+  ShardedRun result;
+  NetworkRun& net = result.run;
+  net.weight_bytes = plan.weight_bytes;
+  std::vector<Tensor8> outputs(static_cast<size_t>(graph.size()));
+  std::vector<const Tensor8*> values(static_cast<size_t>(graph.size()),
+                                     nullptr);
+  values[0] = &input;
+
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& step = plan.steps[i];
+    const StepShard& ss = sp.steps[i];
+    const Node& node = graph.node(step.node_id);
+    Tensor8& out = outputs[static_cast<size_t>(step.node_id)];
+    const Tensor8& in0 = *values[static_cast<size_t>(node.inputs.at(0))];
+    switch (node.op) {
+      case OpType::kConv2d:
+      case OpType::kFc:
+        exec_sharded_gemm(ss, step, node, in0, nullptr, out);
+        break;
+      case OpType::kMatmul:
+        exec_sharded_gemm(ss, step, node, in0,
+                          values[static_cast<size_t>(node.inputs.at(1))],
+                          out);
+        break;
+      default: {
+        // row-parallel and serial vector ops: numerics are element-wise
+        // identical however the rows are split, so the reference runs
+        // once; the shard plan still accounts their chunk distribution.
+        std::vector<const Tensor8*> ins;
+        ins.reserve(node.inputs.size());
+        for (int in_id : node.inputs) {
+          ins.push_back(values[static_cast<size_t>(in_id)]);
+        }
+        exec_vec_node_ref(node, ins, out);
+        break;
+      }
+    }
+    DECIMATE_CHECK(out.shape() == node.out_shape,
+                   "node " << node.name << " produced unexpected shape");
+    values[static_cast<size_t>(step.node_id)] = &out;
+    // per-layer totals become the sharded critical paths, so layer rows
+    // still sum to the end-to-end number
+    LayerReport rep = step.report;
+    rep.total_cycles = ss.critical_cycles;
+    net.total_cycles += ss.critical_cycles;
+    net.total_macs += rep.macs;
+    net.layers.push_back(std::move(rep));
+  }
+  if (plan.steps.empty()) {
+    net.output = input;
+  } else {
+    net.output = std::move(outputs.back());
+  }
+
+  result.num_clusters = num_clusters_;
+  result.critical_path_cycles = sp.critical_path_cycles;
+  result.single_cluster_cycles = plan.total_cycles;
+  result.reduction_cycles = sp.reduction_cycles;
+  result.cluster_busy_cycles = sp.cluster_busy_cycles;
+  return result;
+}
+
+}  // namespace decimate

@@ -1,0 +1,92 @@
+#pragma once
+// MultiClusterEngine: executes a CompiledPlan sharded across N clusters.
+//
+// Numerics are bit-exact with the single-cluster ExecutionEngine by
+// construction: output-tile shards write disjoint slices of the same
+// tensor through the ranged reference ops, and reduction-split FC steps
+// (ShardAxis::kFcC) fold int32 partial sums in ascending cluster order on
+// top of the bias before the single requant — the same accumulation
+// sequence the unsharded kernel performs, regrouped associatively.
+//
+// Cycles come from the ShardPlan: per-cluster tile streams are pipelined
+// independently (the BatchRun tile-stream merge, applied per cluster) and
+// synchronized at every stitch/reduce point, giving a critical path,
+// per-cluster utilizations, and the interconnect/reduction overhead.
+// Shard plans are cached under plan_fingerprint (graph content x options,
+// so two shard-aware compiles of different num_clusters never collide).
+
+#include <map>
+#include <vector>
+
+#include "exec/plan.hpp"
+#include "shard/shard_planner.hpp"
+
+namespace decimate {
+
+/// Result of one sharded execution: the usual NetworkRun (per-layer
+/// totals are the sharded critical paths, so they still sum to
+/// total_cycles) plus the cluster-level aggregate.
+struct ShardedRun {
+  NetworkRun run;
+  int num_clusters = 1;
+  uint64_t critical_path_cycles = 0;   // modeled end-to-end latency
+  uint64_t single_cluster_cycles = 0;  // same plan on one cluster
+  uint64_t reduction_cycles = 0;       // stitch/reduce share of critical
+  std::vector<uint64_t> cluster_busy_cycles;
+
+  double speedup() const {
+    return critical_path_cycles
+               ? static_cast<double>(single_cluster_cycles) /
+                     static_cast<double>(critical_path_cycles)
+               : 0.0;
+  }
+  double utilization(int cluster) const {
+    return critical_path_cycles
+               ? static_cast<double>(
+                     cluster_busy_cycles[static_cast<size_t>(cluster)]) /
+                     static_cast<double>(critical_path_cycles)
+               : 0.0;
+  }
+  double avg_utilization() const {
+    double sum = 0.0;
+    for (size_t c = 0; c < cluster_busy_cycles.size(); ++c) {
+      sum += utilization(static_cast<int>(c));
+    }
+    return cluster_busy_cycles.empty()
+               ? 0.0
+               : sum / static_cast<double>(cluster_busy_cycles.size());
+  }
+};
+
+class MultiClusterEngine {
+ public:
+  explicit MultiClusterEngine(int num_clusters);
+
+  /// Execute the plan's graph on `input` across the clusters. The plan
+  /// must be unfused (options.batch == 1). Output is bit-exact with
+  /// ExecutionEngine::run on the same plan.
+  ShardedRun run(const CompiledPlan& plan, const Tensor8& input);
+
+  /// The (cached) shard schedule for a plan; builds it on first use.
+  /// Plans are keyed by content (plan_fingerprint), so a re-created plan
+  /// with identical graph/options reuses the schedule.
+  const ShardPlan& shard_plan(const CompiledPlan& plan);
+
+  int num_clusters() const { return num_clusters_; }
+
+  /// Shard plans built so far (cache misses) — a repeated plan must
+  /// shard-plan exactly once.
+  int plans() const { return plans_; }
+
+ private:
+  void exec_sharded_gemm(const StepShard& ss, const PlanStep& step,
+                         const Node& node, const Tensor8& in,
+                         const Tensor8* b_operand, Tensor8& out);
+
+  int num_clusters_ = 1;
+  ShardPlanner planner_;
+  std::map<uint64_t, ShardPlan> cache_;
+  int plans_ = 0;
+};
+
+}  // namespace decimate

@@ -75,24 +75,7 @@ Graph relu_graph(int numel) {
 /// Two sparse FC layers (d -> hidden -> d) over `tokens` rows — the ViT
 /// FFN shape the paper sparsifies, used by the batch-fusion tests.
 Graph ffn_block(int tokens, int d, int hidden, int m, uint64_t seed) {
-  Rng rng(seed);
-  Graph g({tokens, d});
-  const auto fc = [&](const char* name, int in, int c, int k) {
-    Node n;
-    n.op = OpType::kFc;
-    n.name = name;
-    n.inputs = {in};
-    n.fc = FcGeom{.tokens = tokens, .c = c, .k = k};
-    n.weights = Tensor8::random({k, c}, rng);
-    if (m) nm_prune(n.weights.flat(), k, c, 1, m);
-    n.bias = Tensor32({k}, 0);
-    n.rq = calibrate_requant(c);
-    n.out_shape = {tokens, k};
-    return g.add(std::move(n));
-  };
-  const int up = fc("fc1", 0, d, hidden);
-  fc("fc2", up, hidden, d);
-  return g;
+  return build_ffn_block(tokens, d, hidden, m, seed);
 }
 
 // --- cache / cycle-model regressions ----------------------------------------
@@ -258,6 +241,67 @@ TEST(Batch, FusedFcTilingAmortizesWeightDmaAcrossImages) {
   EXPECT_LT(fused4, per_image)
       << "batch-fused FC must fetch each weight tile fewer times per image";
   EXPECT_LT(fused16, fused4);
+}
+
+TEST(Batch, FusedConvTilingAmortizesWeightDmaAcrossImages) {
+  // The conv counterpart of FC batch fusion: a K-outer fused schedule
+  // keeps each weight tile resident while it sweeps every image's row
+  // tiles, so conv weight DMA per image drops with the batch.
+  const auto weight_dma_per_image = [&](int batch) {
+    CompileOptions opt = isa_options();
+    opt.batch = batch;
+    Compiler compiler(opt);
+    const CompiledPlan plan = compiler.compile(scaled_resnet18());
+    uint64_t dma = 0;
+    for (const PlanStep& s : plan.steps) {
+      if (s.op != OpType::kConv2d) continue;
+      EXPECT_EQ(s.batch_fused, batch > 1);
+      dma += s.report.weight_dma_cycles;
+    }
+    return dma;
+  };
+  const uint64_t per_image = weight_dma_per_image(1);
+  const uint64_t fused4 = weight_dma_per_image(4);
+  const uint64_t fused16 = weight_dma_per_image(16);
+  EXPECT_LT(fused4, per_image)
+      << "batch-fused conv must fetch each weight tile fewer times per image";
+  EXPECT_LT(fused16, fused4);
+}
+
+TEST(Batch, FusedConvPlanBitExactWithUnfusedPlan) {
+  // Conv fusion only reorders the cost model's tile stream; numerics are
+  // per-image and must be unchanged.
+  const Graph g = scaled_resnet18();
+  Compiler unfused(isa_options());
+  CompileOptions fopt = isa_options();
+  fopt.batch = 3;
+  Compiler fused(fopt, unfused.shared_latencies());
+  const CompiledPlan p1 = unfused.compile(g);
+  const CompiledPlan p3 = fused.compile(g);
+
+  ExecutionEngine engine;
+  const auto inputs = distinct_inputs({16, 16, 4}, 3, 24);
+  const BatchRun b1 = engine.run_batch(p1, inputs);
+  const BatchRun b3 = engine.run_batch(p3, inputs);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_TRUE(b1.runs[i].output == b3.runs[i].output) << "image " << i;
+  }
+}
+
+TEST(Batch, RunBatchRejectsSpanMismatchedWithFusedBatch) {
+  // A fused plan's tile stream covers exactly options.batch images;
+  // serving any other span must throw instead of stamping a mismatched
+  // cycle report.
+  const Graph g = ffn_block(32, 64, 128, 8, 8);
+  CompileOptions opt = isa_options();
+  opt.batch = 4;
+  Compiler compiler(opt);
+  const CompiledPlan plan = compiler.compile(g);
+  ExecutionEngine engine;
+  const auto three = distinct_inputs({32, 64}, 3, 25);
+  EXPECT_THROW(engine.run_batch(plan, three), Error);
+  const auto four = distinct_inputs({32, 64}, 4, 26);
+  EXPECT_EQ(engine.run_batch(plan, four).batch_size(), 4);
 }
 
 TEST(Batch, FusedPlanBitExactWithUnfusedPlan) {

@@ -1,0 +1,274 @@
+// Multi-cluster sharding tests: bit-exactness of MultiClusterEngine
+// against the single-cluster ExecutionEngine on ResNet18/ViT for 1/2/4
+// shards, the single-cluster degeneration invariant (critical path ==
+// plan total), the kFcC partial-sum reduction path (dense and sparse),
+// degenerate layers with fewer tiles than clusters, shard-count-salted
+// fingerprints, and shard-plan caching.
+
+#include <gtest/gtest.h>
+
+#include "compiler/fingerprint.hpp"
+#include "exec/compile.hpp"
+#include "exec/engine.hpp"
+#include "models/models.hpp"
+#include "nn/prune.hpp"
+#include "shard/multi_cluster_engine.hpp"
+
+namespace decimate {
+namespace {
+
+CompileOptions isa_options(int num_clusters = 1) {
+  CompileOptions opt;
+  opt.enable_isa = true;
+  opt.num_clusters = num_clusters;
+  return opt;
+}
+
+Graph scaled_resnet18() {
+  Resnet18Options opt;
+  opt.sparsity_m = 8;
+  opt.input_hw = 16;
+  return build_resnet18(opt);
+}
+
+Graph scaled_vit() {
+  VitOptions opt;
+  opt.image_hw = 64;
+  opt.dim = 64;
+  opt.depth = 2;
+  opt.heads = 2;
+  opt.mlp = 256;
+  opt.sparsity_m = 8;
+  return build_vit(opt);
+}
+
+/// Single-FC graph: `tokens` x `c` -> `k`, optionally 1:m pruned.
+Graph single_fc(int tokens, int c, int k, int m, uint64_t seed) {
+  Rng rng(seed);
+  Graph g({tokens, c});
+  Node n;
+  n.op = OpType::kFc;
+  n.name = "fc";
+  n.inputs = {0};
+  n.fc = FcGeom{.tokens = tokens, .c = c, .k = k};
+  n.weights = Tensor8::random({k, c}, rng);
+  if (m) nm_prune(n.weights.flat(), k, c, 1, m);
+  n.bias = Tensor32({k}, 7);
+  n.rq = calibrate_requant(c);
+  n.out_shape = {tokens, k};
+  g.add(std::move(n));
+  return g;
+}
+
+/// Single tiny conv whose tile grid cannot reach 8 tiles: 2 output rows
+/// x 1 output channel caps the grid at 2 tiles however hard the
+/// shard-aware search tries.
+Graph tiny_conv(uint64_t seed) {
+  Rng rng(seed);
+  Graph g({2, 4, 4});
+  Node n;
+  n.op = OpType::kConv2d;
+  n.name = "conv";
+  n.inputs = {0};
+  n.conv = ConvGeom{.ix = 4, .iy = 2, .c = 4, .k = 1, .fx = 3, .fy = 3,
+                    .stride = 1, .pad = 1};
+  n.weights = Tensor8::random({1, n.conv.fsz()}, rng);
+  n.bias = Tensor32({1}, 3);
+  n.rq = calibrate_requant(n.conv.fsz());
+  n.out_shape = {2, 4, 1};
+  g.add(std::move(n));
+  return g;
+}
+
+void expect_sharded_bit_exact(const Graph& graph,
+                              const std::vector<int>& in_shape,
+                              uint64_t seed) {
+  Rng rng(seed);
+  const Tensor8 input = Tensor8::random(in_shape, rng);
+  Compiler baseline_compiler(isa_options());
+  const CompiledPlan baseline_plan = baseline_compiler.compile(graph);
+  ExecutionEngine engine;
+  const NetworkRun baseline = engine.run(baseline_plan, input);
+  const auto cache = baseline_compiler.shared_latencies();
+
+  for (int n : {1, 2, 4}) {
+    Compiler compiler(isa_options(n), cache);
+    const CompiledPlan plan = compiler.compile(graph);
+    MultiClusterEngine mce(n);
+    const ShardedRun sharded = mce.run(plan, input);
+    EXPECT_TRUE(sharded.run.output == baseline.output)
+        << "sharded output differs at " << n << " clusters";
+    // the same shard-aware plan through the single-cluster engine agrees
+    const NetworkRun same_plan = engine.run(plan, input);
+    EXPECT_TRUE(sharded.run.output == same_plan.output);
+    EXPECT_EQ(sharded.num_clusters, n);
+    EXPECT_EQ(sharded.single_cluster_cycles, plan.total_cycles);
+  }
+}
+
+// --- bit-exactness ----------------------------------------------------------
+
+TEST(Shard, MultiClusterBitExactWithSingleClusterResnet18) {
+  expect_sharded_bit_exact(scaled_resnet18(), {16, 16, 4}, 41);
+}
+
+TEST(Shard, MultiClusterBitExactWithSingleClusterVit) {
+  expect_sharded_bit_exact(scaled_vit(), {64, 64, 4}, 42);
+}
+
+// --- cycle model ------------------------------------------------------------
+
+TEST(Shard, OneClusterDegeneratesToTheUnshardedSchedule) {
+  const Graph g = scaled_resnet18();
+  Compiler compiler(isa_options());
+  const CompiledPlan plan = compiler.compile(g);
+  MultiClusterEngine mce(1);
+  const ShardPlan& sp = mce.shard_plan(plan);
+  EXPECT_EQ(sp.critical_path_cycles, plan.total_cycles)
+      << "a 1-cluster shard plan must reproduce the plan total exactly";
+  EXPECT_EQ(sp.reduction_cycles, 0u);
+  EXPECT_EQ(sp.cluster_busy_cycles[0], plan.total_cycles);
+}
+
+TEST(Shard, CriticalPathShrinksWithClustersAndUtilizationIsSane) {
+  const Graph g = scaled_resnet18();
+  Compiler one(isa_options());
+  const CompiledPlan p1 = one.compile(g);
+  Rng rng(43);
+  const Tensor8 input = Tensor8::random({16, 16, 4}, rng);
+
+  uint64_t prev = p1.total_cycles;
+  for (int n : {2, 4}) {
+    Compiler compiler(isa_options(n), one.shared_latencies());
+    const CompiledPlan plan = compiler.compile(g);
+    MultiClusterEngine mce(n);
+    const ShardedRun sharded = mce.run(plan, input);
+    EXPECT_LT(sharded.critical_path_cycles, prev)
+        << "more clusters must shorten the critical path";
+    prev = sharded.critical_path_cycles;
+    // reduction overhead is accounted inside the critical path
+    EXPECT_GT(sharded.reduction_cycles, 0u);
+    EXPECT_LT(sharded.reduction_cycles, sharded.critical_path_cycles);
+    ASSERT_EQ(sharded.cluster_busy_cycles.size(), static_cast<size_t>(n));
+    for (int c = 0; c < n; ++c) {
+      EXPECT_LE(sharded.utilization(c), 1.0 + 1e-9);
+    }
+    EXPECT_GT(sharded.utilization(0), 0.5);
+  }
+  // the paper-style headline: >= 1.7x at 2 clusters against the
+  // single-cluster plan (the full-size bench asserts the 4-cluster bar)
+  Compiler two(isa_options(2), one.shared_latencies());
+  const CompiledPlan p2 = two.compile(g);
+  MultiClusterEngine mce(2);
+  const ShardedRun sharded = mce.run(p2, input);
+  EXPECT_GE(static_cast<double>(p1.total_cycles) /
+                static_cast<double>(sharded.critical_path_cycles),
+            1.7);
+}
+
+// --- the kFcC partial-sum reduction path ------------------------------------
+
+TEST(Shard, SingleTileFcSplitsTheReductionAxisBitExactly) {
+  // k = 4 output channels over c = 512 features compiles to one tile on
+  // one cluster; sharding it across 4 clusters must switch to the
+  // input-feature split and reduce int32 partials before requant.
+  for (int m : {0, 8}) {
+    const Graph g = single_fc(3, 512, 4, m, 44 + m);
+    Compiler compiler(isa_options());  // single-cluster plan: one tile
+    const CompiledPlan plan = compiler.compile(g);
+    ASSERT_EQ(plan.steps[0].tile_costs.size(), 1u);
+
+    MultiClusterEngine mce(4);
+    const ShardPlan& sp = mce.shard_plan(plan);
+    EXPECT_EQ(sp.steps[0].axis, ShardAxis::kFcC);
+    EXPECT_EQ(sp.steps[0].active_clusters(), 4);
+    EXPECT_GT(sp.steps[0].reduce_cycles, 0u);
+    EXPECT_LT(sp.critical_path_cycles, plan.total_cycles)
+        << "splitting the reduction axis must beat one cluster";
+
+    ExecutionEngine engine;
+    Rng rng(45);
+    for (int i = 0; i < 4; ++i) {
+      const Tensor8 x = Tensor8::random({3, 512}, rng);
+      const ShardedRun sharded = mce.run(plan, x);
+      EXPECT_TRUE(sharded.run.output == engine.run(plan, x).output)
+          << "m=" << m << " input " << i;
+    }
+  }
+}
+
+// --- degenerate layers ------------------------------------------------------
+
+TEST(Shard, LayerWithFewerTilesThanClustersLeavesClustersIdle) {
+  const Graph g = tiny_conv(46);
+  Compiler compiler(isa_options(8));
+  const CompiledPlan plan = compiler.compile(g);
+  ASSERT_LT(plan.steps[0].tile_costs.size(), 8u)
+      << "the degenerate conv must not be able to fill 8 clusters";
+
+  MultiClusterEngine mce(8);
+  const ShardPlan& sp = mce.shard_plan(plan);
+  EXPECT_LT(sp.steps[0].active_clusters(), 8);
+  EXPECT_GE(sp.steps[0].active_clusters(), 1);
+
+  Rng rng(47);
+  const Tensor8 x = Tensor8::random({2, 4, 4}, rng);
+  ExecutionEngine engine;
+  const ShardedRun sharded = mce.run(plan, x);
+  EXPECT_TRUE(sharded.run.output == engine.run(plan, x).output);
+  // idle clusters report zero utilization, active ones a positive one
+  int idle = 0;
+  for (int c = 0; c < 8; ++c) idle += sharded.utilization(c) == 0.0 ? 1 : 0;
+  EXPECT_GT(idle, 0);
+}
+
+// --- fingerprints and caching -----------------------------------------------
+
+TEST(Shard, PlanFingerprintSaltsOnShardConfig) {
+  const Graph g = scaled_resnet18();
+  const uint64_t f1 = plan_fingerprint(g, isa_options(1));
+  const uint64_t f2 = plan_fingerprint(g, isa_options(2));
+  const uint64_t f4 = plan_fingerprint(g, isa_options(4));
+  EXPECT_NE(f1, f2);
+  EXPECT_NE(f2, f4);
+  EXPECT_NE(f1, f4);
+  // same config, same content: stable
+  EXPECT_EQ(f2, plan_fingerprint(g, isa_options(2)));
+  // batch salts too (a fused plan is a different tile schedule)
+  CompileOptions fused = isa_options(1);
+  fused.batch = 4;
+  EXPECT_NE(f1, plan_fingerprint(g, fused));
+}
+
+TEST(Shard, ShardPlanIsBuiltOncePerPlanIdentity) {
+  const Graph g = scaled_resnet18();
+  Compiler compiler(isa_options(2));
+  const CompiledPlan plan = compiler.compile(g);
+  MultiClusterEngine mce(2);
+  Rng rng(48);
+  const Tensor8 x = Tensor8::random({16, 16, 4}, rng);
+  mce.run(plan, x);
+  mce.run(plan, x);
+  EXPECT_EQ(mce.plans(), 1) << "a repeated plan must shard-plan once";
+
+  // a recompiled identical plan reuses the shard schedule as well
+  Compiler again(isa_options(2), compiler.shared_latencies());
+  const CompiledPlan twin = again.compile(g);
+  mce.run(twin, x);
+  EXPECT_EQ(mce.plans(), 1);
+}
+
+TEST(Shard, BatchFusedPlansAreRejected) {
+  const Graph g = single_fc(8, 64, 32, 8, 49);
+  CompileOptions opt = isa_options(1);
+  opt.batch = 4;
+  Compiler compiler(opt);
+  const CompiledPlan plan = compiler.compile(g);
+  MultiClusterEngine mce(2);
+  Rng rng(50);
+  const Tensor8 x = Tensor8::random({8, 64}, rng);
+  EXPECT_THROW(mce.run(plan, x), Error);
+}
+
+}  // namespace
+}  // namespace decimate
