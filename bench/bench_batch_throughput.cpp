@@ -1,9 +1,13 @@
 // Serving throughput of the pipelined batch engine: host images/sec and
 // modeled cycles/image for batch sizes {1, 4, 16} on ResNet18 (conv-
-// dominated) and the ViT FFN block (FC-dominated). Both recompile per
-// batch size with batch-fused tiling — FC fuses the batch into the token
-// dim, conv into the OY tile loop — so weight DMA amortizes across the
-// images of a batch. Results land in BENCH_batch.json.
+// dominated) and the ViT FFN block (FC-dominated). Per-batch-size plans
+// come from the serving PlanStore — compiled once per (model x batch)
+// and indexed by content fingerprint, never rebuilt per run — with
+// batch-fused tiling: FC fuses the batch into the token dim, conv into
+// the OY tile loop, so weight DMA amortizes across the images of a
+// batch. After timing, the bench re-looks-up every plan and asserts the
+// compile counter did not move (exit 1 on violation). Results land in
+// BENCH_batch.json.
 //
 //   ./bench_batch_throughput [--smoke] [--out PATH]
 //
@@ -17,8 +21,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "exec/compile.hpp"
 #include "exec/engine.hpp"
+#include "serve/plan_store.hpp"
 
 using namespace decimate;
 
@@ -93,13 +97,13 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<int> batches = {1, 4, 16};
-  std::vector<Row> rows;
 
-  // per-batch-size compiles share one latency cache, so tile
-  // measurements never repeat across the fused plans
+  // every (model x batch) plan lives in one PlanStore: variants share a
+  // latency cache (tile measurements never repeat across the fused
+  // plans), and repeated lookups must hit the compiled plan
   CompileOptions copt;
   copt.enable_isa = true;
-  auto cache = std::make_shared<TileLatencyCache>();
+  PlanStore store(copt);
 
   // conv-dominated: conv fusion keeps each weight tile resident across
   // the batch's row sweeps (K-outer order)
@@ -107,14 +111,7 @@ int main(int argc, char** argv) {
   mopt.sparsity_m = 8;
   mopt.input_hw = smoke ? 16 : 32;
   const Graph resnet = build_resnet18(mopt);
-  for (int b : batches) {
-    CompileOptions fopt = copt;
-    fopt.batch = b;
-    Compiler conv_compiler(fopt, cache);
-    const CompiledPlan plan = conv_compiler.compile(resnet);
-    rows.push_back(
-        time_batch("resnet18", plan, {mopt.input_hw, mopt.input_hw, 4}, b));
-  }
+  const int resnet_id = store.add_model(resnet);
 
   // FC-dominated: the batch fuses into the token dim, so each weight
   // tile is fetched once per batch
@@ -122,12 +119,30 @@ int main(int argc, char** argv) {
   const int d = smoke ? 128 : 384;
   const int hidden = smoke ? 512 : 1536;
   const Graph ffn = build_ffn_block(tokens, d, hidden, 8, 11);
+  const int ffn_id = store.add_model(ffn);
+
+  store.warm(resnet_id, batches);
+  store.warm(ffn_id, batches);
+  const int compiles_warm = store.compiles();
+
+  std::vector<Row> rows;
   for (int b : batches) {
-    CompileOptions fopt = copt;
-    fopt.batch = b;
-    Compiler fc_compiler(fopt, cache);
-    const CompiledPlan plan = fc_compiler.compile(ffn);
-    rows.push_back(time_batch("vit_ffn", plan, {tokens, d}, b));
+    rows.push_back(time_batch("resnet18", store.plan(resnet_id, b),
+                              {mopt.input_hw, mopt.input_hw, 4}, b));
+  }
+  for (int b : batches) {
+    rows.push_back(time_batch("vit_ffn", store.plan(ffn_id, b),
+                              {tokens, d}, b));
+  }
+  // a second round of lookups must hit every compiled plan
+  for (int b : batches) {
+    store.plan(resnet_id, b);
+    store.plan(ffn_id, b);
+  }
+  if (store.compiles() != compiles_warm) {
+    std::cerr << "FAIL: plan store recompiled while serving batches ("
+              << compiles_warm << " -> " << store.compiles() << ")\n";
+    return 1;
   }
 
   Table t({"model", "batch", "img/s", "Mcyc/img", "w-DMA kcyc/img",
@@ -141,6 +156,7 @@ int main(int argc, char** argv) {
                               static_cast<double>(r.batch_cycles), 3) + "x"});
   }
   std::cout << t;
+  std::cout << "compiles: " << compiles_warm << " (all at warm-up)\n";
 
   std::ofstream out(out_path);
   if (!out) {

@@ -1,0 +1,391 @@
+// Serving throughput vs SLO: a deterministic Poisson-like request trace
+// (seeded via common/rng.hpp) is served through the full runtime —
+// Server queue -> SLO Batcher -> PlanStore -> Dispatcher — while the SLO
+// deadline sweeps from tight to loose. Per point we report the deadline
+// hit rate, modeled throughput, latency percentiles, and which execution
+// mode the dispatcher chose (batch-fused / sharded single-image /
+// data-parallel). On ResNet18 the bench asserts the headline behavior:
+// at the loosest SLO the dispatcher serves batch-fused plans at a higher
+// throughput than the batch=1 serial baseline, at the tightest it shards
+// single images below the single-cluster latency, every served output is
+// bit-exact with a sequential ExecutionEngine::run, and nothing compiles
+// after PlanStore warm-up. Results land in BENCH_serve.json.
+//
+//   ./bench_serving [--smoke] [--out PATH]
+//
+// --smoke shrinks the models and traces so CI can run the bench in
+// seconds.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exec/engine.hpp"
+#include "serve/server.hpp"
+
+using namespace decimate;
+
+namespace {
+
+struct ScenarioRow {
+  std::string model;
+  double deadline_x_total = 0.0;  // deadline as a multiple of total1
+  uint64_t deadline = 0;
+  int requests = 0;
+  double hit_rate = 0.0;
+  double throughput_ipmc = 0.0;  // images per modeled megacycle
+  uint64_t p50_latency = 0;
+  uint64_t p99_latency = 0;
+  uint64_t mean_exec = 0;
+  std::map<std::string, int> modes;
+};
+
+struct ModelReport {
+  std::string name;
+  uint64_t total1 = 0;          // batch=1 single-cluster cycles
+  uint64_t shard_critical = 0;  // single image across all clusters
+  double serial_ipmc = 0.0;     // batch=1 serial baseline on the trace
+  std::vector<ScenarioRow> rows;
+};
+
+uint64_t percentile(std::vector<uint64_t> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t i = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+/// Deterministic Poisson-like arrivals: exponential gaps of the given
+/// mean, one fresh random image per request.
+std::vector<Request> poisson_trace(int model, const std::vector<int>& shape,
+                                   int n, double mean_gap_cycles,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Request> trace;
+  trace.reserve(static_cast<size_t>(n));
+  uint64_t t = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    t += static_cast<uint64_t>(-mean_gap_cycles * std::log1p(-u));
+    trace.push_back(Request{static_cast<uint64_t>(i), model, t,
+                            Tensor8::random(shape, rng)});
+  }
+  return trace;
+}
+
+std::vector<Request> copy_trace(const std::vector<Request>& trace) {
+  std::vector<Request> out;
+  out.reserve(trace.size());
+  for (const Request& r : trace) {
+    out.push_back(Request{r.id, r.model, r.arrival_cycles, r.input});
+  }
+  return out;
+}
+
+std::vector<Served> serve_trace(Dispatcher& dispatcher, const SloConfig& slo,
+                                std::vector<Request> trace) {
+  Server server(dispatcher, slo);
+  for (Request& r : trace) server.submit(std::move(r));
+  server.close();
+  return server.serve();
+}
+
+/// Sustained serving rate: images per megacycle between the first
+/// dispatch and the last completion. Measuring from the first dispatch
+/// (not the first arrival) keeps short traces honest — the initial
+/// batch-fill wait is a fixed offset that a long-running server
+/// amortizes away, and it is already charged to the latency percentiles.
+double throughput_ipmc(const std::vector<Served>& served) {
+  uint64_t first = UINT64_MAX, last = 0;
+  for (const Served& s : served) {
+    first = std::min(first, s.stats.dispatch_cycles);
+    last = std::max(last, s.stats.completion_cycles);
+  }
+  return last > first ? static_cast<double>(served.size()) * 1e6 /
+                            static_cast<double>(last - first)
+                      : 0.0;
+}
+
+/// Sequential reference outputs of a trace, computed once: the SLO sweep
+/// serves the same trace at every point, and the reference depends only
+/// on the inputs.
+std::map<uint64_t, Tensor8> reference_outputs(
+    PlanStore& store, const std::vector<Request>& trace) {
+  ExecutionEngine engine;
+  std::map<uint64_t, Tensor8> refs;
+  for (const Request& r : trace) {
+    refs.emplace(r.id, engine.run(store.plan(r.model, 1, 1), r.input).output);
+  }
+  return refs;
+}
+
+bool check_bit_exact(const std::map<uint64_t, Tensor8>& refs,
+                     const std::vector<Served>& served) {
+  for (const Served& s : served) {
+    if (!(s.output == refs.at(s.stats.id))) {
+      std::cerr << "FAIL: request " << s.stats.id << " ("
+                << to_string(s.stats.mode)
+                << ") differs from the sequential run\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+ScenarioRow run_scenario(const std::string& model_name,
+                         Dispatcher& dispatcher,
+                         const std::map<uint64_t, Tensor8>& refs,
+                         const std::vector<Request>& trace, uint64_t total1,
+                         double deadline_x, bool& bit_exact) {
+  const uint64_t deadline =
+      static_cast<uint64_t>(deadline_x * static_cast<double>(total1));
+  SloConfig slo;
+  slo.deadline_cycles = deadline;
+  slo.max_wait_cycles = deadline / 4;
+  slo.max_batch = 8;
+
+  const auto served = serve_trace(dispatcher, slo, copy_trace(trace));
+  bit_exact = bit_exact && check_bit_exact(refs, served);
+
+  ScenarioRow row;
+  row.model = model_name;
+  row.deadline_x_total = deadline_x;
+  row.deadline = deadline;
+  row.requests = static_cast<int>(served.size());
+  row.throughput_ipmc = throughput_ipmc(served);
+  std::vector<uint64_t> latencies;
+  uint64_t exec_sum = 0;
+  int hits = 0;
+  for (const Served& s : served) {
+    latencies.push_back(s.stats.latency_cycles());
+    exec_sum += s.stats.exec_cycles();
+    hits += s.stats.deadline_hit ? 1 : 0;
+    ++row.modes[to_string(s.stats.mode)];
+  }
+  row.hit_rate = static_cast<double>(hits) / static_cast<double>(served.size());
+  row.p50_latency = percentile(latencies, 0.5);
+  row.p99_latency = percentile(latencies, 0.99);
+  row.mean_exec = exec_sum / served.size();
+  return row;
+}
+
+void emit_json(std::ostream& os, bool smoke, int clusters,
+               const std::vector<ModelReport>& reports, int compiles_warm,
+               int compiles_total, bool bit_exact) {
+  os << "{\n  \"bench\": \"serving\",\n  \"smoke\": "
+     << (smoke ? "true" : "false") << ",\n  \"num_clusters\": " << clusters
+     << ",\n  \"compiles_at_warmup\": " << compiles_warm
+     << ",\n  \"compiles_after_serving\": " << compiles_total
+     << ",\n  \"bit_exact\": " << (bit_exact ? "true" : "false")
+     << ",\n  \"models\": [\n";
+  for (size_t mi = 0; mi < reports.size(); ++mi) {
+    const ModelReport& m = reports[mi];
+    os << "    {\"model\": \"" << m.name << "\", \"total_cycles_batch1\": "
+       << m.total1 << ", \"shard_critical_cycles\": " << m.shard_critical
+       << ", \"serial_throughput_ipmc\": " << m.serial_ipmc
+       << ",\n     \"slo_sweep\": [\n";
+    for (size_t i = 0; i < m.rows.size(); ++i) {
+      const ScenarioRow& r = m.rows[i];
+      os << "       {\"deadline_x_total\": " << r.deadline_x_total
+         << ", \"deadline_cycles\": " << r.deadline << ", \"requests\": "
+         << r.requests << ", \"hit_rate\": " << r.hit_rate
+         << ", \"throughput_ipmc\": " << r.throughput_ipmc
+         << ", \"p50_latency\": " << r.p50_latency << ", \"p99_latency\": "
+         << r.p99_latency << ", \"mean_exec_cycles\": " << r.mean_exec
+         << ", \"modes\": {";
+      bool first = true;
+      for (const auto& [mode, count] : r.modes) {
+        os << (first ? "" : ", ") << "\"" << mode << "\": " << count;
+        first = false;
+      }
+      os << "}}" << (i + 1 < m.rows.size() ? "," : "") << "\n";
+    }
+    os << "     ]}" << (mi + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serving [--smoke] [--out PATH]\n";
+      return 1;
+    }
+  }
+
+  constexpr int kClusters = 4;
+  CompileOptions copt;
+  copt.enable_isa = true;
+  PlanStore store(copt);
+  DispatchConfig cfg;
+  cfg.num_clusters = kClusters;
+  cfg.fused_batches = {1, 2, 4, 8};
+  Dispatcher dispatcher(store, cfg);
+  // batch=1 serial baseline: one cluster, no fusion — the deployment the
+  // paper's per-layer numbers describe
+  DispatchConfig serial_cfg;
+  serial_cfg.num_clusters = 1;
+  serial_cfg.fused_batches = {1};
+  Dispatcher serial(store, serial_cfg);
+
+  // The asserted headline model is ResNet18 at 16x16 input: there the
+  // sparse conv stack is weight-DMA-bound, the regime where batch fusion
+  // buys pipelined cycles and the loose-SLO story holds. At 32x32 the
+  // same sparse network is compute-bound — fusion's weight-DMA savings
+  // hide behind compute and the dispatcher (correctly) keeps preferring
+  // sharded/data-parallel execution at every SLO; the full bench serves
+  // that geometry too, assertion-free, to document the crossover.
+  Resnet18Options mopt;
+  mopt.sparsity_m = 8;
+  mopt.input_hw = 16;
+  const Graph resnet = build_resnet18(mopt);
+  Resnet18Options mopt32 = mopt;
+  mopt32.input_hw = 32;
+  const Graph resnet32 = build_resnet18(mopt32);
+  const int tokens = smoke ? 96 : 196;
+  const int d = smoke ? 128 : 384;
+  const int hidden = smoke ? 512 : 1536;
+  const Graph ffn = build_ffn_block(tokens, d, hidden, 8, 11);
+
+  struct ModelSpec {
+    std::string name;
+    const Graph* graph;
+    uint64_t seed;
+    bool assert_headline;
+  };
+  std::vector<ModelSpec> specs = {{"resnet18", &resnet, 101, true},
+                                  {"vit_ffn", &ffn, 102, false}};
+  if (!smoke) specs.push_back({"resnet18_hw32", &resnet32, 103, false});
+  const std::vector<double> deadline_sweep = {0.6, 1.0, 2.0, 4.0, 8.0, 40.0};
+  const int n_requests = smoke ? 16 : 48;
+
+  // --- warm-up: after this, serving must never compile ----------------------
+  std::vector<int> ids;
+  for (const ModelSpec& spec : specs) {
+    const int id = store.add_model(*spec.graph);
+    dispatcher.warm(id);
+    serial.warm(id);
+    ids.push_back(id);
+  }
+  const int compiles_warm = store.compiles();
+
+  std::vector<ModelReport> reports;
+  bool bit_exact = true;
+  bool modes_ok = true;
+  for (size_t si = 0; si < specs.size(); ++si) {
+    const ModelSpec& spec = specs[si];
+    const int id = ids[si];
+    ModelReport report;
+    report.name = spec.name;
+    report.total1 = store.plan(id, 1, 1).total_cycles;
+    report.shard_critical =
+        dispatcher
+            .evaluate(id, 1, {0}, 0, SloConfig{0, UINT64_MAX, 1})[1]
+            .completion_cycles[0];
+
+    // offered load ~2 requests per single-image latency: above the
+    // one-cluster service rate (so loose SLOs fill batches and the serial
+    // baseline saturates) but below the sharded rate (so tight SLOs stay
+    // stable instead of backing up into deep, always-late batches)
+    const auto trace =
+        poisson_trace(id, spec.graph->node(0).out_shape, n_requests,
+                      static_cast<double>(report.total1) / 2.0, spec.seed);
+
+    const auto refs = reference_outputs(store, trace);
+    const auto serial_served =
+        serve_trace(serial, SloConfig{0, UINT64_MAX, 1}, copy_trace(trace));
+    bit_exact = bit_exact && check_bit_exact(refs, serial_served);
+    report.serial_ipmc = throughput_ipmc(serial_served);
+
+    for (const double dx : deadline_sweep) {
+      report.rows.push_back(run_scenario(spec.name, dispatcher, refs, trace,
+                                         report.total1, dx, bit_exact));
+    }
+
+    if (spec.assert_headline) {
+      const ScenarioRow& tight = report.rows.front();
+      const ScenarioRow& loose = report.rows.back();
+      if (loose.modes.count("batch_fused") == 0 ||
+          loose.modes.at("batch_fused") < n_requests / 2) {
+        std::cerr << "FAIL: loose SLO should serve batch-fused plans\n";
+        modes_ok = false;
+      }
+      if (loose.throughput_ipmc <= report.serial_ipmc) {
+        std::cerr << "FAIL: loose-SLO throughput (" << loose.throughput_ipmc
+                  << " img/Mcyc) does not beat the batch=1 serial baseline ("
+                  << report.serial_ipmc << ")\n";
+        modes_ok = false;
+      }
+      if (tight.modes.count("sharded_single") == 0 ||
+          tight.modes.at("sharded_single") < n_requests / 2) {
+        std::cerr << "FAIL: tight SLO should shard single images\n";
+        modes_ok = false;
+      }
+      if (tight.mean_exec >= report.total1) {
+        std::cerr << "FAIL: tight-SLO exec latency (" << tight.mean_exec
+                  << ") does not beat the single-cluster total ("
+                  << report.total1 << ")\n";
+        modes_ok = false;
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+
+  const int compiles_total = store.compiles();
+
+  Table t({"model", "SLO x total", "hit%", "img/Mcyc", "p99 lat Mcyc",
+           "fused", "sharded", "data-par"});
+  for (const ModelReport& m : reports) {
+    for (const ScenarioRow& r : m.rows) {
+      const auto count = [&](const char* k) {
+        const auto it = r.modes.find(k);
+        return std::to_string(it == r.modes.end() ? 0 : it->second);
+      };
+      t.add_row({m.name, Table::num(r.deadline_x_total, 1),
+                 Table::num(100.0 * r.hit_rate, 0),
+                 Table::num(r.throughput_ipmc, 2),
+                 Table::num(static_cast<double>(r.p99_latency) / 1e6, 2),
+                 count("batch_fused"), count("sharded_single"),
+                 count("data_parallel")});
+    }
+  }
+  std::cout << t;
+  for (const ModelReport& m : reports) {
+    std::cout << m.name << ": serial baseline " << Table::num(m.serial_ipmc, 2)
+              << " img/Mcyc, total1 " << m.total1 << " cyc, shard critical "
+              << m.shard_critical << " cyc\n";
+  }
+  std::cout << "compiles: " << compiles_warm << " at warm-up, "
+            << compiles_total << " after serving\n";
+
+  bool ok = bit_exact && modes_ok;
+  if (compiles_total != compiles_warm) {
+    std::cerr << "FAIL: serving recompiled after PlanStore warm-up ("
+              << compiles_warm << " -> " << compiles_total << ")\n";
+    ok = false;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  emit_json(out, smoke, kClusters, reports, compiles_warm, compiles_total,
+            bit_exact);
+  std::cout << "wrote " << out_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -90,8 +90,12 @@ uint64_t options_fingerprint(const CompileOptions& opt) {
 }
 
 uint64_t plan_fingerprint(const Graph& graph, const CompileOptions& opt) {
+  return plan_fingerprint_from(graph_fingerprint(graph), opt);
+}
+
+uint64_t plan_fingerprint_from(uint64_t graph_fp, const CompileOptions& opt) {
   Fnv f;
-  f.u64(graph_fingerprint(graph));
+  f.u64(graph_fp);
   f.u64(options_fingerprint(opt));
   return f.h;
 }

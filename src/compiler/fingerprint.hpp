@@ -38,4 +38,11 @@ uint64_t options_fingerprint(const CompileOptions& opt);
 /// MultiClusterEngine shard-plan cache both key on it.
 uint64_t plan_fingerprint(const Graph& graph, const CompileOptions& opt);
 
+/// plan_fingerprint from an already-computed graph fingerprint:
+/// plan_fingerprint_from(graph_fingerprint(g), opt) == plan_fingerprint(g,
+/// opt). Lets indices that serve many (batch x cluster) configs of one
+/// graph (the serve PlanStore) pay the O(parameter-bytes) content scan
+/// once per model instead of once per lookup.
+uint64_t plan_fingerprint_from(uint64_t graph_fp, const CompileOptions& opt);
+
 }  // namespace decimate

@@ -12,6 +12,24 @@
 
 namespace decimate {
 
+namespace {
+
+std::string batch_mismatch_message(int fused_batch, int got) {
+  std::ostringstream oss;
+  oss << "plan was compiled batch-fused for " << fused_batch
+      << " images but run_batch got " << got
+      << "; recompile with CompileOptions::batch == " << got
+      << " (or 1 for the unfused pipeline)";
+  return oss.str();
+}
+
+}  // namespace
+
+BatchMismatchError::BatchMismatchError(int fused_batch, int got)
+    : Error(batch_mismatch_message(fused_batch, got)),
+      fused_batch_(fused_batch),
+      got_(got) {}
+
 Cluster& ExecutionEngine::verify_cluster(const CompileOptions& opt) {
   const ClusterConfig cfg = cluster_config_from(opt);
   if (verify_cluster_ == nullptr || !(cfg == verify_cfg_)) {
@@ -188,11 +206,9 @@ BatchRun ExecutionEngine::run_batch(const CompiledPlan& plan,
   // A batch-fused plan's tile schedule (and its per-image amortized
   // reports) covers exactly options.batch images; serving a different
   // span would silently stamp a mismatched cycle report on every run.
-  DECIMATE_CHECK(plan.options.batch <= 1 || n == plan.options.batch,
-                 "plan was compiled batch-fused for "
-                     << plan.options.batch << " images but run_batch got "
-                     << n << "; recompile with CompileOptions::batch == "
-                     << n << " (or 1 for the unfused pipeline)");
+  if (plan.options.batch > 1 && n != plan.options.batch) {
+    throw BatchMismatchError(plan.options.batch, n);
+  }
   out.runs.resize(static_cast<size_t>(n));
 
   int workers = workers_ > 0

@@ -24,6 +24,21 @@
 
 namespace decimate {
 
+/// Thrown by run_batch when a batch-fused plan receives a span of a
+/// different size than the plan was fused for. Carries the structured
+/// mismatch so callers (e.g. the serve Dispatcher) can re-chunk the batch
+/// to the plan's fused size instead of parsing an error message.
+class BatchMismatchError : public Error {
+ public:
+  BatchMismatchError(int fused_batch, int got);
+  int fused_batch() const { return fused_batch_; }  // plan was fused for
+  int got() const { return got_; }                  // span it was handed
+
+ private:
+  int fused_batch_ = 1;
+  int got_ = 0;
+};
+
 /// Aggregate of a pipelined batch execution. Per-image outputs and
 /// reports are bit-exact with N sequential run() calls; the batch cycle
 /// model additionally accounts cross-image DMA/compute overlap.

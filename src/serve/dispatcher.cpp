@@ -1,0 +1,292 @@
+#include "serve/dispatcher.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace decimate {
+
+Dispatcher::Dispatcher(PlanStore& store, const DispatchConfig& cfg)
+    : store_(store), cfg_(cfg), mce_(cfg.num_clusters) {
+  DECIMATE_CHECK(cfg_.num_clusters >= 1,
+                 "num_clusters must be >= 1, got " << cfg_.num_clusters);
+  // 1 must always be available so any batch size decomposes
+  if (std::find(cfg_.fused_batches.begin(), cfg_.fused_batches.end(), 1) ==
+      cfg_.fused_batches.end()) {
+    cfg_.fused_batches.push_back(1);
+  }
+  std::sort(cfg_.fused_batches.begin(), cfg_.fused_batches.end());
+  for (const int b : cfg_.fused_batches) {
+    DECIMATE_CHECK(b >= 1, "fused batch sizes must be >= 1, got " << b);
+  }
+}
+
+std::vector<int> Dispatcher::fused_chunks(int n) const {
+  std::vector<int> chunks;
+  while (n > 0) {
+    // largest configured fused size that still fits (sizes are sorted and
+    // contain 1, so this always makes progress)
+    int best = 1;
+    for (const int b : cfg_.fused_batches) {
+      if (b <= n) best = b;
+    }
+    chunks.push_back(best);
+    n -= best;
+  }
+  return chunks;
+}
+
+void Dispatcher::warm(int model) {
+  for (const int b : cfg_.fused_batches) store_.plan(model, b, 1);
+  const CompiledPlan& sharded = store_.plan(model, 1, cfg_.num_clusters);
+  mce_.shard_plan(sharded);  // shard schedule is cached too
+}
+
+std::vector<ModeEval> Dispatcher::evaluate(
+    int model, int batch_size, const std::vector<uint64_t>& arrivals,
+    uint64_t dispatch_cycles, const SloConfig& slo) {
+  DECIMATE_CHECK(batch_size >= 1, "empty batch");
+  DECIMATE_CHECK(arrivals.size() == static_cast<size_t>(batch_size),
+                 "one arrival per request expected");
+  const size_t n = static_cast<size_t>(batch_size);
+
+  const auto finalize = [&](ModeEval& e) {
+    e.deadline_hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t latency = e.completion_cycles[i] - arrivals[i];
+      e.deadline_hits += latency <= slo.deadline_cycles ? 1 : 0;
+      e.worst_latency_cycles = std::max(e.worst_latency_cycles, latency);
+      e.makespan_cycles = std::max(e.makespan_cycles,
+                                   e.completion_cycles[i] - dispatch_cycles);
+    }
+    e.feasible = e.deadline_hits == batch_size;
+  };
+
+  std::vector<ModeEval> evals;
+
+  // kBatchFused: chunks run back-to-back on one cluster; each member
+  // completes with its chunk
+  {
+    ModeEval e;
+    e.mode = ServeMode::kBatchFused;
+    e.completion_cycles.resize(n);
+    e.group_size.resize(n);
+    uint64_t at = dispatch_cycles;
+    size_t next = 0;
+    for (const int b : fused_chunks(batch_size)) {
+      const CompiledPlan& plan = store_.plan(model, b, 1);
+      const uint64_t dur = ExecutionEngine::modeled_batch_cycles(plan, b);
+      at += dur;
+      e.cost_cycles += dur;
+      for (int j = 0; j < b; ++j, ++next) {
+        e.completion_cycles[next] = at;
+        e.group_size[next] = b;
+      }
+    }
+    finalize(e);
+    evals.push_back(std::move(e));
+  }
+
+  // kShardedSingle: each image's latency is the shard critical path;
+  // images run one after another across all clusters
+  {
+    ModeEval e;
+    e.mode = ServeMode::kShardedSingle;
+    e.completion_cycles.resize(n);
+    e.group_size.assign(n, 1);
+    const CompiledPlan& plan = store_.plan(model, 1, cfg_.num_clusters);
+    const ShardPlan& sp = mce_.shard_plan(plan);
+    const uint64_t busy = std::accumulate(sp.cluster_busy_cycles.begin(),
+                                          sp.cluster_busy_cycles.end(),
+                                          uint64_t{0});
+    for (size_t i = 0; i < n; ++i) {
+      e.completion_cycles[i] =
+          dispatch_cycles +
+          sp.critical_path_cycles * static_cast<uint64_t>(i + 1);
+    }
+    e.cost_cycles = busy * static_cast<uint64_t>(n);
+    finalize(e);
+    evals.push_back(std::move(e));
+  }
+
+  // kDataParallel: whole images round-robin across clusters
+  {
+    ModeEval e;
+    e.mode = ServeMode::kDataParallel;
+    e.group_size.assign(n, batch_size);
+    const CompiledPlan& plan = store_.plan(model, 1, 1);
+    e.completion_cycles = MultiClusterEngine::data_parallel_completions(
+        plan, batch_size, cfg_.num_clusters);
+    for (uint64_t& c : e.completion_cycles) c += dispatch_cycles;
+    for (const uint64_t busy : MultiClusterEngine::data_parallel_busy_cycles(
+             plan, batch_size, cfg_.num_clusters)) {
+      e.cost_cycles += busy;
+    }
+    finalize(e);
+    evals.push_back(std::move(e));
+  }
+
+  return evals;
+}
+
+size_t Dispatcher::choose(const std::vector<ModeEval>& evals) {
+  DECIMATE_CHECK(!evals.empty(), "no modes to choose from");
+  // among SLO-feasible modes, fewest consumed cluster cycles wins; with
+  // no feasible mode, most deadline hits then smallest worst latency.
+  // Strict comparisons keep ties on the earlier mode (fused first), so
+  // the choice is deterministic.
+  size_t best = evals.size();
+  for (size_t i = 0; i < evals.size(); ++i) {
+    if (!evals[i].feasible) continue;
+    if (best == evals.size() || evals[i].cost_cycles < evals[best].cost_cycles)
+      best = i;
+  }
+  if (best != evals.size()) return best;
+  best = 0;
+  for (size_t i = 1; i < evals.size(); ++i) {
+    if (evals[i].deadline_hits > evals[best].deadline_hits ||
+        (evals[i].deadline_hits == evals[best].deadline_hits &&
+         evals[i].worst_latency_cycles < evals[best].worst_latency_cycles)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<Tensor8> Dispatcher::run_chunk_with_fallback(
+    ExecutionEngine& engine, const CompiledPlan& chunk_plan,
+    const CompiledPlan& single_plan, std::span<const Tensor8> inputs,
+    int& group_size, std::vector<uint64_t>& completion_offsets) {
+  const int b = static_cast<int>(inputs.size());
+  std::vector<Tensor8> outputs;
+  outputs.reserve(static_cast<size_t>(b));
+  completion_offsets.assign(static_cast<size_t>(b), 0);
+  try {
+    BatchRun run = engine.run_batch(chunk_plan, inputs);
+    group_size = b;
+    // a fused chunk completes together
+    const uint64_t dur = ExecutionEngine::modeled_batch_cycles(chunk_plan, b);
+    for (auto& o : completion_offsets) o = dur;
+    for (auto& r : run.runs) outputs.push_back(std::move(r.output));
+  } catch (const BatchMismatchError&) {
+    // Only this structured error is recoverable: it proves the inputs
+    // are fine and the plan merely covers a different fused batch (a
+    // mis-warmed or externally shared store), so re-running image by
+    // image on the unfused plan is always safe. A bare Error could be
+    // any real failure and must keep propagating.
+    group_size = 1;
+    uint64_t at = 0;
+    for (int i = 0; i < b; ++i) {
+      outputs.push_back(engine.run(single_plan, inputs[static_cast<size_t>(i)])
+                            .output);
+      at += ExecutionEngine::modeled_batch_cycles(single_plan, 1);
+      completion_offsets[static_cast<size_t>(i)] = at;  // serial: per image
+    }
+  }
+  return outputs;
+}
+
+void Dispatcher::exec_fused(FormedBatch& batch, const SloConfig& slo,
+                            DispatchResult& out) {
+  const int n = static_cast<int>(batch.requests.size());
+  size_t next = 0;
+  // Execution-side cursor. On the happy path it reproduces the modeled
+  // completions already stamped from evaluate(); once a fused-batch
+  // mismatch forces the per-image fallback, everything from that point
+  // on is restamped from the cursor so ServedStats reports what actually
+  // executed.
+  uint64_t at = batch.dispatch_cycles;
+  bool restamp = false;
+  const CompiledPlan& single = store_.plan(batch.model, 1, 1);
+  for (const int b : fused_chunks(n)) {
+    std::vector<Tensor8> inputs;
+    inputs.reserve(static_cast<size_t>(b));
+    for (int j = 0; j < b; ++j) {
+      inputs.push_back(
+          std::move(batch.requests[next + static_cast<size_t>(j)].input));
+    }
+    int group = b;
+    std::vector<uint64_t> offsets;
+    std::vector<Tensor8> outputs =
+        run_chunk_with_fallback(engine_, store_.plan(batch.model, b, 1),
+                                single, inputs, group, offsets);
+    restamp = restamp || group != b;
+    for (size_t j = 0; j < outputs.size(); ++j) {
+      out.served[next].output = std::move(outputs[j]);
+      if (restamp) {
+        ServedStats& s = out.served[next].stats;
+        s.group_size = group;
+        s.completion_cycles = at + offsets[j];
+        s.deadline_hit = s.latency_cycles() <= slo.deadline_cycles;
+      }
+      ++next;
+    }
+    at += offsets.empty() ? 0 : offsets.back();
+  }
+  DECIMATE_CHECK(next == batch.requests.size(),
+                 "fused chunks did not cover the batch");
+}
+
+void Dispatcher::exec_sharded(const FormedBatch& batch, DispatchResult& out) {
+  const CompiledPlan& plan =
+      store_.plan(batch.model, 1, cfg_.num_clusters);
+  for (size_t i = 0; i < batch.requests.size(); ++i) {
+    ShardedRun run = mce_.run(plan, batch.requests[i].input);
+    out.served[i].output = std::move(run.run.output);
+  }
+}
+
+void Dispatcher::exec_data_parallel(FormedBatch& batch,
+                                    DispatchResult& out) {
+  const CompiledPlan& plan = store_.plan(batch.model, 1, 1);
+  std::vector<Tensor8> inputs;
+  inputs.reserve(batch.requests.size());
+  for (Request& r : batch.requests) inputs.push_back(std::move(r.input));
+  DataParallelRun run = mce_.run_data_parallel(plan, inputs);
+  for (size_t i = 0; i < batch.requests.size(); ++i) {
+    out.served[i].output = std::move(run.runs[i].output);
+  }
+}
+
+DispatchResult Dispatcher::dispatch(FormedBatch batch, const SloConfig& slo) {
+  const int n = static_cast<int>(batch.requests.size());
+  DECIMATE_CHECK(n >= 1, "cannot dispatch an empty batch");
+  std::vector<uint64_t> arrivals;
+  arrivals.reserve(static_cast<size_t>(n));
+  for (const Request& r : batch.requests) {
+    arrivals.push_back(r.arrival_cycles);
+  }
+
+  const std::vector<ModeEval> evals =
+      evaluate(batch.model, n, arrivals, batch.dispatch_cycles, slo);
+  const ModeEval& pick = evals[choose(evals)];
+
+  DispatchResult out;
+  out.mode = pick.mode;
+  out.served.resize(static_cast<size_t>(n));
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    ServedStats& s = out.served[i].stats;
+    const Request& r = batch.requests[i];
+    s.id = r.id;
+    s.model = r.model;
+    s.mode = pick.mode;
+    s.group_size = pick.group_size[i];
+    s.arrival_cycles = r.arrival_cycles;
+    s.dispatch_cycles = batch.dispatch_cycles;
+    s.completion_cycles = pick.completion_cycles[i];
+    s.deadline_hit = s.latency_cycles() <= slo.deadline_cycles;
+  }
+
+  switch (pick.mode) {
+    case ServeMode::kBatchFused: exec_fused(batch, slo, out); break;
+    case ServeMode::kShardedSingle: exec_sharded(batch, out); break;
+    case ServeMode::kDataParallel: exec_data_parallel(batch, out); break;
+  }
+  // after execution: the fused path may have restamped completions on a
+  // mismatch recovery, so the finish time comes from the final stats
+  for (const Served& s : out.served) {
+    out.finish_cycles = std::max(out.finish_cycles, s.stats.completion_cycles);
+  }
+  return out;
+}
+
+}  // namespace decimate

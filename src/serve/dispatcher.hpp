@@ -1,0 +1,133 @@
+#pragma once
+// Dispatcher: picks, per formed batch, how the clusters should execute it
+// — and then executes it bit-exactly.
+//
+// Three modes compete (all numerics identical to sequential
+// ExecutionEngine::run by construction; only cycles differ):
+//
+//  - kBatchFused:    the batch is chunked to the largest pre-compiled
+//                    fused batch sizes and run_batch executes each chunk
+//                    on one cluster. Cheapest total cycles (weight DMA
+//                    amortizes across the chunk), worst latency (every
+//                    member waits for its whole chunk).
+//  - kShardedSingle: each image in turn is sharded across all clusters
+//                    by the MultiClusterEngine. Best latency (the shard
+//                    critical path), most total cycles (stitch/reduce
+//                    overhead and shard imbalance on every image).
+//  - kDataParallel:  whole images round-robin across clusters. Middle
+//                    ground: per-image latency of the single-cluster
+//                    pipeline, no fusion savings, but n images finish in
+//                    ceil(n / clusters) waves.
+//
+// Selection rule ("best modeled SLO-feasible cycles"): among the modes
+// whose modeled per-request latencies all meet the SLO deadline, take the
+// one consuming the fewest total cluster-busy cycles (the energy/cost
+// axis the paper's per-request framing cares about); when no mode is
+// feasible, take the one hitting the most deadlines, tie-broken by the
+// smaller worst-case latency. A loose SLO therefore picks batch-fused
+// plans, a tight SLO sharded single-image execution, and a mid-range SLO
+// over a deep batch data-parallel placement.
+//
+// Every plan comes from the PlanStore; after Dispatcher::warm no dispatch
+// compiles anything. If run_batch ever reports a fused-batch mismatch
+// (BatchMismatchError — the structured error proves the condition is
+// recoverable, unlike a bare Error), the dispatcher re-runs the chunk
+// image by image on the unfused plan and restamps the affected stats
+// instead of failing the batch.
+
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/plan_store.hpp"
+#include "serve/serving.hpp"
+#include "shard/multi_cluster_engine.hpp"
+
+namespace decimate {
+
+struct DispatchConfig {
+  /// Clusters available to the sharded and data-parallel modes.
+  int num_clusters = 1;
+  /// Fused batch sizes the store pre-compiles; chunking greedily takes
+  /// the largest size <= the remaining batch (1 is always available), so
+  /// a batch larger than any fused plan splits instead of failing.
+  std::vector<int> fused_batches = {1, 2, 4, 8};
+};
+
+/// Modeled outcome of one mode for one formed batch (before executing).
+struct ModeEval {
+  ServeMode mode = ServeMode::kBatchFused;
+  bool feasible = false;      // every request meets the SLO deadline
+  int deadline_hits = 0;
+  uint64_t cost_cycles = 0;   // total cluster-busy cycles consumed
+  uint64_t makespan_cycles = 0;       // dispatch -> last completion
+  uint64_t worst_latency_cycles = 0;  // max per-request completion-arrival
+  std::vector<uint64_t> completion_cycles;  // per request, absolute
+  std::vector<int> group_size;              // per request (fused chunk...)
+};
+
+/// A dispatched batch: per-request results (request order) plus when the
+/// clusters become free again.
+struct DispatchResult {
+  std::vector<Served> served;
+  ServeMode mode = ServeMode::kBatchFused;
+  uint64_t finish_cycles = 0;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(PlanStore& store, const DispatchConfig& cfg);
+
+  /// Score all modes for a batch of `arrivals` dispatched at
+  /// `dispatch_cycles` (pure cycle model — nothing executes). Exposed so
+  /// tests and benches can probe the decision boundaries directly.
+  std::vector<ModeEval> evaluate(int model, int batch_size,
+                                 const std::vector<uint64_t>& arrivals,
+                                 uint64_t dispatch_cycles,
+                                 const SloConfig& slo);
+
+  /// The winning mode index under the selection rule above.
+  static size_t choose(const std::vector<ModeEval>& evals);
+
+  /// Execute a formed batch under the selection rule; results are in
+  /// request order and bit-exact with sequential ExecutionEngine::run.
+  /// Takes the batch by value: the inputs are consumed (moved into the
+  /// execution paths), never deep-copied on the serving path.
+  DispatchResult dispatch(FormedBatch batch, const SloConfig& slo);
+
+  /// Run one fused chunk, recovering from a fused-batch mismatch: if
+  /// `chunk_plan` turns out to be fused for a different batch than
+  /// `inputs` (a mis-warmed or externally shared store), the structured
+  /// BatchMismatchError proves the condition is recoverable and the
+  /// chunk re-runs image by image on `single_plan`. Returns outputs in
+  /// input order and reports the group size that actually executed plus
+  /// each image's modeled completion offset from chunk start (all equal
+  /// on the fused path; serial prefixes on the fallback). Static and
+  /// public so the recovery path is directly testable.
+  static std::vector<Tensor8> run_chunk_with_fallback(
+      ExecutionEngine& engine, const CompiledPlan& chunk_plan,
+      const CompiledPlan& single_plan, std::span<const Tensor8> inputs,
+      int& group_size, std::vector<uint64_t>& completion_offsets);
+
+  /// Pre-compile every plan this dispatcher can request for `model`
+  /// (all fused batch sizes at one cluster, the shard-aware single-image
+  /// plan, and its shard schedule), so serving never compiles.
+  void warm(int model);
+
+  const DispatchConfig& config() const { return cfg_; }
+  PlanStore& store() { return store_; }
+
+ private:
+  /// Greedy fused chunking of n requests: largest configured size <= rest.
+  std::vector<int> fused_chunks(int n) const;
+  void exec_fused(FormedBatch& batch, const SloConfig& slo,
+                  DispatchResult& out);
+  void exec_sharded(const FormedBatch& batch, DispatchResult& out);
+  void exec_data_parallel(FormedBatch& batch, DispatchResult& out);
+
+  PlanStore& store_;
+  DispatchConfig cfg_;
+  ExecutionEngine engine_;
+  MultiClusterEngine mce_;
+};
+
+}  // namespace decimate

@@ -1,0 +1,88 @@
+#include "serve/plan_store.hpp"
+
+#include "compiler/fingerprint.hpp"
+
+namespace decimate {
+
+PlanStore::PlanStore(const CompileOptions& base,
+                     std::shared_ptr<TileLatencyCache> latencies)
+    : base_(base),
+      latencies_(latencies ? std::move(latencies)
+                           : std::make_shared<TileLatencyCache>()) {}
+
+int PlanStore::add_model(const Graph& graph) {
+  const uint64_t fp = graph_fingerprint(graph);  // outside the lock: O(bytes)
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < models_.size(); ++i) {
+    // same content (possibly a re-created Graph object): the existing
+    // registration and its plans keep serving from the store's own copy
+    if (models_[i].fingerprint == fp) return static_cast<int>(i);
+  }
+  models_.push_back(Model{std::make_unique<Graph>(graph), fp});
+  return static_cast<int>(models_.size()) - 1;
+}
+
+int PlanStore::model_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(models_.size());
+}
+
+const Graph& PlanStore::graph(int model) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  DECIMATE_CHECK(model >= 0 && model < static_cast<int>(models_.size()),
+                 "unknown model id " << model);
+  return *models_[static_cast<size_t>(model)].graph;
+}
+
+CompileOptions PlanStore::options_for(int batch, int num_clusters) const {
+  DECIMATE_CHECK(batch >= 1, "batch must be >= 1, got " << batch);
+  DECIMATE_CHECK(num_clusters >= 1,
+                 "num_clusters must be >= 1, got " << num_clusters);
+  CompileOptions opt = base_;
+  opt.batch = batch;
+  opt.num_clusters = num_clusters;
+  return opt;
+}
+
+uint64_t PlanStore::key_for(int model, int batch, int num_clusters) const {
+  DECIMATE_CHECK(model >= 0 && model < static_cast<int>(models_.size()),
+                 "unknown model id " << model);
+  return plan_fingerprint_from(models_[static_cast<size_t>(model)].fingerprint,
+                               options_for(batch, num_clusters));
+}
+
+const CompiledPlan& PlanStore::plan(int model, int batch, int num_clusters) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t key = key_for(model, batch, num_clusters);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ++compiles_;
+    // Compiling under the lock keeps the exactly-once guarantee simple;
+    // the latency cache handles its own concurrency, and serving compiles
+    // only during warm-up anyway.
+    Compiler compiler(options_for(batch, num_clusters), latencies_);
+    it = plans_
+             .emplace(key,
+                      std::make_unique<CompiledPlan>(compiler.compile(
+                          *models_[static_cast<size_t>(model)].graph)))
+             .first;
+  }
+  return *it->second;
+}
+
+bool PlanStore::contains(int model, int batch, int num_clusters) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return plans_.count(key_for(model, batch, num_clusters)) != 0;
+}
+
+void PlanStore::warm(int model, std::span<const int> batches,
+                     int num_clusters) {
+  for (const int b : batches) plan(model, b, num_clusters);
+}
+
+int PlanStore::compiles() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return compiles_;
+}
+
+}  // namespace decimate

@@ -1,0 +1,66 @@
+#pragma once
+// Server: the serving runtime's front end.
+//
+//   submit() ──► inbox (thread-safe) ──► Batcher ──► Dispatcher ──► Served
+//                                        (SLO)       (PlanStore,
+//                                                     mode choice)
+//
+// Producers submit single-image requests from any thread, in
+// nondecreasing arrival-cycle order; serve() runs the event loop (on the
+// caller's thread) until the stream is closed and everything pending has
+// been dispatched. The loop keeps a virtual clock: the engine's free_at
+// advances by each dispatched batch's modeled makespan, the Batcher
+// decides flushes from arrival cycles alone, and the Dispatcher picks the
+// cheapest SLO-feasible execution mode. Because every decision is a
+// function of the arrival trace (never of wall-clock thread timing),
+// serving the same trace twice yields identical batches, modes, stats,
+// and bit-exact outputs.
+//
+// serve() blocks waiting for the inbox whenever the next batching
+// decision needs more information (an open stream with an undecidable
+// flush); close() is what guarantees it terminates.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/dispatcher.hpp"
+
+namespace decimate {
+
+class Server {
+ public:
+  Server(Dispatcher& dispatcher, const SloConfig& slo);
+
+  /// Enqueue a request (thread-safe). Arrival cycles must be
+  /// nondecreasing across all submissions; submitting after close throws.
+  void submit(Request r);
+
+  /// Declare the stream finished: serve() drains what is pending and
+  /// returns. Thread-safe, idempotent.
+  void close();
+
+  /// Run the serving loop until the stream is closed and drained.
+  /// Returns every served request in dispatch order (use stats.id to
+  /// re-associate). Call at most once.
+  std::vector<Served> serve();
+
+  /// Batches dispatched by the last serve() call.
+  int batches_dispatched() const { return batches_; }
+
+ private:
+  Dispatcher& dispatcher_;
+  Batcher batcher_;
+  SloConfig slo_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> inbox_;
+  uint64_t last_submitted_ = 0;  // newest arrival ever submitted
+  bool closed_ = false;
+  int batches_ = 0;
+};
+
+}  // namespace decimate

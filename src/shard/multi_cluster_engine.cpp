@@ -1,5 +1,6 @@
 #include "shard/multi_cluster_engine.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -125,6 +126,63 @@ void MultiClusterEngine::exec_sharded_gemm(const StepShard& ss,
   }
   DECIMATE_CHECK(!thunks.empty(), "gemm step with no assigned tiles");
   run_parallel(thunks);
+}
+
+std::vector<uint64_t> MultiClusterEngine::data_parallel_completions(
+    const CompiledPlan& plan, int n, int clusters) {
+  DECIMATE_CHECK(clusters >= 1, "need at least one cluster");
+  std::vector<uint64_t> completions(static_cast<size_t>(std::max(n, 0)));
+  // image i is the (i / clusters)-th image of cluster i % clusters; it
+  // finishes when its cluster's pipelined prefix of that many images does
+  for (int i = 0; i < n; ++i) {
+    const int position = i / clusters + 1;
+    completions[static_cast<size_t>(i)] =
+        ExecutionEngine::modeled_batch_cycles(plan, position);
+  }
+  return completions;
+}
+
+std::vector<uint64_t> MultiClusterEngine::data_parallel_busy_cycles(
+    const CompiledPlan& plan, int n, int clusters) {
+  DECIMATE_CHECK(clusters >= 1, "need at least one cluster");
+  std::vector<uint64_t> busy(static_cast<size_t>(clusters), 0);
+  for (int c = 0; c < clusters && c < n; ++c) {
+    const int images = (n - c - 1) / clusters + 1;  // round-robin share
+    busy[static_cast<size_t>(c)] =
+        ExecutionEngine::modeled_batch_cycles(plan, images);
+  }
+  return busy;
+}
+
+DataParallelRun MultiClusterEngine::run_data_parallel(
+    const CompiledPlan& plan, std::span<const Tensor8> inputs) {
+  DECIMATE_CHECK(plan.options.batch <= 1,
+                 "data-parallel execution needs an unfused plan "
+                 "(options.batch == 1), got batch "
+                     << plan.options.batch);
+  const int n = static_cast<int>(inputs.size());
+  DataParallelRun out;
+  out.runs.resize(static_cast<size_t>(n));
+  out.cluster_of.resize(static_cast<size_t>(n));
+  out.completion_cycles = data_parallel_completions(plan, n, num_clusters_);
+  out.cluster_busy_cycles = data_parallel_busy_cycles(plan, n, num_clusters_);
+
+  ExecutionEngine engine;  // run() is thread-safe with verify off
+  std::vector<std::function<void()>> thunks;
+  for (int c = 0; c < num_clusters_ && c < n; ++c) {
+    thunks.emplace_back([&, c] {
+      for (int i = c; i < n; i += num_clusters_) {
+        out.runs[static_cast<size_t>(i)] =
+            engine.run(plan, inputs[static_cast<size_t>(i)]);
+        out.cluster_of[static_cast<size_t>(i)] = c;
+      }
+    });
+  }
+  if (!thunks.empty()) run_parallel(thunks);
+  for (const uint64_t c : out.completion_cycles) {
+    out.makespan_cycles = std::max(out.makespan_cycles, c);
+  }
+  return out;
 }
 
 ShardedRun MultiClusterEngine::run(const CompiledPlan& plan,

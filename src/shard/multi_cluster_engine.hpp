@@ -14,10 +14,18 @@
 // per-cluster utilizations, and the interconnect/reduction overhead.
 // Shard plans are cached under plan_fingerprint (graph content x options,
 // so two shard-aware compiles of different num_clusters never collide).
+//
+// The engine also offers the dual deployment shape, run_data_parallel:
+// instead of splitting one image's tiles across clusters (latency), it
+// places whole images on clusters round-robin (throughput) — no stitch or
+// reduction traffic, per-cluster pipelines modeled independently. The
+// serve Dispatcher picks between the two per formed batch.
 
 #include <map>
+#include <span>
 #include <vector>
 
+#include "exec/engine.hpp"
 #include "exec/plan.hpp"
 #include "shard/shard_planner.hpp"
 
@@ -58,6 +66,20 @@ struct ShardedRun {
   }
 };
 
+/// Result of a data-parallel execution: whole images assigned round-robin
+/// to clusters, each cluster running its images through the plan's
+/// single-cluster pipeline independently (no stitch/reduce traffic — the
+/// throughput-oriented counterpart of sharding one image across clusters).
+struct DataParallelRun {
+  std::vector<NetworkRun> runs;  // one per input, in input order
+  std::vector<int> cluster_of;   // which cluster served input i
+  /// Modeled finish of input i relative to batch start: the pipelined
+  /// prefix total of its cluster's image stream.
+  std::vector<uint64_t> completion_cycles;
+  uint64_t makespan_cycles = 0;  // max over completion_cycles
+  std::vector<uint64_t> cluster_busy_cycles;  // per-cluster stream totals
+};
+
 class MultiClusterEngine {
  public:
   explicit MultiClusterEngine(int num_clusters);
@@ -66,6 +88,26 @@ class MultiClusterEngine {
   /// must be unfused (options.batch == 1). Output is bit-exact with
   /// ExecutionEngine::run on the same plan.
   ShardedRun run(const CompiledPlan& plan, const Tensor8& input);
+
+  /// Execute a batch of independent inputs data-parallel: input i runs
+  /// whole on cluster i % num_clusters. The plan must be unfused. Outputs
+  /// are bit-exact with per-image ExecutionEngine::run.
+  DataParallelRun run_data_parallel(const CompiledPlan& plan,
+                                    std::span<const Tensor8> inputs);
+
+  /// The data-parallel completion model without executing: modeled finish
+  /// of each of `n` round-robin-assigned images on `clusters` clusters
+  /// (image i finishes when its cluster's pipelined prefix does). Used by
+  /// the serve Dispatcher to score the mode before committing to it.
+  static std::vector<uint64_t> data_parallel_completions(
+      const CompiledPlan& plan, int n, int clusters);
+
+  /// Per-cluster busy cycles of the same round-robin placement (each
+  /// cluster's pipelined stream over its own images) — the consumed-
+  /// cycles side of the model, shared by run_data_parallel's report and
+  /// the Dispatcher's mode cost so the two can never diverge.
+  static std::vector<uint64_t> data_parallel_busy_cycles(
+      const CompiledPlan& plan, int n, int clusters);
 
   /// The (cached) shard schedule for a plan; builds it on first use.
   /// Plans are keyed by content (plan_fingerprint), so a re-created plan
