@@ -4,6 +4,8 @@
 // pattern (M in {4, 8, 16}) are mapped to the sparse kernels; everything
 // else falls back to the dense baselines.
 
+#include <string>
+
 #include "compiler/graph.hpp"
 #include "kernels/abi.hpp"
 
@@ -31,6 +33,13 @@ struct CompileOptions {
   // hand every cluster work. Changes tile schedules (and therefore plan
   // identity — plan_fingerprint salts on it); numerics are unaffected.
   int num_clusters = 1;
+  // Optional TileLatencyCache warm file: when non-empty, the Compiler
+  // (and PlanStore) pre-load measured tile cycles from this path at
+  // construction, so a previously-saved file makes compiles ISS-free
+  // across process restarts (TileLatencyCache::save writes it back).
+  // Not part of the plan fingerprint — the path never changes what a
+  // plan contains, only how fast it is costed.
+  std::string latency_cache_path;
 };
 
 struct KernelChoice {

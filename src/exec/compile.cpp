@@ -60,7 +60,19 @@ Compiler::Compiler(const CompileOptions& opt,
       cluster_(cluster_config_from(opt)),
       dma_(cluster_.mem()),
       cache_(latencies ? std::move(latencies)
-                       : std::make_shared<TileLatencyCache>()) {}
+                       : std::make_shared<TileLatencyCache>()) {
+  // warm start: pre-load previously measured tile cycles so compiles need
+  // no ISS simulation for shapes the file already covers
+  if (!opt_.latency_cache_path.empty()) {
+    cache_->load(opt_.latency_cache_path);
+  }
+}
+
+size_t Compiler::save_latencies() const {
+  DECIMATE_CHECK(!opt_.latency_cache_path.empty(),
+                 "save_latencies needs CompileOptions::latency_cache_path");
+  return cache_->save(opt_.latency_cache_path);
+}
 
 MemRegion Compiler::weight_region(int64_t deployed_bytes) {
   // Leave ~20% of L2 for activations and buffers.
@@ -242,6 +254,8 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
                             TileRunner::layout_for(choice.kind));
       step.has_packed = true;
     }
+    step.host =
+        host_dispatch_for_conv(g, step.has_packed ? &step.packed : nullptr);
     return;
   }
 
@@ -366,6 +380,9 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
                           TileRunner::layout_for(choice.kind));
     step.has_packed = true;
   }
+  // matmul weights are dynamic activations, so it always dispatches dense
+  step.host =
+      host_dispatch_for_fc(g.k, g.c, step.has_packed ? &step.packed : nullptr);
 }
 
 void Compiler::compile_vec_node(const Graph& graph, const Node& node,

@@ -39,6 +39,11 @@ class Compiler {
   const TileLatencyCache& latencies() const { return *cache_; }
   std::shared_ptr<TileLatencyCache> shared_latencies() const { return cache_; }
 
+  /// Persist the latency cache to options().latency_cache_path (which
+  /// must be set); the next Compiler constructed with the same path
+  /// compiles ISS-free for every shape measured so far.
+  size_t save_latencies() const;
+
   /// Where a graph's weights live (decided by total deployed bytes).
   static MemRegion weight_region(int64_t deployed_bytes);
 

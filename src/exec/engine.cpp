@@ -1,14 +1,10 @@
 #include "exec/engine.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstring>
-#include <mutex>
 #include <thread>
 
 #include "exec/node_exec.hpp"
 #include "exec/tile_runner.hpp"
-#include "nn/ref_ops.hpp"
 
 namespace decimate {
 
@@ -30,6 +26,22 @@ BatchMismatchError::BatchMismatchError(int fused_batch, int got)
       fused_batch_(fused_batch),
       got_(got) {}
 
+std::shared_ptr<WorkerPool> ExecutionEngine::worker_pool(int target) {
+  // the caller thread participates in every job, so a pool of N-1
+  // threads gives N-way parallelism. The pool is sized to the engine's
+  // worker target (not the batch size), so it resizes only when
+  // set_workers changes — including shrinking, so the documented knob is
+  // honored. Callers keep a shared_ptr: a concurrent run_batch that
+  // triggers a resize retires the old pool only after its last in-flight
+  // job releases it.
+  const int want = std::max(0, target - 1);
+  const std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr || pool_->threads() != want) {
+    pool_ = std::make_shared<WorkerPool>(want);
+  }
+  return pool_;
+}
+
 Cluster& ExecutionEngine::verify_cluster(const CompileOptions& opt) {
   const ClusterConfig cfg = cluster_config_from(opt);
   if (verify_cluster_ == nullptr || !(cfg == verify_cfg_)) {
@@ -43,41 +55,28 @@ void ExecutionEngine::exec_gemm_node(const CompiledPlan& plan,
                                      const PlanStep& step, const Node& node,
                                      const Tensor8& in,
                                      const Tensor8* b_operand, Tensor8& out) {
+  // numerics: host kernels (sparse N:M gather / blocked dense) or the
+  // scalar reference ops — bit-identical either way
+  exec_gemm_node_host(step, node, in, b_operand, use_host_kernels_, out);
+
+  if (!verify_with_sim_ || step.report.tiles != 1) return;
   if (node.op == OpType::kConv2d) {
     const ConvGeom& g = node.conv;
-    out = conv2d_s8(in, node.weights, node.bias, g, node.rq);
-    if (verify_with_sim_ && step.report.tiles == 1) {
-      TileRunner runner(verify_cluster(plan.options));
-      KernelRun kr;
-      if (step.has_packed) {
-        kr = runner.conv(step.choice.kind, g, node.rq, in, nullptr,
-                         &step.packed, node.bias);
-      } else {
-        kr = runner.conv(step.choice.kind, g, node.rq, in, &node.weights,
-                         nullptr, node.bias);
-      }
-      DECIMATE_CHECK(kr.output == out,
-                     "verify: ISS conv output mismatch on " << node.name);
+    TileRunner runner(verify_cluster(plan.options));
+    KernelRun kr;
+    if (step.has_packed) {
+      kr = runner.conv(step.choice.kind, g, node.rq, in, nullptr,
+                       &step.packed, node.bias);
+    } else {
+      kr = runner.conv(step.choice.kind, g, node.rq, in, &node.weights,
+                       nullptr, node.bias);
     }
+    DECIMATE_CHECK(kr.output == out,
+                   "verify: ISS conv output mismatch on " << node.name);
     return;
   }
-
-  // FC / matmul
   const FcGeom& g = node.fc;
-  Tensor8 bmat;  // matmul operand acting as weights
-  const Tensor8* weights = &node.weights;
-  Tensor32 zero_bias;
-  const Tensor32* bias = &node.bias;
-  if (node.op == OpType::kMatmul) {
-    DECIMATE_CHECK(b_operand != nullptr, "matmul needs a second operand");
-    bmat = node.transpose_b ? transpose2d(*b_operand) : *b_operand;
-    weights = &bmat;
-    zero_bias = Tensor32({g.k}, 0);
-    bias = &zero_bias;
-  }
-  out = fc_s8(in, *weights, *bias, node.rq);
-
-  if (verify_with_sim_ && step.report.tiles == 1 && node.op == OpType::kFc &&
+  if (node.op == OpType::kFc &&
       (step.choice.kind == KernelKind::kFcSparseSw || g.k % 2 == 0)) {
     TileRunner runner(verify_cluster(plan.options));
     KernelRun kr;
@@ -211,39 +210,27 @@ BatchRun ExecutionEngine::run_batch(const CompiledPlan& plan,
   }
   out.runs.resize(static_cast<size_t>(n));
 
-  int workers = workers_ > 0
-                    ? workers_
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  workers = std::clamp(workers, 1, std::max(1, n));
+  const int target = std::max(
+      1, workers_ > 0
+             ? workers_
+             : static_cast<int>(std::thread::hardware_concurrency()));
+  int workers = std::min(target, std::max(1, n));
   if (verify_with_sim_) workers = 1;  // the verify cluster is shared state
 
   if (workers == 1) {
     for (int i = 0; i < n; ++i) out.runs[static_cast<size_t>(i)] =
         run(plan, inputs[static_cast<size_t>(i)]);
   } else {
-    // work-claiming pipeline: each worker advances one image through the
-    // plan's steps front-to-back, so at any moment the batch occupies
-    // different pipeline depths (layer i+1 of image m concurrent with
-    // layer i of image m+1)
-    std::atomic<int> next{0};
-    std::mutex err_mu;
-    std::exception_ptr err;
-    const auto work = [&] {
-      try {
-        for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-          out.runs[static_cast<size_t>(i)] =
-              run(plan, inputs[static_cast<size_t>(i)]);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(err_mu);
-        if (!err) err = std::current_exception();
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(workers));
-    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
-    for (auto& th : pool) th.join();
-    if (err) std::rethrow_exception(err);
+    // work-claiming pipeline on the persistent pool: each worker advances
+    // one image through the plan's steps front-to-back, so at any moment
+    // the batch occupies different pipeline depths (layer i+1 of image m
+    // concurrent with layer i of image m+1); the pool's threads are
+    // reused across batches instead of spawned per call (sized by the
+    // engine's worker target — a small batch just leaves threads idle)
+    worker_pool(target)->run(n, [&](int i) {
+      out.runs[static_cast<size_t>(i)] =
+          run(plan, inputs[static_cast<size_t>(i)]);
+    });
   }
 
   for (const NetworkRun& r : out.runs) out.sequential_cycles += r.total_cycles;

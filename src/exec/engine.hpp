@@ -16,10 +16,12 @@
 // instead of summing independent per-image totals.
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "exec/compile.hpp"
+#include "exec/worker_pool.hpp"
 #include "sim/cluster.hpp"
 
 namespace decimate {
@@ -79,13 +81,25 @@ class ExecutionEngine {
   /// pool; outputs are bit-exact with per-image run() calls. A batch-fused
   /// plan (options.batch > 1) only serves spans of exactly that size —
   /// anything else throws rather than stamping mismatched cycle reports.
+  /// Concurrent run_batch calls on one engine are safe but serialize on
+  /// the shared per-engine pool (jobs never interleave); callers that
+  /// want parallel batches should use one engine per caller.
   BatchRun run_batch(const CompiledPlan& plan,
                      std::span<const Tensor8> inputs);
 
   /// Worker threads for run_batch. 0 (default) = min(batch size,
   /// hardware concurrency). Verify mode always runs single-threaded
-  /// (the verify cluster is shared state).
+  /// (the verify cluster is shared state). Threads live in a lazily-
+  /// created per-engine WorkerPool reused across batches — a serving
+  /// loop pays thread spawn once, not per formed batch.
   void set_workers(int n) { workers_ = n; }
+
+  /// Route gemm numerics through the plan's HostKernelDispatch (sparse
+  /// N:M gather kernels / blocked dense loops; default) or through the
+  /// scalar reference ops. Outputs are bit-identical either way — the
+  /// toggle exists for baselines and oracle comparisons.
+  void set_use_host_kernels(bool v) { use_host_kernels_ = v; }
+  bool use_host_kernels() const { return use_host_kernels_; }
 
   /// Test mode: single-tile conv/fc layers are additionally replayed on
   /// the ISS with the real data (using the plan's pre-packed weights) and
@@ -103,9 +117,13 @@ class ExecutionEngine {
                       const Node& node, const Tensor8& in,
                       const Tensor8* b_operand, Tensor8& out);
   Cluster& verify_cluster(const CompileOptions& opt);
+  std::shared_ptr<WorkerPool> worker_pool(int target);
 
   bool verify_with_sim_ = false;
+  bool use_host_kernels_ = true;
   int workers_ = 0;
+  std::mutex pool_mu_;  // guards pool_ swaps; callers hold their own ref
+  std::shared_ptr<WorkerPool> pool_;  // lazily created, reused per batch
   std::unique_ptr<Cluster> verify_cluster_;
   ClusterConfig verify_cfg_;  // config the verify cluster was built with
 };

@@ -23,6 +23,7 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <string>
 #include <tuple>
 
 #include "compiler/graph.hpp"
@@ -117,6 +118,21 @@ class TileLatencyCache {
     }
     return fut.get();
   }
+
+  /// Persist every measured entry to `path` (versioned binary header +
+  /// fixed-size key/cycles records, host endianness). In-flight entries
+  /// (simulations still running on another thread) are skipped. Returns
+  /// the number of entries written; throws on I/O failure.
+  size_t save(const std::string& path) const;
+
+  /// Merge the entries of a file written by save() into this cache;
+  /// existing keys win (a measured value is never overwritten). Returns
+  /// the number of entries inserted; a missing file is not an error
+  /// (returns 0), a malformed header or truncated record throws. Loaded
+  /// entries count as neither hits nor misses — a later measure() of a
+  /// loaded key is a hit with no simulation, which is the point: a warm
+  /// file makes plan compiles ISS-free across process restarts.
+  size_t load(const std::string& path);
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);

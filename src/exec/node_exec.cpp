@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "nn/host_kernels.hpp"
 #include "nn/ref_ops.hpp"
 
 namespace decimate {
@@ -15,6 +16,46 @@ Tensor8 transpose2d(const Tensor8& x) {
     for (int j = 0; j < c; ++j) out.at({j, i}) = x.at({i, j});
   }
   return out;
+}
+
+void exec_gemm_node_host(const PlanStep& step, const Node& node,
+                         const Tensor8& in, const Tensor8* b_operand,
+                         bool use_host, Tensor8& out) {
+  if (node.op == OpType::kConv2d) {
+    const ConvGeom& g = node.conv;
+    out = Tensor8({g.oy(), g.ox(), g.k});
+    if (use_host) {
+      host_conv2d_s8_into(step.host, in, node.weights, node.bias, g, node.rq,
+                          0, g.oy(), 0, g.k, out);
+    } else {
+      conv2d_s8_into(in, node.weights, node.bias, g, node.rq, 0, g.oy(), 0,
+                     g.k, out);
+    }
+    return;
+  }
+
+  // FC / matmul: matmul's "weights" are the (possibly transposed) second
+  // operand with a zero bias
+  const FcGeom& g = node.fc;
+  Tensor8 bmat;
+  const Tensor8* weights = &node.weights;
+  Tensor32 zero_bias;
+  const Tensor32* bias = &node.bias;
+  if (node.op == OpType::kMatmul) {
+    DECIMATE_CHECK(b_operand != nullptr, "matmul needs a second operand");
+    bmat = node.transpose_b ? transpose2d(*b_operand) : *b_operand;
+    weights = &bmat;
+    zero_bias = Tensor32({g.k}, 0);
+    bias = &zero_bias;
+  }
+  out = Tensor8({in.dim(0), weights->dim(0)});
+  if (use_host) {
+    host_fc_s8_into(step.host, in, *weights, *bias, node.rq, 0, in.dim(0), 0,
+                    weights->dim(0), out);
+  } else {
+    fc_s8_into(in, *weights, *bias, node.rq, 0, in.dim(0), 0,
+               weights->dim(0), out);
+  }
 }
 
 void exec_vec_node_ref(const Node& node,

@@ -7,12 +7,24 @@
 #include <vector>
 
 #include "compiler/graph.hpp"
+#include "exec/plan.hpp"
 #include "nn/tensor.hpp"
 
 namespace decimate {
 
 /// Row/column transpose of a 2D tensor (matmul transpose_b operand).
 Tensor8 transpose2d(const Tensor8& x);
+
+/// Execute a gemm node (conv / fc / matmul): operand selection (matmul
+/// transpose, zero bias) plus the numerics, routed through the step's
+/// HostKernelDispatch when `use_host` is set (sparse steps run the N:M
+/// gather kernels, dense steps the blocked loops) and through the scalar
+/// reference ops otherwise. Both paths are bit-identical — the flag exists
+/// so engines, benches and tests can compare them. `b_operand` is the
+/// matmul B producer value (nullptr for conv/fc).
+void exec_gemm_node_host(const PlanStep& step, const Node& node,
+                         const Tensor8& in, const Tensor8* b_operand,
+                         bool use_host, Tensor8& out);
 
 /// Execute a non-gemm node on its input values (reference ops, bit-exact
 /// mirrors of the ISS kernels). `in` holds one pointer per node input, in

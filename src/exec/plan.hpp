@@ -18,6 +18,7 @@
 #include "compiler/pattern.hpp"
 #include "compiler/tiling.hpp"
 #include "exec/latency_cache.hpp"
+#include "nn/host_kernels.hpp"
 #include "nn/nm_format.hpp"
 #include "sim/memory_map.hpp"
 
@@ -104,6 +105,9 @@ struct PlanStep {
   NmPacked packed;                   // pre-packed N:M values + offsets
   const Program* program = nullptr;  // pre-built (kind, M) kernel program
   MemRegion weight_region = MemRegion::kL2;
+  // host execution: which host kernel family runs this node's numerics
+  // (sparse steps carry the decoded N:M gather plan; see nn/host_kernels)
+  HostKernelDispatch host;
 
   // cost model
   std::vector<TileCost> tile_costs;  // per-tile, in schedule order

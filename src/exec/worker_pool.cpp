@@ -1,0 +1,80 @@
+#include "exec/worker_pool.hpp"
+
+namespace decimate {
+
+WorkerPool::WorkerPool(int threads) {
+  workers_.reserve(static_cast<size_t>(threads > 0 ? threads : 0));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+void WorkerPool::claim_tasks() {
+  for (int i = next_.fetch_add(1); i < n_; i = next_.fetch_add(1)) {
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(err_mu_);
+      if (!err_) err_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    claim_tasks();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--busy_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(int n, const std::function<void(int)>& fn) {
+  const std::lock_guard<std::mutex> job(job_mu_);
+  if (n <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0);
+    busy_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  claim_tasks();  // the caller works too
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return busy_ == 0; });
+    fn_ = nullptr;
+  }
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lock(err_mu_);
+    err = err_;
+    err_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace decimate

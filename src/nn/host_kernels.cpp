@@ -1,0 +1,724 @@
+#include "nn/host_kernels.hpp"
+
+#include <algorithm>
+
+#include "nn/ref_ops.hpp"
+
+namespace decimate {
+
+namespace {
+
+/// Output positions [lo, hi) of one spatial axis whose full filter
+/// footprint lands inside the input (no padding reach): the branch-free
+/// interior of the conv loops. Empty when the filter overhangs everywhere.
+std::pair<int, int> interior_range(int in_dim, int f, int stride, int pad,
+                                   int out_dim) {
+  int lo = (pad + stride - 1) / stride;           // first o: o*s - pad >= 0
+  int hi = (in_dim - f + pad) / stride + 1;       // last o + 1 inside
+  if (in_dim - f + pad < 0) hi = 0;
+  lo = std::clamp(lo, 0, out_dim);
+  hi = std::clamp(hi, lo, out_dim);
+  return {lo, hi};
+}
+
+void check_conv_args(const Tensor8& input, const Tensor8& weights,
+                     const Tensor32& bias, const ConvGeom& g, int oy_s,
+                     int oy_e, int k_s, int k_e, const Tensor8& out,
+                     bool dense) {
+  g.validate();
+  DECIMATE_CHECK(input.shape() == (std::vector<int>{g.iy, g.ix, g.c}),
+                 "host conv input shape mismatch");
+  if (dense) {
+    DECIMATE_CHECK(weights.shape() == (std::vector<int>{g.k, g.fsz()}),
+                   "host conv weight shape mismatch");
+  }
+  DECIMATE_CHECK(bias.shape() == (std::vector<int>{g.k}),
+                 "host conv bias shape mismatch");
+  DECIMATE_CHECK(out.shape() == (std::vector<int>{g.oy(), g.ox(), g.k}),
+                 "host conv output shape mismatch");
+  DECIMATE_CHECK(0 <= oy_s && oy_s <= oy_e && oy_e <= g.oy() && 0 <= k_s &&
+                     k_s <= k_e && k_e <= g.k,
+                 "host conv range out of bounds");
+}
+
+// ---------------------------------------------------------------------------
+// Blocked dense conv: interior pixels run a branch-free (fy, fx*c) loop
+// with 4 output channels sharing every input load; border pixels clamp
+// the fx range per filter row instead of testing every element.
+// ---------------------------------------------------------------------------
+
+void dense_conv_into(const Tensor8& input, const Tensor8& weights,
+                     const Tensor32& bias, const ConvGeom& g,
+                     const Requant& rq, int oy_s, int oy_e, int k_s, int k_e,
+                     Tensor8& out) {
+  const int ox = g.ox(), kk = g.k, fsz = g.fsz();
+  const int fxc = g.fx * g.c;
+  const int64_t in_row = static_cast<int64_t>(g.ix) * g.c;
+  const auto [x_lo, x_hi] = interior_range(g.ix, g.fx, g.stride, g.pad, ox);
+  const auto [y_lo, y_hi] =
+      interior_range(g.iy, g.fy, g.stride, g.pad, g.oy());
+  const int8_t* in0 = input.data();
+  const int8_t* w0 = weights.data();
+
+  const auto border_pixel = [&](int y, int x, int8_t* orow) {
+    const int iy0 = y * g.stride - g.pad;
+    const int ix0 = x * g.stride - g.pad;
+    for (int k = k_s; k < k_e; ++k) {
+      int32_t acc = bias[k];
+      const int8_t* wrow = w0 + static_cast<int64_t>(k) * fsz;
+      for (int fy = 0; fy < g.fy; ++fy) {
+        const int iy = iy0 + fy;
+        if (iy < 0 || iy >= g.iy) continue;  // whole filter row padded out
+        const int fx_s = std::max(0, -ix0);
+        const int fx_e = std::min(g.fx, g.ix - ix0);
+        if (fx_s >= fx_e) continue;
+        const int8_t* in =
+            in0 + iy * in_row + static_cast<int64_t>(ix0 + fx_s) * g.c;
+        const int8_t* w = wrow + (fy * g.fx + fx_s) * g.c;
+        const int n = (fx_e - fx_s) * g.c;
+        for (int i = 0; i < n; ++i) {
+          acc += static_cast<int32_t>(in[i]) * static_cast<int32_t>(w[i]);
+        }
+      }
+      orow[k] = rq.apply(acc);
+    }
+  };
+
+  // single interior pixel: branch-free (fy, fx*c) walk, 4 output
+  // channels sharing every input load
+  const auto interior_pixel = [&](const int8_t* in_base, int8_t* orow) {
+    int k = k_s;
+    for (; k + 3 < k_e; k += 4) {
+      int32_t a0 = bias[k], a1 = bias[k + 1], a2 = bias[k + 2],
+              a3 = bias[k + 3];
+      const int8_t* wr0 = w0 + static_cast<int64_t>(k) * fsz;
+      const int8_t* wr1 = wr0 + fsz;
+      const int8_t* wr2 = wr1 + fsz;
+      const int8_t* wr3 = wr2 + fsz;
+      int wi = 0;
+      for (int fy = 0; fy < g.fy; ++fy) {
+        const int8_t* in = in_base + fy * in_row;
+        for (int i = 0; i < fxc; ++i) {
+          const int32_t v = in[i];
+          a0 += v * wr0[wi + i];
+          a1 += v * wr1[wi + i];
+          a2 += v * wr2[wi + i];
+          a3 += v * wr3[wi + i];
+        }
+        wi += fxc;
+      }
+      orow[k] = rq.apply(a0);
+      orow[k + 1] = rq.apply(a1);
+      orow[k + 2] = rq.apply(a2);
+      orow[k + 3] = rq.apply(a3);
+    }
+    for (; k < k_e; ++k) {
+      int32_t acc = bias[k];
+      const int8_t* wrow = w0 + static_cast<int64_t>(k) * fsz;
+      int wi = 0;
+      for (int fy = 0; fy < g.fy; ++fy) {
+        const int8_t* in = in_base + fy * in_row;
+        for (int i = 0; i < fxc; ++i) {
+          acc += static_cast<int32_t>(in[i]) *
+                 static_cast<int32_t>(wrow[wi + i]);
+        }
+        wi += fxc;
+      }
+      orow[k] = rq.apply(acc);
+    }
+  };
+
+  // 4 adjacent interior pixels x 2 output channels: 8 accumulators share
+  // every weight load, so the weight stream — the bandwidth bottleneck of
+  // wide conv layers — is read once per 4 pixels instead of per pixel
+  const int sc = g.stride * g.c;
+  const auto interior_block4 = [&](const int8_t* in_base, int8_t* orow) {
+    int k = k_s;
+    for (; k + 1 < k_e; k += 2) {
+      const int8_t* wr0 = w0 + static_cast<int64_t>(k) * fsz;
+      const int8_t* wr1 = wr0 + fsz;
+      int32_t acc[4][2];
+      for (int p = 0; p < 4; ++p) {
+        acc[p][0] = bias[k];
+        acc[p][1] = bias[k + 1];
+      }
+      int wi = 0;
+      for (int fy = 0; fy < g.fy; ++fy) {
+        const int8_t* in = in_base + fy * in_row;
+        for (int i = 0; i < fxc; ++i) {
+          const int32_t b0 = wr0[wi + i], b1 = wr1[wi + i];
+          const int32_t v0 = in[i], v1 = in[i + sc], v2 = in[i + 2 * sc],
+                        v3 = in[i + 3 * sc];
+          acc[0][0] += v0 * b0; acc[0][1] += v0 * b1;
+          acc[1][0] += v1 * b0; acc[1][1] += v1 * b1;
+          acc[2][0] += v2 * b0; acc[2][1] += v2 * b1;
+          acc[3][0] += v3 * b0; acc[3][1] += v3 * b1;
+        }
+        wi += fxc;
+      }
+      for (int p = 0; p < 4; ++p) {
+        orow[p * kk + k] = rq.apply(acc[p][0]);
+        orow[p * kk + k + 1] = rq.apply(acc[p][1]);
+      }
+    }
+    for (; k < k_e; ++k) {
+      const int8_t* wrow = w0 + static_cast<int64_t>(k) * fsz;
+      int32_t a0 = bias[k], a1 = bias[k], a2 = bias[k], a3 = bias[k];
+      int wi = 0;
+      for (int fy = 0; fy < g.fy; ++fy) {
+        const int8_t* in = in_base + fy * in_row;
+        for (int i = 0; i < fxc; ++i) {
+          const int32_t b = wrow[wi + i];
+          a0 += static_cast<int32_t>(in[i]) * b;
+          a1 += static_cast<int32_t>(in[i + sc]) * b;
+          a2 += static_cast<int32_t>(in[i + 2 * sc]) * b;
+          a3 += static_cast<int32_t>(in[i + 3 * sc]) * b;
+        }
+        wi += fxc;
+      }
+      orow[k] = rq.apply(a0);
+      orow[kk + k] = rq.apply(a1);
+      orow[2 * kk + k] = rq.apply(a2);
+      orow[3 * kk + k] = rq.apply(a3);
+    }
+  };
+
+  for (int y = oy_s; y < oy_e; ++y) {
+    int8_t* out_y = out.data() + static_cast<int64_t>(y) * ox * kk;
+    const bool y_in = y >= y_lo && y < y_hi;
+    const int iy0 = y * g.stride - g.pad;
+    if (!y_in) {
+      for (int x = 0; x < ox; ++x) {
+        border_pixel(y, x, out_y + static_cast<int64_t>(x) * kk);
+      }
+      continue;
+    }
+    int x = 0;
+    for (; x < x_lo; ++x) {
+      border_pixel(y, x, out_y + static_cast<int64_t>(x) * kk);
+    }
+    const int8_t* row_base = in0 + iy0 * in_row;
+    for (; x + 3 < x_hi; x += 4) {
+      interior_block4(
+          row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
+          out_y + static_cast<int64_t>(x) * kk);
+    }
+    for (; x < x_hi; ++x) {
+      interior_pixel(
+          row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
+          out_y + static_cast<int64_t>(x) * kk);
+    }
+    for (; x < ox; ++x) {
+      border_pixel(y, x, out_y + static_cast<int64_t>(x) * kk);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse N:M conv: per output element, walk only the filter taps and the
+// non-zeros each tap holds — cols/M gathers instead of cols MACs. Skipped
+// weights are exact zeros, so the int32 accumulator matches the dense
+// reference bit for bit.
+// ---------------------------------------------------------------------------
+
+void sparse_conv_into(const HostKernelDispatch& d, const Tensor8& input,
+                      const Tensor32& bias, const ConvGeom& g,
+                      const Requant& rq, int oy_s, int oy_e, int k_s, int k_e,
+                      Tensor8& out) {
+  const int ox = g.ox(), kk = g.k;
+  const int64_t in_row = static_cast<int64_t>(g.ix) * g.c;
+  const auto [x_lo, x_hi] = interior_range(g.ix, g.fx, g.stride, g.pad, ox);
+  const auto [y_lo, y_hi] =
+      interior_range(g.iy, g.fy, g.stride, g.pad, g.oy());
+  const int8_t* in0 = input.data();
+  const int taps = d.taps;
+  const int sc = g.stride * g.c;  // input step between adjacent out pixels
+
+  // single interior pixel: walk only the taps' non-zeros
+  const auto interior_pixel = [&](const int8_t* in_base, int8_t* orow) {
+    for (int k = k_s; k < k_e; ++k) {
+      int32_t acc = bias[k];
+      const int32_t* ts = d.tap_start.data() + static_cast<size_t>(k) * taps;
+      for (int t = 0; t < taps; ++t) {
+        const int8_t* p = in_base + d.tap_off[static_cast<size_t>(t)];
+        const int e_end = ts[t + 1];
+        for (int e = ts[t]; e < e_end; ++e) {
+          acc += static_cast<int32_t>(p[d.ci[static_cast<size_t>(e)]]) *
+                 static_cast<int32_t>(d.val[static_cast<size_t>(e)]);
+        }
+      }
+      orow[k] = rq.apply(acc);
+    }
+  };
+
+  // 4 adjacent interior pixels share one (index, value) stream walk —
+  // the per-non-zero decode cost amortizes 4x, which is what lets an
+  // M=4 layer actually run near cols/4 cost
+  const auto interior_block4 = [&](const int8_t* in_base, int8_t* orow) {
+    for (int k = k_s; k < k_e; ++k) {
+      const int32_t b = bias[k];
+      int32_t a0 = b, a1 = b, a2 = b, a3 = b;
+      const int32_t* ts = d.tap_start.data() + static_cast<size_t>(k) * taps;
+      for (int t = 0; t < taps; ++t) {
+        const int8_t* p = in_base + d.tap_off[static_cast<size_t>(t)];
+        const int e_end = ts[t + 1];
+        for (int e = ts[t]; e < e_end; ++e) {
+          const int32_t v = d.val[static_cast<size_t>(e)];
+          const int idx = d.ci[static_cast<size_t>(e)];
+          a0 += static_cast<int32_t>(p[idx]) * v;
+          a1 += static_cast<int32_t>(p[idx + sc]) * v;
+          a2 += static_cast<int32_t>(p[idx + 2 * sc]) * v;
+          a3 += static_cast<int32_t>(p[idx + 3 * sc]) * v;
+        }
+      }
+      orow[k] = rq.apply(a0);
+      orow[kk + k] = rq.apply(a1);
+      orow[2 * kk + k] = rq.apply(a2);
+      orow[3 * kk + k] = rq.apply(a3);
+    }
+  };
+
+  const auto border_pixel = [&](int iy0, int ix0, int8_t* orow) {
+    for (int k = k_s; k < k_e; ++k) {
+      int32_t acc = bias[k];
+      const int32_t* ts = d.tap_start.data() + static_cast<size_t>(k) * taps;
+      for (int t = 0; t < taps; ++t) {
+        const int iy = iy0 + d.tap_fy[static_cast<size_t>(t)];
+        const int ix = ix0 + d.tap_fx[static_cast<size_t>(t)];
+        if (iy < 0 || iy >= g.iy || ix < 0 || ix >= g.ix) continue;
+        const int8_t* p = in0 + iy * in_row + static_cast<int64_t>(ix) * g.c;
+        const int e_end = ts[t + 1];
+        for (int e = ts[t]; e < e_end; ++e) {
+          acc += static_cast<int32_t>(p[d.ci[static_cast<size_t>(e)]]) *
+                 static_cast<int32_t>(d.val[static_cast<size_t>(e)]);
+        }
+      }
+      orow[k] = rq.apply(acc);
+    }
+  };
+
+  for (int y = oy_s; y < oy_e; ++y) {
+    int8_t* out_y = out.data() + static_cast<int64_t>(y) * ox * kk;
+    const bool y_in = y >= y_lo && y < y_hi;
+    const int iy0 = y * g.stride - g.pad;
+    if (!y_in) {
+      for (int x = 0; x < ox; ++x) {
+        border_pixel(iy0, x * g.stride - g.pad,
+                     out_y + static_cast<int64_t>(x) * kk);
+      }
+      continue;
+    }
+    int x = 0;
+    for (; x < x_lo; ++x) {
+      border_pixel(iy0, x * g.stride - g.pad,
+                   out_y + static_cast<int64_t>(x) * kk);
+    }
+    const int8_t* row_base = in0 + iy0 * in_row;
+    for (; x + 3 < x_hi; x += 4) {
+      interior_block4(
+          row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
+          out_y + static_cast<int64_t>(x) * kk);
+    }
+    for (; x < x_hi; ++x) {
+      interior_pixel(
+          row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
+          out_y + static_cast<int64_t>(x) * kk);
+    }
+    for (; x < ox; ++x) {
+      border_pixel(iy0, x * g.stride - g.pad,
+                   out_y + static_cast<int64_t>(x) * kk);
+    }
+  }
+}
+
+void check_fc_args(const Tensor8& input, const Tensor8& weights,
+                   const Tensor32& bias, int t_s, int t_e, int k_s, int k_e,
+                   const Tensor8& out, bool dense) {
+  DECIMATE_CHECK(input.rank() == 2, "host fc expects 2D input");
+  const int t = input.dim(0), c = input.dim(1), k = out.dim(1);
+  if (dense) {
+    DECIMATE_CHECK(weights.rank() == 2 && weights.dim(1) == c,
+                   "host fc weight/input dim mismatch");
+    DECIMATE_CHECK(weights.dim(0) == k, "host fc weight row mismatch");
+  }
+  DECIMATE_CHECK(bias.shape() == (std::vector<int>{k}),
+                 "host fc bias mismatch");
+  DECIMATE_CHECK(out.rank() == 2 && out.dim(0) == t,
+                 "host fc output shape mismatch");
+  DECIMATE_CHECK(0 <= t_s && t_s <= t_e && t_e <= t && 0 <= k_s &&
+                     k_s <= k_e && k_e <= k,
+                 "host fc range out of bounds");
+}
+
+void dense_fc_into(const Tensor8& input, const Tensor8& weights,
+                   const Tensor32& bias, const Requant& rq, int t_s, int t_e,
+                   int k_s, int k_e, Tensor8& out) {
+  const int c = input.dim(1), kk = out.dim(1);
+  const int8_t* w0 = weights.data();
+  int ti = t_s;
+  // 4 tokens x 4 output channels: 16 accumulators share every input and
+  // weight load, cutting weight-stream traffic 4x — large dense FC
+  // layers are weight-bandwidth-bound, so this is where the win is
+  for (; ti + 3 < t_e; ti += 4) {
+    const int8_t* in0 = input.data() + static_cast<int64_t>(ti) * c;
+    const int8_t* in1 = in0 + c;
+    const int8_t* in2 = in1 + c;
+    const int8_t* in3 = in2 + c;
+    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
+    int ki = k_s;
+    for (; ki + 3 < k_e; ki += 4) {
+      const int8_t* wr0 = w0 + static_cast<int64_t>(ki) * c;
+      const int8_t* wr1 = wr0 + c;
+      const int8_t* wr2 = wr1 + c;
+      const int8_t* wr3 = wr2 + c;
+      int32_t acc[4][4];
+      for (int p = 0; p < 4; ++p) {
+        for (int q = 0; q < 4; ++q) acc[p][q] = bias[ki + q];
+      }
+      for (int i = 0; i < c; ++i) {
+        const int32_t b0 = wr0[i], b1 = wr1[i], b2 = wr2[i], b3 = wr3[i];
+        const int32_t v0 = in0[i], v1 = in1[i], v2 = in2[i], v3 = in3[i];
+        acc[0][0] += v0 * b0; acc[0][1] += v0 * b1;
+        acc[0][2] += v0 * b2; acc[0][3] += v0 * b3;
+        acc[1][0] += v1 * b0; acc[1][1] += v1 * b1;
+        acc[1][2] += v1 * b2; acc[1][3] += v1 * b3;
+        acc[2][0] += v2 * b0; acc[2][1] += v2 * b1;
+        acc[2][2] += v2 * b2; acc[2][3] += v2 * b3;
+        acc[3][0] += v3 * b0; acc[3][1] += v3 * b1;
+        acc[3][2] += v3 * b2; acc[3][3] += v3 * b3;
+      }
+      for (int p = 0; p < 4; ++p) {
+        for (int q = 0; q < 4; ++q) {
+          orow[p * kk + ki + q] = rq.apply(acc[p][q]);
+        }
+      }
+    }
+    for (; ki < k_e; ++ki) {
+      const int8_t* w = w0 + static_cast<int64_t>(ki) * c;
+      int32_t a0 = bias[ki], a1 = bias[ki], a2 = bias[ki], a3 = bias[ki];
+      for (int i = 0; i < c; ++i) {
+        const int32_t b = w[i];
+        a0 += static_cast<int32_t>(in0[i]) * b;
+        a1 += static_cast<int32_t>(in1[i]) * b;
+        a2 += static_cast<int32_t>(in2[i]) * b;
+        a3 += static_cast<int32_t>(in3[i]) * b;
+      }
+      orow[ki] = rq.apply(a0);
+      orow[kk + ki] = rq.apply(a1);
+      orow[2 * kk + ki] = rq.apply(a2);
+      orow[3 * kk + ki] = rq.apply(a3);
+    }
+  }
+  for (; ti < t_e; ++ti) {
+    const int8_t* in = input.data() + static_cast<int64_t>(ti) * c;
+    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
+    int ki = k_s;
+    for (; ki + 3 < k_e; ki += 4) {
+      const int8_t* wr0 = w0 + static_cast<int64_t>(ki) * c;
+      const int8_t* wr1 = wr0 + c;
+      const int8_t* wr2 = wr1 + c;
+      const int8_t* wr3 = wr2 + c;
+      int32_t a0 = bias[ki], a1 = bias[ki + 1], a2 = bias[ki + 2],
+              a3 = bias[ki + 3];
+      for (int i = 0; i < c; ++i) {
+        const int32_t v = in[i];
+        a0 += v * wr0[i];
+        a1 += v * wr1[i];
+        a2 += v * wr2[i];
+        a3 += v * wr3[i];
+      }
+      orow[ki] = rq.apply(a0);
+      orow[ki + 1] = rq.apply(a1);
+      orow[ki + 2] = rq.apply(a2);
+      orow[ki + 3] = rq.apply(a3);
+    }
+    for (; ki < k_e; ++ki) {
+      const int8_t* w = w0 + static_cast<int64_t>(ki) * c;
+      int32_t acc = bias[ki];
+      for (int i = 0; i < c; ++i) {
+        acc += static_cast<int32_t>(in[i]) * static_cast<int32_t>(w[i]);
+      }
+      orow[ki] = rq.apply(acc);
+    }
+  }
+}
+
+void sparse_fc_into(const HostKernelDispatch& d, const Tensor8& input,
+                    const Tensor32& bias, const Requant& rq, int t_s, int t_e,
+                    int k_s, int k_e, Tensor8& out) {
+  const int c = input.dim(1), kk = out.dim(1);
+  int ti = t_s;
+  // 4 tokens share one walk of each row's (column, value) stream — the
+  // per-non-zero decode cost amortizes 4x across the batch rows
+  for (; ti + 3 < t_e; ti += 4) {
+    const int8_t* in0 = input.data() + static_cast<int64_t>(ti) * c;
+    const int8_t* in1 = in0 + c;
+    const int8_t* in2 = in1 + c;
+    const int8_t* in3 = in2 + c;
+    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
+    for (int ki = k_s; ki < k_e; ++ki) {
+      const int32_t b = bias[ki];
+      int32_t a0 = b, a1 = b, a2 = b, a3 = b;
+      const int e_end = d.row_start[static_cast<size_t>(ki) + 1];
+      for (int e = d.row_start[static_cast<size_t>(ki)]; e < e_end; ++e) {
+        const int32_t v = d.val[static_cast<size_t>(e)];
+        const int idx = d.col[static_cast<size_t>(e)];
+        a0 += static_cast<int32_t>(in0[idx]) * v;
+        a1 += static_cast<int32_t>(in1[idx]) * v;
+        a2 += static_cast<int32_t>(in2[idx]) * v;
+        a3 += static_cast<int32_t>(in3[idx]) * v;
+      }
+      orow[ki] = rq.apply(a0);
+      orow[kk + ki] = rq.apply(a1);
+      orow[2 * kk + ki] = rq.apply(a2);
+      orow[3 * kk + ki] = rq.apply(a3);
+    }
+  }
+  for (; ti < t_e; ++ti) {
+    const int8_t* in = input.data() + static_cast<int64_t>(ti) * c;
+    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
+    for (int ki = k_s; ki < k_e; ++ki) {
+      int32_t acc = bias[ki];
+      const int e_end = d.row_start[static_cast<size_t>(ki) + 1];
+      for (int e = d.row_start[static_cast<size_t>(ki)]; e < e_end; ++e) {
+        acc += static_cast<int32_t>(in[d.col[static_cast<size_t>(e)]]) *
+               static_cast<int32_t>(d.val[static_cast<size_t>(e)]);
+      }
+      orow[ki] = rq.apply(acc);
+    }
+  }
+}
+
+}  // namespace
+
+const char* host_impl_name(HostImpl impl) {
+  switch (impl) {
+    case HostImpl::kRefFallback: return "ref";
+    case HostImpl::kDenseConv: return "dense-conv-blocked";
+    case HostImpl::kDenseFc: return "dense-fc-blocked";
+    case HostImpl::kSparseConv: return "sparse-conv-nm";
+    case HostImpl::kSparseFc: return "sparse-fc-nm";
+  }
+  return "?";
+}
+
+HostKernelDispatch host_dispatch_for_conv(const ConvGeom& g,
+                                          const NmPacked* packed) {
+  HostKernelDispatch d;
+  if (packed == nullptr) {
+    d.impl = HostImpl::kDenseConv;
+    return d;
+  }
+  DECIMATE_CHECK(packed->rows == g.k && packed->cols == g.fsz(),
+                 "packed weights do not match conv geometry");
+  DECIMATE_CHECK(g.c <= 65535, "conv channel count overflows gather index");
+  d.impl = HostImpl::kSparseConv;
+  d.m = packed->m;
+  d.taps = g.fy * g.fx;
+  d.tap_off.resize(static_cast<size_t>(d.taps));
+  d.tap_fy.resize(static_cast<size_t>(d.taps));
+  d.tap_fx.resize(static_cast<size_t>(d.taps));
+  for (int t = 0; t < d.taps; ++t) {
+    const int fy = t / g.fx, fx = t % g.fx;
+    d.tap_fy[static_cast<size_t>(t)] = static_cast<int16_t>(fy);
+    d.tap_fx[static_cast<size_t>(t)] = static_cast<int16_t>(fx);
+    d.tap_off[static_cast<size_t>(t)] = (fy * g.ix + fx) * g.c;
+  }
+  d.tap_start.assign(static_cast<size_t>(g.k) * d.taps + 1, 0);
+  d.ci.reserve(static_cast<size_t>(g.k) * packed->nz_per_row);
+  d.val.reserve(d.ci.capacity());
+  for (int r = 0; r < g.k; ++r) {
+    int tap_cursor = 0;
+    for (int j = 0; j < packed->nz_per_row; ++j) {
+      const int8_t v =
+          packed->values[static_cast<size_t>(r) * packed->values_row_bytes +
+                         static_cast<size_t>(j)];
+      if (v == 0) continue;  // zero weight contributes nothing — drop it
+      const int dcol = j * packed->m + packed->offset_at(r, j);
+      const int tap = dcol / g.c;
+      // dcol ascends with j, so taps arrive in order; close skipped taps
+      while (tap_cursor < tap) {
+        d.tap_start[static_cast<size_t>(r) * d.taps + ++tap_cursor] =
+            static_cast<int32_t>(d.val.size());
+      }
+      d.ci.push_back(static_cast<uint16_t>(dcol % g.c));
+      d.val.push_back(v);
+    }
+    while (tap_cursor < d.taps) {
+      d.tap_start[static_cast<size_t>(r) * d.taps + ++tap_cursor] =
+          static_cast<int32_t>(d.val.size());
+    }
+  }
+  return d;
+}
+
+HostKernelDispatch host_dispatch_for_fc(int rows, int c,
+                                        const NmPacked* packed) {
+  HostKernelDispatch d;
+  if (packed == nullptr) {
+    d.impl = HostImpl::kDenseFc;
+    return d;
+  }
+  DECIMATE_CHECK(packed->rows == rows && packed->cols == c,
+                 "packed weights do not match fc geometry");
+  d.impl = HostImpl::kSparseFc;
+  d.m = packed->m;
+  d.row_start.assign(static_cast<size_t>(rows) + 1, 0);
+  d.col.reserve(static_cast<size_t>(rows) * packed->nz_per_row);
+  d.val.reserve(d.col.capacity());
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < packed->nz_per_row; ++j) {
+      const int8_t v =
+          packed->values[static_cast<size_t>(r) * packed->values_row_bytes +
+                         static_cast<size_t>(j)];
+      if (v == 0) continue;
+      d.col.push_back(j * packed->m + packed->offset_at(r, j));
+      d.val.push_back(v);
+    }
+    d.row_start[static_cast<size_t>(r) + 1] =
+        static_cast<int32_t>(d.val.size());
+  }
+  return d;
+}
+
+void host_conv2d_s8_into(const HostKernelDispatch& d, const Tensor8& input,
+                         const Tensor8& weights, const Tensor32& bias,
+                         const ConvGeom& g, const Requant& rq, int oy_s,
+                         int oy_e, int k_s, int k_e, Tensor8& out) {
+  switch (d.impl) {
+    case HostImpl::kSparseConv:
+      check_conv_args(input, weights, bias, g, oy_s, oy_e, k_s, k_e, out,
+                      /*dense=*/false);
+      sparse_conv_into(d, input, bias, g, rq, oy_s, oy_e, k_s, k_e, out);
+      return;
+    case HostImpl::kDenseConv:
+      check_conv_args(input, weights, bias, g, oy_s, oy_e, k_s, k_e, out,
+                      /*dense=*/true);
+      dense_conv_into(input, weights, bias, g, rq, oy_s, oy_e, k_s, k_e, out);
+      return;
+    case HostImpl::kRefFallback:
+      conv2d_s8_into(input, weights, bias, g, rq, oy_s, oy_e, k_s, k_e, out);
+      return;
+    default: DECIMATE_FAIL("dispatch is not a conv kernel");
+  }
+}
+
+Tensor8 host_conv2d_s8(const HostKernelDispatch& d, const Tensor8& input,
+                       const Tensor8& weights, const Tensor32& bias,
+                       const ConvGeom& g, const Requant& rq) {
+  Tensor8 out({g.oy(), g.ox(), g.k});
+  host_conv2d_s8_into(d, input, weights, bias, g, rq, 0, g.oy(), 0, g.k, out);
+  return out;
+}
+
+void host_fc_s8_into(const HostKernelDispatch& d, const Tensor8& input,
+                     const Tensor8& weights, const Tensor32& bias,
+                     const Requant& rq, int t_s, int t_e, int k_s, int k_e,
+                     Tensor8& out) {
+  switch (d.impl) {
+    case HostImpl::kSparseFc:
+      check_fc_args(input, weights, bias, t_s, t_e, k_s, k_e, out,
+                    /*dense=*/false);
+      sparse_fc_into(d, input, bias, rq, t_s, t_e, k_s, k_e, out);
+      return;
+    case HostImpl::kDenseFc:
+      check_fc_args(input, weights, bias, t_s, t_e, k_s, k_e, out,
+                    /*dense=*/true);
+      dense_fc_into(input, weights, bias, rq, t_s, t_e, k_s, k_e, out);
+      return;
+    case HostImpl::kRefFallback:
+      fc_s8_into(input, weights, bias, rq, t_s, t_e, k_s, k_e, out);
+      return;
+    default: DECIMATE_FAIL("dispatch is not an fc kernel");
+  }
+}
+
+Tensor8 host_fc_s8(const HostKernelDispatch& d, const Tensor8& input,
+                   const Tensor8& weights, const Tensor32& bias,
+                   const Requant& rq) {
+  DECIMATE_CHECK(input.rank() == 2, "host fc expects 2D input");
+  const int k = d.impl == HostImpl::kSparseFc
+                    ? static_cast<int>(d.row_start.size()) - 1
+                    : weights.dim(0);
+  Tensor8 out({input.dim(0), k});
+  host_fc_s8_into(d, input, weights, bias, rq, 0, input.dim(0), 0, k, out);
+  return out;
+}
+
+Tensor32 host_fc_s32_partial(const HostKernelDispatch& d,
+                             const Tensor8& input, const Tensor8& weights,
+                             int c_s, int c_e) {
+  DECIMATE_CHECK(input.rank() == 2, "host fc expects 2D input");
+  const int t = input.dim(0), c = input.dim(1);
+  DECIMATE_CHECK(0 <= c_s && c_s <= c_e && c_e <= c,
+                 "host fc feature range out of bounds");
+
+  if (d.impl == HostImpl::kSparseFc) {
+    const int k = static_cast<int>(d.row_start.size()) - 1;
+    Tensor32 out({t, k}, 0);
+    for (int ki = 0; ki < k; ++ki) {
+      // the row's columns ascend — binary-search the feature window once
+      const auto row_b = d.col.begin() + d.row_start[static_cast<size_t>(ki)];
+      const auto row_e =
+          d.col.begin() + d.row_start[static_cast<size_t>(ki) + 1];
+      const int e_s =
+          static_cast<int>(std::lower_bound(row_b, row_e, c_s) - d.col.begin());
+      const int e_e =
+          static_cast<int>(std::lower_bound(row_b, row_e, c_e) - d.col.begin());
+      for (int ti = 0; ti < t; ++ti) {
+        const int8_t* in = input.data() + static_cast<int64_t>(ti) * c;
+        int32_t acc = 0;
+        for (int e = e_s; e < e_e; ++e) {
+          acc += static_cast<int32_t>(in[d.col[static_cast<size_t>(e)]]) *
+                 static_cast<int32_t>(d.val[static_cast<size_t>(e)]);
+        }
+        out[static_cast<int64_t>(ti) * k + ki] = acc;
+      }
+    }
+    return out;
+  }
+
+  if (d.impl == HostImpl::kDenseFc) {
+    DECIMATE_CHECK(weights.rank() == 2 && weights.dim(1) == c,
+                   "host fc weight/input dim mismatch");
+    const int k = weights.dim(0);
+    Tensor32 out({t, k}, 0);
+    const int n = c_e - c_s;
+    for (int ti = 0; ti < t; ++ti) {
+      const int8_t* in = input.data() + static_cast<int64_t>(ti) * c + c_s;
+      int32_t* orow = out.data() + static_cast<int64_t>(ti) * k;
+      int ki = 0;
+      for (; ki + 3 < k; ki += 4) {
+        const int8_t* wr0 = weights.data() + static_cast<int64_t>(ki) * c + c_s;
+        const int8_t* wr1 = wr0 + c;
+        const int8_t* wr2 = wr1 + c;
+        const int8_t* wr3 = wr2 + c;
+        int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+        for (int i = 0; i < n; ++i) {
+          const int32_t v = in[i];
+          a0 += v * wr0[i];
+          a1 += v * wr1[i];
+          a2 += v * wr2[i];
+          a3 += v * wr3[i];
+        }
+        orow[ki] = a0;
+        orow[ki + 1] = a1;
+        orow[ki + 2] = a2;
+        orow[ki + 3] = a3;
+      }
+      for (; ki < k; ++ki) {
+        const int8_t* w = weights.data() + static_cast<int64_t>(ki) * c + c_s;
+        int32_t acc = 0;
+        for (int i = 0; i < n; ++i) {
+          acc += static_cast<int32_t>(in[i]) * static_cast<int32_t>(w[i]);
+        }
+        orow[ki] = acc;
+      }
+    }
+    return out;
+  }
+
+  return fc_s32_partial(input, weights, c_s, c_e);
+}
+
+}  // namespace decimate

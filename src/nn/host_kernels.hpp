@@ -1,0 +1,124 @@
+#pragma once
+// Host kernel layer: sparsity-aware and blocked-dense CPU kernels that
+// execute a plan at the speed its kernel choice implies, instead of the
+// naive dense scalar loops in ref_ops.cpp.
+//
+// Two families, both bit-exact with the reference ops:
+//
+//  - N:M sparse conv/FC: iterate only the packed non-zeros decoded from
+//    the plan's NmPacked (values + ceil(log2 M)-bit offsets), doing
+//    cols/M MACs per output instead of cols — the paper's software-kernel
+//    idea (Sec. 4.1/4.2) applied to the host execution path. Skipped
+//    terms are exact zeros and int32 accumulation wraps modulo 2^32, so
+//    the accumulator is bit-identical to the dense reference sum.
+//  - Blocked dense conv/FC: interior/border split so the padded-conv
+//    inner loop is branch-free, K-register blocking (4 output channels
+//    share each input load), and contiguous pointer walks instead of
+//    per-element Tensor::at. Per-output-channel accumulation order is
+//    exactly the reference order, so outputs match bit for bit.
+//
+// A HostKernelDispatch is built once at compile time (per PlanStep) from
+// the step's KernelChoice: sparse steps decode the packed weights into a
+// gather plan (per-filter-tap CSR for conv, per-row column CSR for FC),
+// dense steps carry just the implementation tag. A default-constructed
+// dispatch falls back to the reference ops, which stay the bit-exactness
+// oracle.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer_geometry.hpp"
+#include "nn/nm_format.hpp"
+#include "nn/quant.hpp"
+#include "nn/tensor.hpp"
+
+namespace decimate {
+
+enum class HostImpl : uint8_t {
+  kRefFallback = 0,  // no dispatch built: scalar reference ops
+  kDenseConv,        // blocked dense conv (interior/border split, K x 4)
+  kDenseFc,          // K-blocked dense FC (also matmul: dynamic weights)
+  kSparseConv,       // N:M gather conv (per-tap CSR over the non-zeros)
+  kSparseFc,         // N:M gather FC (per-row column CSR)
+};
+
+const char* host_impl_name(HostImpl impl);
+
+/// Compile-time product of lowering one gemm node to a host kernel. The
+/// sparse gather plan is self-contained (decoded values + indices), so it
+/// survives plan copies and never dangles into the NmPacked it was built
+/// from.
+struct HostKernelDispatch {
+  HostImpl impl = HostImpl::kRefFallback;
+  int m = 0;  // N:M block size for the sparse impls (0 = dense)
+
+  // Sparse conv: non-zeros grouped by (output channel, filter tap), in
+  // ascending (tap, channel) order — the dense reference order with the
+  // zeros removed. tap_start is a CSR of size rows*taps+1 into ci/val;
+  // tap_off/tap_fy/tap_fx are per-tap input addressing (interior offset
+  // and tap coordinates for the border path).
+  int taps = 0;  // fy * fx
+  std::vector<int32_t> tap_start;
+  std::vector<uint16_t> ci;     // input channel within the tap
+  std::vector<int32_t> tap_off; // interior input offset: (fy*ix + fx)*c
+  std::vector<int16_t> tap_fy, tap_fx;
+
+  // Sparse FC: per output channel, the absolute input features of its
+  // non-zeros. row_start is a CSR of size rows+1 into col/val.
+  std::vector<int32_t> row_start;
+  std::vector<int32_t> col;
+
+  std::vector<int8_t> val;  // non-zero values, parallel to ci / col
+
+  bool sparse() const {
+    return impl == HostImpl::kSparseConv || impl == HostImpl::kSparseFc;
+  }
+  /// MACs one output element costs (nz per row for sparse, cols dense).
+  int64_t nz_total() const { return static_cast<int64_t>(val.size()); }
+};
+
+/// Build the dispatch for a conv node: sparse gather plan when `packed`
+/// is non-null (any NmLayout; logical offsets are decoded), blocked dense
+/// otherwise.
+HostKernelDispatch host_dispatch_for_conv(const ConvGeom& g,
+                                          const NmPacked* packed);
+
+/// Build the dispatch for an FC/matmul node over `c` input features and
+/// `rows` output channels; matmul passes packed == nullptr (weights are
+/// dynamic activations).
+HostKernelDispatch host_dispatch_for_fc(int rows, int c,
+                                        const NmPacked* packed);
+
+/// Ranged convolution through the dispatch: bit-identical to
+/// conv2d_s8_into over the same ranges (disjoint ranges stitch exactly).
+/// Dense impls read `weights`; sparse impls read the dispatch's gather
+/// plan and ignore `weights`.
+void host_conv2d_s8_into(const HostKernelDispatch& d, const Tensor8& input,
+                         const Tensor8& weights, const Tensor32& bias,
+                         const ConvGeom& g, const Requant& rq, int oy_s,
+                         int oy_e, int k_s, int k_e, Tensor8& out);
+
+/// Full-range wrapper.
+Tensor8 host_conv2d_s8(const HostKernelDispatch& d, const Tensor8& input,
+                       const Tensor8& weights, const Tensor32& bias,
+                       const ConvGeom& g, const Requant& rq);
+
+/// Ranged FC through the dispatch (see conv2d counterpart).
+void host_fc_s8_into(const HostKernelDispatch& d, const Tensor8& input,
+                     const Tensor8& weights, const Tensor32& bias,
+                     const Requant& rq, int t_s, int t_e, int k_s, int k_e,
+                     Tensor8& out);
+
+/// Full-range wrapper.
+Tensor8 host_fc_s8(const HostKernelDispatch& d, const Tensor8& input,
+                   const Tensor8& weights, const Tensor32& bias,
+                   const Requant& rq);
+
+/// Partial FC accumulation over input features [c_s, c_e), bit-identical
+/// to fc_s32_partial: the sparse impl binary-searches each row's column
+/// CSR for the range, the dense impl runs the blocked loops over it.
+Tensor32 host_fc_s32_partial(const HostKernelDispatch& d,
+                             const Tensor8& input, const Tensor8& weights,
+                             int c_s, int c_e);
+
+}  // namespace decimate

@@ -31,7 +31,9 @@ void conv2d_s8_into(const Tensor8& input, const Tensor8& weights,
                      k_s <= k_e && k_e <= g.k,
                  "conv range out of bounds");
   for (int y = oy_s; y < oy_e; ++y) {
+    int8_t* out_y = out.data() + static_cast<int64_t>(y) * ox * g.k;
     for (int x = 0; x < ox; ++x) {
+      int8_t* orow = out_y + static_cast<int64_t>(x) * g.k;
       for (int k = k_s; k < k_e; ++k) {
         int32_t acc = bias[k];
         const int8_t* wrow = weights.data() + static_cast<int64_t>(k) * g.fsz();
@@ -54,7 +56,7 @@ void conv2d_s8_into(const Tensor8& input, const Tensor8& weights,
             wi += g.c;
           }
         }
-        out.at({y, x, k}) = rq.apply(acc);
+        orow[k] = rq.apply(acc);
       }
     }
   }
@@ -143,14 +145,23 @@ Tensor8 maxpool2x2_s8(const Tensor8& x) {
   const int h = x.dim(0), w = x.dim(1), c = x.dim(2);
   DECIMATE_CHECK(h % 2 == 0 && w % 2 == 0, "maxpool needs even H/W");
   Tensor8 out({h / 2, w / 2, c});
+  const int64_t row = static_cast<int64_t>(w) * c;
   for (int y = 0; y < h / 2; ++y) {
+    const int8_t* r0 = x.data() + 2 * y * row;
+    const int8_t* r1 = r0 + row;
+    int8_t* orow = out.data() + static_cast<int64_t>(y) * (w / 2) * c;
     for (int xx = 0; xx < w / 2; ++xx) {
+      const int8_t* p00 = r0 + static_cast<int64_t>(2 * xx) * c;
+      const int8_t* p01 = p00 + c;
+      const int8_t* p10 = r1 + static_cast<int64_t>(2 * xx) * c;
+      const int8_t* p11 = p10 + c;
+      int8_t* o = orow + static_cast<int64_t>(xx) * c;
       for (int ci = 0; ci < c; ++ci) {
-        int8_t m = x.at({2 * y, 2 * xx, ci});
-        m = std::max(m, x.at({2 * y, 2 * xx + 1, ci}));
-        m = std::max(m, x.at({2 * y + 1, 2 * xx, ci}));
-        m = std::max(m, x.at({2 * y + 1, 2 * xx + 1, ci}));
-        out.at({y, xx, ci}) = m;
+        int8_t m = p00[ci];
+        m = std::max(m, p01[ci]);
+        m = std::max(m, p10[ci]);
+        m = std::max(m, p11[ci]);
+        o[ci] = m;
       }
     }
   }
@@ -164,7 +175,8 @@ Tensor8 global_avgpool_s8(const Tensor8& x, const Requant& rq) {
   for (int ci = 0; ci < c; ++ci) {
     int32_t acc = 0;
     for (int y = 0; y < h; ++y) {
-      for (int xx = 0; xx < w; ++xx) acc += x.at({y, xx, ci});
+      const int8_t* row = x.data() + static_cast<int64_t>(y) * w * c + ci;
+      for (int xx = 0; xx < w; ++xx) acc += row[static_cast<int64_t>(xx) * c];
     }
     out[ci] = rq.apply(acc);
   }

@@ -8,7 +8,19 @@ PlanStore::PlanStore(const CompileOptions& base,
                      std::shared_ptr<TileLatencyCache> latencies)
     : base_(base),
       latencies_(latencies ? std::move(latencies)
-                           : std::make_shared<TileLatencyCache>()) {}
+                           : std::make_shared<TileLatencyCache>()) {
+  // warm start: load once here, not per-compile — options_for() strips
+  // the path so the per-plan Compilers don't re-read the file
+  if (!base_.latency_cache_path.empty()) {
+    latencies_->load(base_.latency_cache_path);
+  }
+}
+
+size_t PlanStore::save_latencies() const {
+  DECIMATE_CHECK(!base_.latency_cache_path.empty(),
+                 "save_latencies needs CompileOptions::latency_cache_path");
+  return latencies_->save(base_.latency_cache_path);
+}
 
 int PlanStore::add_model(const Graph& graph) {
   const uint64_t fp = graph_fingerprint(graph);  // outside the lock: O(bytes)
@@ -41,6 +53,9 @@ CompileOptions PlanStore::options_for(int batch, int num_clusters) const {
   CompileOptions opt = base_;
   opt.batch = batch;
   opt.num_clusters = num_clusters;
+  // the store's shared cache was warmed in the constructor; per-plan
+  // Compilers must not re-read the file on every compile
+  opt.latency_cache_path.clear();
   return opt;
 }
 

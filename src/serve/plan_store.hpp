@@ -61,6 +61,12 @@ class PlanStore {
   /// means this stays constant while serving.
   int compiles() const;
 
+  /// Persist the shared latency cache to base_options().latency_cache_path
+  /// (which must be set). A store constructed later with the same path
+  /// warms up ISS-free: every tile shape measured during this process's
+  /// compiles is read back from the file.
+  size_t save_latencies() const;
+
   const CompileOptions& base_options() const { return base_; }
   std::shared_ptr<TileLatencyCache> shared_latencies() const {
     return latencies_;

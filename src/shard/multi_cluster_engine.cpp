@@ -1,48 +1,37 @@
 #include "shard/multi_cluster_engine.hpp"
 
 #include <algorithm>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 
 #include "compiler/fingerprint.hpp"
 #include "exec/node_exec.hpp"
+#include "nn/host_kernels.hpp"
 #include "nn/ref_ops.hpp"
 
 namespace decimate {
 
-namespace {
+MultiClusterEngine::MultiClusterEngine(int num_clusters)
+    : num_clusters_(num_clusters), planner_(num_clusters) {}
 
-/// Run the thunks concurrently (one thread each, "one per cluster") and
-/// rethrow the first failure. Inline when there is only one.
-void run_parallel(std::vector<std::function<void()>>& thunks) {
+WorkerPool& MultiClusterEngine::pool() {
+  // thunks come one per cluster and the caller participates, so
+  // num_clusters - 1 parked threads saturate every sharded step without
+  // re-spawning threads per step
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(std::max(0, num_clusters_ - 1));
+  }
+  return *pool_;
+}
+
+void MultiClusterEngine::run_parallel(
+    std::vector<std::function<void()>>& thunks) {
   if (thunks.size() == 1) {
     thunks.front()();
     return;
   }
-  std::mutex err_mu;
-  std::exception_ptr err;
-  std::vector<std::thread> pool;
-  pool.reserve(thunks.size());
-  for (auto& fn : thunks) {
-    pool.emplace_back([&err_mu, &err, &fn] {
-      try {
-        fn();
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(err_mu);
-        if (!err) err = std::current_exception();
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-  if (err) std::rethrow_exception(err);
+  pool().run(static_cast<int>(thunks.size()),
+             [&](int i) { thunks[static_cast<size_t>(i)](); });
 }
-
-}  // namespace
-
-MultiClusterEngine::MultiClusterEngine(int num_clusters)
-    : num_clusters_(num_clusters), planner_(num_clusters) {}
 
 const ShardPlan& MultiClusterEngine::shard_plan(const CompiledPlan& plan) {
   DECIMATE_CHECK(plan.graph != nullptr, "plan has no graph");
@@ -91,8 +80,13 @@ void MultiClusterEngine::exec_sharded_gemm(const StepShard& ss,
     thunks.reserve(active.size());
     for (size_t j = 0; j < active.size(); ++j) {
       thunks.emplace_back([&, j] {
-        partials[j] = fc_s32_partial(in, *weights, active[j]->c_range.first,
-                                     active[j]->c_range.second);
+        partials[j] =
+            use_host_kernels_
+                ? host_fc_s32_partial(step.host, in, *weights,
+                                      active[j]->c_range.first,
+                                      active[j]->c_range.second)
+                : fc_s32_partial(in, *weights, active[j]->c_range.first,
+                                 active[j]->c_range.second);
       });
     }
     run_parallel(thunks);
@@ -115,8 +109,17 @@ void MultiClusterEngine::exec_sharded_gemm(const StepShard& ss,
       for (int idx : slice.tiles) {
         const ShardTile& m = step.tiles_meta[static_cast<size_t>(idx)];
         if (node.op == OpType::kConv2d) {
-          conv2d_s8_into(in, node.weights, node.bias, node.conv, node.rq,
-                         m.a_s, m.a_e, m.k_s, m.k_e, out);
+          if (use_host_kernels_) {
+            host_conv2d_s8_into(step.host, in, node.weights, node.bias,
+                                node.conv, node.rq, m.a_s, m.a_e, m.k_s,
+                                m.k_e, out);
+          } else {
+            conv2d_s8_into(in, node.weights, node.bias, node.conv, node.rq,
+                           m.a_s, m.a_e, m.k_s, m.k_e, out);
+          }
+        } else if (use_host_kernels_) {
+          host_fc_s8_into(step.host, in, *weights, *bias, node.rq, m.a_s,
+                          m.a_e, m.k_s, m.k_e, out);
         } else {
           fc_s8_into(in, *weights, *bias, node.rq, m.a_s, m.a_e, m.k_s,
                      m.k_e, out);
@@ -168,6 +171,7 @@ DataParallelRun MultiClusterEngine::run_data_parallel(
   out.cluster_busy_cycles = data_parallel_busy_cycles(plan, n, num_clusters_);
 
   ExecutionEngine engine;  // run() is thread-safe with verify off
+  engine.set_use_host_kernels(use_host_kernels_);
   std::vector<std::function<void()>> thunks;
   for (int c = 0; c < num_clusters_ && c < n; ++c) {
     thunks.emplace_back([&, c] {

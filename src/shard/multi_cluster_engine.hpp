@@ -21,12 +21,15 @@
 // reduction traffic, per-cluster pipelines modeled independently. The
 // serve Dispatcher picks between the two per formed batch.
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "exec/engine.hpp"
 #include "exec/plan.hpp"
+#include "exec/worker_pool.hpp"
 #include "shard/shard_planner.hpp"
 
 namespace decimate {
@@ -120,13 +123,24 @@ class MultiClusterEngine {
   /// shard-plan exactly once.
   int plans() const { return plans_; }
 
+  /// Route shard-slice gemm numerics through the plan's
+  /// HostKernelDispatch (ranged sparse/blocked host kernels; default) or
+  /// the ranged reference ops. Bit-identical either way.
+  void set_use_host_kernels(bool v) { use_host_kernels_ = v; }
+
  private:
   void exec_sharded_gemm(const StepShard& ss, const PlanStep& step,
                          const Node& node, const Tensor8& in,
                          const Tensor8* b_operand, Tensor8& out);
+  /// Run the thunks concurrently ("one per cluster") on the persistent
+  /// pool and rethrow the first failure. Inline when there is only one.
+  void run_parallel(std::vector<std::function<void()>>& thunks);
+  WorkerPool& pool();
 
   int num_clusters_ = 1;
+  bool use_host_kernels_ = true;
   ShardPlanner planner_;
+  std::unique_ptr<WorkerPool> pool_;  // lazily created, reused across runs
   std::map<uint64_t, ShardPlan> cache_;
   int plans_ = 0;
 };

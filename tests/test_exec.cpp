@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <thread>
 
 #include "compiler/schedule.hpp"
@@ -215,6 +217,110 @@ TEST(Exec, VerifyWithSimOnReusedPlan) {
   const auto inputs = distinct_inputs({32, 32, 4}, 2, 15);
   const auto batch = engine.run_batch(plan, inputs);  // throws on mismatch
   EXPECT_EQ(batch.runs.size(), 2u);
+}
+
+TEST(Exec, HostKernelDispatchBitExactWithReferenceOps) {
+  // the host kernel layer (sparse N:M gather + blocked dense) must match
+  // the scalar reference path bit for bit across a whole model, for both
+  // SW-kernel and ISA-kernel packings (kSw vs dup/interleaved layouts)
+  for (const bool isa : {false, true}) {
+    CompileOptions opt;
+    opt.enable_isa = isa;
+    const Graph g = scaled_resnet18();
+    Compiler compiler(opt);
+    const CompiledPlan plan = compiler.compile(g);
+
+    ExecutionEngine host_engine;  // host kernels on by default
+    ExecutionEngine ref_engine;
+    ref_engine.set_use_host_kernels(false);
+    const auto inputs = distinct_inputs({16, 16, 4}, 3, 21);
+    for (const Tensor8& input : inputs) {
+      expect_same_run(host_engine.run(plan, input),
+                      ref_engine.run(plan, input));
+    }
+  }
+}
+
+TEST(Exec, HostKernelDispatchBitExactOnVit) {
+  const Graph g = scaled_vit();  // conv stem + FC + matmul + layernorm
+  Compiler compiler(isa_options());
+  const CompiledPlan plan = compiler.compile(g);
+  ExecutionEngine host_engine;
+  ExecutionEngine ref_engine;
+  ref_engine.set_use_host_kernels(false);
+  const Tensor8 input = distinct_inputs({64, 64, 4}, 1, 22).front();
+  expect_same_run(host_engine.run(plan, input), ref_engine.run(plan, input));
+}
+
+TEST(Exec, RunBatchReusesThePersistentWorkerPool) {
+  const Graph g = scaled_resnet18();
+  Compiler compiler(isa_options());
+  const CompiledPlan plan = compiler.compile(g);
+  ExecutionEngine engine;
+  engine.set_workers(3);
+  const auto inputs = distinct_inputs({16, 16, 4}, 4, 23);
+  const BatchRun first = engine.run_batch(plan, inputs);
+  const BatchRun second = engine.run_batch(plan, inputs);  // pool reused
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    expect_same_run(first.runs[i], second.runs[i]);
+  }
+}
+
+TEST(Exec, LatencyCacheRoundTripsThroughAFile) {
+  const std::string path =
+      ::testing::TempDir() + "/decimate_latency_cache.bin";
+  const Graph g = scaled_resnet18();
+  CompileOptions opt = isa_options();
+  opt.latency_cache_path = path;
+  {
+    Compiler compiler(opt);  // file absent: cold start
+    compiler.compile(g);
+    EXPECT_GT(compiler.latencies().misses(), 0u);
+    EXPECT_EQ(compiler.save_latencies(), compiler.latencies().size());
+  }
+  // a fresh compiler warm-starts from the file: zero ISS simulations
+  Compiler warm(opt);
+  EXPECT_GT(warm.latencies().size(), 0u);
+  const CompiledPlan plan = warm.compile(g);
+  EXPECT_EQ(warm.latencies().misses(), 0u);
+  EXPECT_GT(plan.total_cycles, 0u);
+
+  // and the warm plan is identical to a cold-compiled one
+  CompileOptions cold_opt = isa_options();
+  Compiler cold(cold_opt);
+  const CompiledPlan cold_plan = cold.compile(g);
+  EXPECT_EQ(plan.total_cycles, cold_plan.total_cycles);
+  ASSERT_EQ(plan.steps.size(), cold_plan.steps.size());
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    expect_same_report(plan.steps[i].report, cold_plan.steps[i].report);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Exec, LatencyCacheLoadKeepsMeasuredEntries) {
+  const std::string path =
+      ::testing::TempDir() + "/decimate_latency_merge.bin";
+  TileLatencyCache a;
+  const TileKey key = fc_tile_key(KernelKind::kFcDense, 0, {4, 64, 8}, 1);
+  EXPECT_EQ(a.measure(key, [] { return 111u; }), 111u);
+  EXPECT_EQ(a.save(path), 1u);
+
+  TileLatencyCache b;
+  b.measure(key, [] { return 222u; });  // measured before the load
+  EXPECT_EQ(b.load(path), 0u);          // existing key wins
+  EXPECT_EQ(b.measure(key, [] { return 333u; }), 222u);
+
+  TileLatencyCache c;
+  EXPECT_EQ(c.load(path), 1u);
+  // loaded entry satisfies measure() without running the simulation
+  EXPECT_EQ(c.measure(key,
+                      []() -> uint64_t {
+                        ADD_FAILURE() << "simulated a loaded key";
+                        return 0;
+                      }),
+            111u);
+  EXPECT_EQ(c.load("/nonexistent/latency.bin"), 0u);  // missing file is ok
+  std::remove(path.c_str());
 }
 
 TEST(Exec, ProgramCacheIsThreadSafe) {

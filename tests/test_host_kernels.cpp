@@ -1,0 +1,271 @@
+// Host kernel layer tests: the sparse N:M gather kernels and the blocked
+// dense kernels must be bit-identical to the scalar reference ops — full
+// range, arbitrary ranged slices (which must stitch exactly), and the
+// reduction-split partial sums — across M in {4, 8, 16}, every NmPacked
+// layout, and stride/pad edge cases. Plus the WorkerPool the engines run
+// them on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "exec/worker_pool.hpp"
+#include "nn/host_kernels.hpp"
+#include "nn/prune.hpp"
+#include "nn/ref_ops.hpp"
+#include "testutil.hpp"
+
+namespace decimate {
+namespace {
+
+using test::random_bias;
+using test::random_sparse_weights;
+using test::random_weights;
+using test::test_requant;
+
+struct ConvCase {
+  ConvGeom g;
+  const char* tag;
+};
+
+// stride/pad edge cases: pad >= filter reach (all-border output), 1x1,
+// non-square input and filter, strided, and a "normal" 3x3
+const std::vector<ConvCase> kConvCases = {
+    {{8, 8, 16, 8, 3, 3, 1, 1}, "3x3 pad1"},
+    {{8, 8, 16, 8, 1, 1, 1, 0}, "1x1"},
+    {{9, 7, 16, 6, 3, 2, 1, 1}, "non-square"},
+    {{8, 8, 16, 8, 3, 3, 2, 1}, "stride2"},
+    {{4, 4, 16, 4, 3, 3, 1, 3}, "pad >= reach"},
+    {{6, 6, 32, 10, 5, 5, 1, 2}, "5x5"},
+    {{5, 5, 16, 3, 5, 5, 1, 4}, "pad4 tiny"},
+};
+
+Tensor8 conv_weights(const ConvGeom& g, int m, Rng& rng) {
+  return m == 0 ? random_weights(g.k, g.fsz(), rng)
+                : random_sparse_weights(g.k, g.fsz(), m, rng);
+}
+
+HostKernelDispatch conv_dispatch(const ConvGeom& g, const Tensor8& w, int m,
+                                 NmLayout layout = NmLayout::kSw) {
+  if (m == 0) return host_dispatch_for_conv(g, nullptr);
+  const NmPacked packed = nm_pack(w.flat(), g.k, g.fsz(), m, layout);
+  return host_dispatch_for_conv(g, &packed);
+}
+
+TEST(HostKernels, ConvBitExactAcrossGeometriesAndM) {
+  Rng rng(101);
+  for (const ConvCase& cc : kConvCases) {
+    const ConvGeom& g = cc.g;
+    const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng);
+    const Tensor32 bias = random_bias(g.k, rng);
+    const Requant rq = test_requant();
+    for (const int m : {0, 4, 8, 16}) {
+      if (m != 0 && g.fsz() % m != 0) continue;
+      const Tensor8 w = conv_weights(g, m, rng);
+      const HostKernelDispatch d = conv_dispatch(g, w, m);
+      const Tensor8 ref = conv2d_s8(input, w, bias, g, rq);
+      const Tensor8 host = host_conv2d_s8(d, input, w, bias, g, rq);
+      EXPECT_TRUE(host == ref) << cc.tag << " m=" << m;
+    }
+  }
+}
+
+TEST(HostKernels, ConvRangedSlicesStitchBitExactly) {
+  Rng rng(102);
+  for (const ConvCase& cc : kConvCases) {
+    const ConvGeom& g = cc.g;
+    const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng);
+    const Tensor32 bias = random_bias(g.k, rng);
+    const Requant rq = test_requant();
+    for (const int m : {0, 4}) {
+      if (m != 0 && g.fsz() % m != 0) continue;
+      const Tensor8 w = conv_weights(g, m, rng);
+      const HostKernelDispatch d = conv_dispatch(g, w, m);
+      const Tensor8 ref = conv2d_s8(input, w, bias, g, rq);
+
+      // carve the output into uneven (oy, k) rectangles and stitch
+      Tensor8 out({g.oy(), g.ox(), g.k});
+      const int oy_mid = g.oy() / 3, k_mid = std::max(1, g.k / 2) ;
+      for (const auto& [oy_r, k_r] :
+           std::vector<std::pair<std::pair<int, int>, std::pair<int, int>>>{
+               {{0, oy_mid}, {0, g.k}},
+               {{oy_mid, g.oy()}, {0, k_mid}},
+               {{oy_mid, g.oy()}, {k_mid, g.k}}}) {
+        host_conv2d_s8_into(d, input, w, bias, g, rq, oy_r.first, oy_r.second,
+                            k_r.first, k_r.second, out);
+      }
+      EXPECT_TRUE(out == ref) << cc.tag << " m=" << m;
+    }
+  }
+}
+
+TEST(HostKernels, ConvDecodesEveryNmLayout) {
+  Rng rng(103);
+  const ConvGeom g{8, 8, 16, 8, 3, 3, 1, 1};
+  const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng);
+  const Tensor32 bias = random_bias(g.k, rng);
+  const Requant rq = test_requant();
+  for (const int m : {4, 8, 16}) {
+    const Tensor8 w = conv_weights(g, m, rng);
+    const Tensor8 ref = conv2d_s8(input, w, bias, g, rq);
+    for (const NmLayout layout :
+         {NmLayout::kSw, NmLayout::kConvIsaDup, NmLayout::kFcIsaInterleaved}) {
+      const HostKernelDispatch d = conv_dispatch(g, w, m, layout);
+      EXPECT_TRUE(host_conv2d_s8(d, input, w, bias, g, rq) == ref)
+          << "m=" << m << " layout=" << nm_layout_name(layout);
+    }
+  }
+}
+
+TEST(HostKernels, FcBitExactDenseAndSparse) {
+  Rng rng(104);
+  for (const auto& [tokens, c, k] :
+       std::vector<std::tuple<int, int, int>>{
+           {1, 64, 10}, {7, 64, 9}, {13, 128, 32}, {4, 48, 6}}) {
+    const Tensor8 input = Tensor8::random({tokens, c}, rng);
+    const Tensor32 bias = random_bias(k, rng);
+    const Requant rq = test_requant();
+    for (const int m : {0, 4, 8, 16}) {
+      if (m != 0 && c % m != 0) continue;
+      const Tensor8 w = m == 0 ? random_weights(k, c, rng)
+                               : random_sparse_weights(k, c, m, rng);
+      const NmPacked packed =
+          m == 0 ? NmPacked{} : nm_pack(w.flat(), k, c, m, NmLayout::kSw);
+      const HostKernelDispatch d =
+          host_dispatch_for_fc(k, c, m == 0 ? nullptr : &packed);
+      const Tensor8 ref = fc_s8(input, w, bias, rq);
+      EXPECT_TRUE(host_fc_s8(d, input, w, bias, rq) == ref)
+          << "t=" << tokens << " c=" << c << " k=" << k << " m=" << m;
+
+      // ranged slices (odd token split exercises the 4-token remainder)
+      Tensor8 out({tokens, k});
+      const int t_mid = tokens / 2, k_mid = k / 2;
+      host_fc_s8_into(d, input, w, bias, rq, 0, t_mid, 0, k, out);
+      host_fc_s8_into(d, input, w, bias, rq, t_mid, tokens, 0, k_mid, out);
+      host_fc_s8_into(d, input, w, bias, rq, t_mid, tokens, k_mid, k, out);
+      EXPECT_TRUE(out == ref) << "ranged t=" << tokens << " m=" << m;
+    }
+  }
+}
+
+TEST(HostKernels, FcPartialSumsReproduceTheReductionSplit) {
+  Rng rng(105);
+  const int tokens = 5, c = 96, k = 11;
+  const Tensor8 input = Tensor8::random({tokens, c}, rng);
+  const Tensor32 bias = random_bias(k, rng);
+  const Requant rq = test_requant();
+  for (const int m : {0, 4, 8}) {
+    const Tensor8 w = m == 0 ? random_weights(k, c, rng)
+                             : random_sparse_weights(k, c, m, rng);
+    const NmPacked packed =
+        m == 0 ? NmPacked{} : nm_pack(w.flat(), k, c, m, NmLayout::kSw);
+    const HostKernelDispatch d =
+        host_dispatch_for_fc(k, c, m == 0 ? nullptr : &packed);
+    const Tensor8 ref = fc_s8(input, w, bias, rq);
+
+    // split the reduction axis unevenly, sum partials in range order on
+    // top of the bias, requant once — must equal the unsplit kernel, and
+    // each partial must equal the reference partial
+    const std::vector<std::pair<int, int>> splits = {{0, 40}, {40, 41},
+                                                     {41, c}};
+    Tensor8 reduced({tokens, k});
+    std::vector<Tensor32> partials;
+    for (const auto& [c_s, c_e] : splits) {
+      partials.push_back(host_fc_s32_partial(d, input, w, c_s, c_e));
+      EXPECT_TRUE(partials.back() == fc_s32_partial(input, w, c_s, c_e))
+          << "m=" << m << " range [" << c_s << "," << c_e << ")";
+    }
+    for (int ti = 0; ti < tokens; ++ti) {
+      for (int ki = 0; ki < k; ++ki) {
+        int32_t acc = bias[ki];
+        for (const Tensor32& p : partials) acc += p.at({ti, ki});
+        reduced.at({ti, ki}) = rq.apply(acc);
+      }
+    }
+    EXPECT_TRUE(reduced == ref) << "m=" << m;
+  }
+}
+
+TEST(HostKernels, FuzzRandomGeometries) {
+  Rng rng(106);
+  for (int iter = 0; iter < 60; ++iter) {
+    ConvGeom g;
+    g.c = 4 << rng.uniform_int(0, 3);  // 4..32
+    g.k = rng.uniform_int(1, 12);
+    g.fx = rng.uniform_int(1, 4);
+    g.fy = rng.uniform_int(1, 4);
+    g.stride = rng.uniform_int(1, 2);
+    g.pad = rng.uniform_int(0, 4);
+    g.ix = rng.uniform_int(std::max(1, g.fx - 2 * g.pad), 9);
+    g.iy = rng.uniform_int(std::max(1, g.fy - 2 * g.pad), 9);
+    if (g.ix + 2 * g.pad < g.fx || g.iy + 2 * g.pad < g.fy) continue;
+    const int m_pick = rng.uniform_int(0, 3);
+    const int m = m_pick == 0 ? 0 : (2 << m_pick);  // 0, 4, 8, 16
+    if (m != 0 && g.fsz() % m != 0) continue;
+
+    const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng);
+    const Tensor8 w = conv_weights(g, m, rng);
+    const Tensor32 bias = random_bias(g.k, rng);
+    const Requant rq = test_requant();
+    const HostKernelDispatch d = conv_dispatch(g, w, m);
+    const Tensor8 ref = conv2d_s8(input, w, bias, g, rq);
+    ASSERT_TRUE(host_conv2d_s8(d, input, w, bias, g, rq) == ref)
+        << "iter " << iter << ": ix=" << g.ix << " iy=" << g.iy
+        << " c=" << g.c << " k=" << g.k << " f=" << g.fx << "x" << g.fy
+        << " s=" << g.stride << " p=" << g.pad << " m=" << m;
+  }
+}
+
+TEST(HostKernels, DispatchDropsExplicitZeroValues) {
+  // rows whose blocks are entirely zero must simply vanish from the
+  // gather plan (a stored 0 value contributes nothing)
+  Rng rng(107);
+  const int k = 4, c = 32, m = 4;
+  Tensor8 w({k, c}, 0);  // all-zero: trivially 1:4 sparse
+  const NmPacked packed = nm_pack(w.flat(), k, c, m, NmLayout::kSw);
+  const HostKernelDispatch d = host_dispatch_for_fc(k, c, &packed);
+  EXPECT_EQ(d.nz_total(), 0);
+  const Tensor8 input = Tensor8::random({3, c}, rng);
+  const Tensor32 bias = random_bias(k, rng);
+  const Tensor8 ref = fc_s8(input, w, bias, test_requant());
+  EXPECT_TRUE(host_fc_s8(d, input, w, bias, test_requant()) == ref);
+}
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnceAndIsReusable) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.threads(), 3);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(17);
+    pool.run(17, [&](int i) { hits[static_cast<size_t>(i)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPool, ZeroThreadPoolRunsInline) {
+  WorkerPool pool(0);
+  std::vector<int> order;
+  pool.run(4, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WorkerPool, PropagatesTheFirstTaskException) {
+  WorkerPool pool(2);
+  std::atomic<int> done{0};
+  EXPECT_THROW(
+      pool.run(8,
+               [&](int i) {
+                 if (i == 3) throw std::runtime_error("task 3 failed");
+                 done++;
+               }),
+      std::runtime_error);
+  EXPECT_EQ(done.load(), 7);  // claimed tasks still drain
+  // the pool stays usable after a failed job
+  std::atomic<int> ok{0};
+  pool.run(4, [&](int) { ok++; });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+}  // namespace
+}  // namespace decimate

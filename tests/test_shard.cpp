@@ -108,6 +108,46 @@ void expect_sharded_bit_exact(const Graph& graph,
 
 // --- bit-exactness ----------------------------------------------------------
 
+TEST(Shard, HostKernelShardSlicesMatchTheReferenceEngine) {
+  // sharded ranged host kernels (sparse + blocked _into counterparts) vs
+  // the scalar reference path, and vs an MCE forced onto the reference
+  // ranged ops — all three must produce identical bytes
+  const Graph g = scaled_resnet18();
+  Rng rng(31);
+  const Tensor8 input = Tensor8::random({16, 16, 4}, rng);
+  Compiler compiler(isa_options(4));
+  const CompiledPlan plan = compiler.compile(g);
+
+  ExecutionEngine ref_engine;
+  ref_engine.set_use_host_kernels(false);
+  const NetworkRun ref = ref_engine.run(plan, input);
+
+  MultiClusterEngine host_mce(4);  // host kernels on by default
+  EXPECT_TRUE(host_mce.run(plan, input).run.output == ref.output);
+
+  MultiClusterEngine ref_mce(4);
+  ref_mce.set_use_host_kernels(false);
+  EXPECT_TRUE(ref_mce.run(plan, input).run.output == ref.output);
+}
+
+TEST(Shard, HostKernelFcReductionSplitMatchesTheReferenceEngine) {
+  // single-tile FC -> kFcC reduction split through host_fc_s32_partial,
+  // dense and sparse
+  for (const int m : {0, 8}) {
+    const Graph g = single_fc(1, 256, 16, m, 77);
+    Rng rng(78);
+    const Tensor8 input = Tensor8::random({1, 256}, rng);
+    Compiler compiler(isa_options(4));
+    const CompiledPlan plan = compiler.compile(g);
+    ExecutionEngine ref_engine;
+    ref_engine.set_use_host_kernels(false);
+    const NetworkRun ref = ref_engine.run(plan, input);
+    MultiClusterEngine mce(4);
+    const ShardedRun sharded = mce.run(plan, input);
+    EXPECT_TRUE(sharded.run.output == ref.output) << "m=" << m;
+  }
+}
+
 TEST(Shard, MultiClusterBitExactWithSingleClusterResnet18) {
   expect_sharded_bit_exact(scaled_resnet18(), {16, 16, 4}, 41);
 }
