@@ -33,6 +33,15 @@ struct CompileOptions {
   // hand every cluster work. Changes tile schedules (and therefore plan
   // identity — plan_fingerprint salts on it); numerics are unaffected.
   int num_clusters = 1;
+  // Host-side execution threads per image: ExecutionEngine::run splits
+  // each sufficiently large gemm step's output rows (conv) or tokens/
+  // channels (FC) across the engine's WorkerPool using the ranged host
+  // ops — disjoint ranges stitch bit-exactly, so numerics are unaffected.
+  // 1 (default) = serial; 0 = hardware concurrency; engines can override
+  // per-engine via set_intra_image_threads. Like latency_cache_path this
+  // only changes how fast a plan runs, never what it contains, so it is
+  // NOT part of the plan fingerprint.
+  int host_threads = 1;
   // Optional TileLatencyCache warm file: when non-empty, the Compiler
   // (and PlanStore) pre-load measured tile cycles from this path at
   // construction, so a previously-saved file makes compiles ISS-free

@@ -381,8 +381,8 @@ void Compiler::compile_gemm_node(const Graph& graph, const Node& node,
     step.has_packed = true;
   }
   // matmul weights are dynamic activations, so it always dispatches dense
-  step.host =
-      host_dispatch_for_fc(g.k, g.c, step.has_packed ? &step.packed : nullptr);
+  step.host = host_dispatch_for_fc(
+      g.k, g.c, step.has_packed ? &step.packed : nullptr, g.tokens);
 }
 
 void Compiler::compile_vec_node(const Graph& graph, const Node& node,
@@ -547,6 +547,9 @@ CompiledPlan Compiler::compile(const Graph& graph) {
   DECIMATE_CHECK(opt_.num_clusters >= 1,
                  "CompileOptions::num_clusters must be >= 1, got "
                      << opt_.num_clusters);
+  DECIMATE_CHECK(opt_.host_threads >= 0,
+                 "CompileOptions::host_threads must be >= 0 (0 = auto), got "
+                     << opt_.host_threads);
   CompiledPlan plan;
   plan.graph = &graph;
   plan.options = opt_;

@@ -56,8 +56,23 @@ void ExecutionEngine::exec_gemm_node(const CompiledPlan& plan,
                                      const Tensor8& in,
                                      const Tensor8* b_operand, Tensor8& out) {
   // numerics: host kernels (sparse N:M gather / blocked dense) or the
-  // scalar reference ops — bit-identical either way
-  exec_gemm_node_host(step, node, in, b_operand, use_host_kernels_, out);
+  // scalar reference ops — bit-identical either way. Large steps split
+  // their output across the worker pool (intra-image parallelism) unless
+  // this call already runs inside a pool task (run_batch image pipeline:
+  // the split would execute inline anyway, so skip the pool round-trip)
+  // or verify mode needs the serial path.
+  const int want =
+      intra_threads_ >= 0 ? intra_threads_ : plan.options.host_threads;
+  const int parts = want == 0
+      ? std::max(1, static_cast<int>(std::thread::hardware_concurrency()))
+      : want;
+  if (use_host_kernels_ && !verify_with_sim_ && !WorkerPool::in_task() &&
+      parts > 1 && step.report.macs >= intra_mac_floor_) {
+    exec_gemm_node_host_parallel(step, node, in, b_operand,
+                                 *worker_pool(parts), parts, out);
+  } else {
+    exec_gemm_node_host(step, node, in, b_operand, use_host_kernels_, out);
+  }
 
   if (!verify_with_sim_ || step.report.tiles != 1) return;
   if (node.op == OpType::kConv2d) {

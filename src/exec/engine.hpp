@@ -94,6 +94,20 @@ class ExecutionEngine {
   /// loop pays thread spawn once, not per formed batch.
   void set_workers(int n) { workers_ = n; }
 
+  /// Intra-image parallelism: threads used to split a single image's
+  /// gemm steps across the worker pool (conv output rows / FC tokens or
+  /// channels via the ranged host ops — bit-exact stitching). -1
+  /// (default) follows the plan's CompileOptions::host_threads; 0 =
+  /// hardware concurrency; 1 = serial. Splits nested inside run_batch's
+  /// image tasks execute inline (WorkerPool nesting guard), so batch- and
+  /// intra-image parallelism compose without oversubscription. Verify
+  /// mode always runs serial.
+  void set_intra_image_threads(int n) { intra_threads_ = n; }
+
+  /// Minimum step.report.macs for an intra-image split — tiny layers stay
+  /// serial (fork/join overhead would beat the win). Default 1M MACs.
+  void set_intra_mac_floor(int64_t macs) { intra_mac_floor_ = macs; }
+
   /// Route gemm numerics through the plan's HostKernelDispatch (sparse
   /// N:M gather kernels / blocked dense loops; default) or through the
   /// scalar reference ops. Outputs are bit-identical either way — the
@@ -122,6 +136,8 @@ class ExecutionEngine {
   bool verify_with_sim_ = false;
   bool use_host_kernels_ = true;
   int workers_ = 0;
+  int intra_threads_ = -1;  // -1 = follow plan options.host_threads
+  int64_t intra_mac_floor_ = int64_t{1} << 20;
   std::mutex pool_mu_;  // guards pool_ swaps; callers hold their own ref
   std::shared_ptr<WorkerPool> pool_;  // lazily created, reused per batch
   std::unique_ptr<Cluster> verify_cluster_;

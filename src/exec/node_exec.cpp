@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "nn/host_kernels.hpp"
 #include "nn/ref_ops.hpp"
@@ -55,6 +56,62 @@ void exec_gemm_node_host(const PlanStep& step, const Node& node,
   } else {
     fc_s8_into(in, *weights, *bias, node.rq, 0, in.dim(0), 0,
                weights->dim(0), out);
+  }
+}
+
+void exec_gemm_node_host_parallel(const PlanStep& step, const Node& node,
+                                  const Tensor8& in, const Tensor8* b_operand,
+                                  WorkerPool& pool, int parts, Tensor8& out) {
+  // contiguous [lo, hi) chunk i of `parts` over [0, n)
+  const auto chunk = [](int n, int nparts, int i) {
+    const int base = n / nparts, rem = n % nparts;
+    const int lo = i * base + std::min(i, rem);
+    return std::pair<int, int>{lo, lo + base + (i < rem ? 1 : 0)};
+  };
+
+  if (node.op == OpType::kConv2d) {
+    const ConvGeom& g = node.conv;
+    out = Tensor8({g.oy(), g.ox(), g.k});
+    const int n = std::min(std::max(1, parts), g.oy());
+    pool.run(n, [&](int i) {
+      const auto [lo, hi] = chunk(g.oy(), n, i);
+      host_conv2d_s8_into(step.host, in, node.weights, node.bias, g, node.rq,
+                          lo, hi, 0, g.k, out);
+    });
+    return;
+  }
+
+  // FC / matmul: operand selection once, then split tokens — or output
+  // channels when the token count can't feed every worker (the k split
+  // keeps single-token FC heads parallel)
+  const FcGeom& g = node.fc;
+  Tensor8 bmat;
+  const Tensor8* weights = &node.weights;
+  Tensor32 zero_bias;
+  const Tensor32* bias = &node.bias;
+  if (node.op == OpType::kMatmul) {
+    DECIMATE_CHECK(b_operand != nullptr, "matmul needs a second operand");
+    bmat = node.transpose_b ? transpose2d(*b_operand) : *b_operand;
+    weights = &bmat;
+    zero_bias = Tensor32({g.k}, 0);
+    bias = &zero_bias;
+  }
+  const int tokens = in.dim(0), k = weights->dim(0);
+  out = Tensor8({tokens, k});
+  if (tokens >= std::max(1, parts)) {
+    const int n = std::min(std::max(1, parts), tokens);
+    pool.run(n, [&](int i) {
+      const auto [lo, hi] = chunk(tokens, n, i);
+      host_fc_s8_into(step.host, in, *weights, *bias, node.rq, lo, hi, 0, k,
+                      out);
+    });
+  } else {
+    const int n = std::min(std::max(1, parts), k);
+    pool.run(n, [&](int i) {
+      const auto [lo, hi] = chunk(k, n, i);
+      host_fc_s8_into(step.host, in, *weights, *bias, node.rq, 0, tokens, lo,
+                      hi, out);
+    });
   }
 }
 

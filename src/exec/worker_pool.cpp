@@ -2,6 +2,19 @@
 
 namespace decimate {
 
+namespace {
+// Depth of pool-task execution on this thread, across ALL pools. A run()
+// issued from inside a task would either deadlock (same pool: job_mu_ is
+// held by the outer job's caller) or oversubscribe the machine (another
+// pool's threads stack on top of this pool's). Nested submissions
+// therefore execute inline on the submitting thread — the engine's
+// intra-image splits degrade gracefully to serial when they land inside
+// run_batch's per-image tasks.
+thread_local int tl_task_depth = 0;
+}  // namespace
+
+bool WorkerPool::in_task() { return tl_task_depth > 0; }
+
 WorkerPool::WorkerPool(int threads) {
   workers_.reserve(static_cast<size_t>(threads > 0 ? threads : 0));
   for (int t = 0; t < threads; ++t) {
@@ -19,6 +32,7 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::claim_tasks() {
+  ++tl_task_depth;
   for (int i = next_.fetch_add(1); i < n_; i = next_.fetch_add(1)) {
     try {
       (*fn_)(i);
@@ -27,6 +41,7 @@ void WorkerPool::claim_tasks() {
       if (!err_) err_ = std::current_exception();
     }
   }
+  --tl_task_depth;
 }
 
 void WorkerPool::worker_loop() {
@@ -47,8 +62,15 @@ void WorkerPool::worker_loop() {
 }
 
 void WorkerPool::run(int n, const std::function<void(int)>& fn) {
-  const std::lock_guard<std::mutex> job(job_mu_);
   if (n <= 0) return;
+  if (tl_task_depth > 0) {
+    // nested submission from inside a pool task: run inline (see
+    // tl_task_depth above). Exceptions propagate directly — the caller
+    // is a task body, whose own pool already collects them.
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::lock_guard<std::mutex> job(job_mu_);
   if (workers_.empty()) {
     for (int i = 0; i < n; ++i) fn(i);
     return;

@@ -41,7 +41,18 @@ class WorkerPool {
   /// pool's threads and the caller. Blocks until all n tasks finished;
   /// rethrows the first task exception (remaining tasks still drain, as
   /// claimed indices must complete before the job ends).
+  ///
+  /// Nesting: run() called from INSIDE a pool task (this pool or any
+  /// other) executes fn inline on the calling thread instead of
+  /// submitting — same-pool nesting would deadlock on the job mutex and
+  /// cross-pool nesting would oversubscribe the machine. The guard is a
+  /// thread-local task depth, so it also covers indirect nesting (e.g.
+  /// the engine's intra-image splits inside run_batch's image tasks).
   void run(int n, const std::function<void(int)>& fn);
+
+  /// Is the calling thread currently inside a pool task (any pool)?
+  /// Nested run() calls from such a context execute inline.
+  static bool in_task();
 
   /// Worker threads owned by the pool (excluding the caller).
   int threads() const { return static_cast<int>(workers_.size()); }

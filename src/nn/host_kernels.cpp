@@ -1,25 +1,15 @@
 #include "nn/host_kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 
+#include "nn/host_kernel_instances.hpp"
+#include "nn/host_kernels_impl.hpp"
 #include "nn/ref_ops.hpp"
 
 namespace decimate {
 
 namespace {
-
-/// Output positions [lo, hi) of one spatial axis whose full filter
-/// footprint lands inside the input (no padding reach): the branch-free
-/// interior of the conv loops. Empty when the filter overhangs everywhere.
-std::pair<int, int> interior_range(int in_dim, int f, int stride, int pad,
-                                   int out_dim) {
-  int lo = (pad + stride - 1) / stride;           // first o: o*s - pad >= 0
-  int hi = (in_dim - f + pad) / stride + 1;       // last o + 1 inside
-  if (in_dim - f + pad < 0) hi = 0;
-  lo = std::clamp(lo, 0, out_dim);
-  hi = std::clamp(hi, lo, out_dim);
-  return {lo, hi};
-}
 
 void check_conv_args(const Tensor8& input, const Tensor8& weights,
                      const Tensor32& bias, const ConvGeom& g, int oy_s,
@@ -41,296 +31,6 @@ void check_conv_args(const Tensor8& input, const Tensor8& weights,
                  "host conv range out of bounds");
 }
 
-// ---------------------------------------------------------------------------
-// Blocked dense conv: interior pixels run a branch-free (fy, fx*c) loop
-// with 4 output channels sharing every input load; border pixels clamp
-// the fx range per filter row instead of testing every element.
-// ---------------------------------------------------------------------------
-
-void dense_conv_into(const Tensor8& input, const Tensor8& weights,
-                     const Tensor32& bias, const ConvGeom& g,
-                     const Requant& rq, int oy_s, int oy_e, int k_s, int k_e,
-                     Tensor8& out) {
-  const int ox = g.ox(), kk = g.k, fsz = g.fsz();
-  const int fxc = g.fx * g.c;
-  const int64_t in_row = static_cast<int64_t>(g.ix) * g.c;
-  const auto [x_lo, x_hi] = interior_range(g.ix, g.fx, g.stride, g.pad, ox);
-  const auto [y_lo, y_hi] =
-      interior_range(g.iy, g.fy, g.stride, g.pad, g.oy());
-  const int8_t* in0 = input.data();
-  const int8_t* w0 = weights.data();
-
-  const auto border_pixel = [&](int y, int x, int8_t* orow) {
-    const int iy0 = y * g.stride - g.pad;
-    const int ix0 = x * g.stride - g.pad;
-    for (int k = k_s; k < k_e; ++k) {
-      int32_t acc = bias[k];
-      const int8_t* wrow = w0 + static_cast<int64_t>(k) * fsz;
-      for (int fy = 0; fy < g.fy; ++fy) {
-        const int iy = iy0 + fy;
-        if (iy < 0 || iy >= g.iy) continue;  // whole filter row padded out
-        const int fx_s = std::max(0, -ix0);
-        const int fx_e = std::min(g.fx, g.ix - ix0);
-        if (fx_s >= fx_e) continue;
-        const int8_t* in =
-            in0 + iy * in_row + static_cast<int64_t>(ix0 + fx_s) * g.c;
-        const int8_t* w = wrow + (fy * g.fx + fx_s) * g.c;
-        const int n = (fx_e - fx_s) * g.c;
-        for (int i = 0; i < n; ++i) {
-          acc += static_cast<int32_t>(in[i]) * static_cast<int32_t>(w[i]);
-        }
-      }
-      orow[k] = rq.apply(acc);
-    }
-  };
-
-  // single interior pixel: branch-free (fy, fx*c) walk, 4 output
-  // channels sharing every input load
-  const auto interior_pixel = [&](const int8_t* in_base, int8_t* orow) {
-    int k = k_s;
-    for (; k + 3 < k_e; k += 4) {
-      int32_t a0 = bias[k], a1 = bias[k + 1], a2 = bias[k + 2],
-              a3 = bias[k + 3];
-      const int8_t* wr0 = w0 + static_cast<int64_t>(k) * fsz;
-      const int8_t* wr1 = wr0 + fsz;
-      const int8_t* wr2 = wr1 + fsz;
-      const int8_t* wr3 = wr2 + fsz;
-      int wi = 0;
-      for (int fy = 0; fy < g.fy; ++fy) {
-        const int8_t* in = in_base + fy * in_row;
-        for (int i = 0; i < fxc; ++i) {
-          const int32_t v = in[i];
-          a0 += v * wr0[wi + i];
-          a1 += v * wr1[wi + i];
-          a2 += v * wr2[wi + i];
-          a3 += v * wr3[wi + i];
-        }
-        wi += fxc;
-      }
-      orow[k] = rq.apply(a0);
-      orow[k + 1] = rq.apply(a1);
-      orow[k + 2] = rq.apply(a2);
-      orow[k + 3] = rq.apply(a3);
-    }
-    for (; k < k_e; ++k) {
-      int32_t acc = bias[k];
-      const int8_t* wrow = w0 + static_cast<int64_t>(k) * fsz;
-      int wi = 0;
-      for (int fy = 0; fy < g.fy; ++fy) {
-        const int8_t* in = in_base + fy * in_row;
-        for (int i = 0; i < fxc; ++i) {
-          acc += static_cast<int32_t>(in[i]) *
-                 static_cast<int32_t>(wrow[wi + i]);
-        }
-        wi += fxc;
-      }
-      orow[k] = rq.apply(acc);
-    }
-  };
-
-  // 4 adjacent interior pixels x 2 output channels: 8 accumulators share
-  // every weight load, so the weight stream — the bandwidth bottleneck of
-  // wide conv layers — is read once per 4 pixels instead of per pixel
-  const int sc = g.stride * g.c;
-  const auto interior_block4 = [&](const int8_t* in_base, int8_t* orow) {
-    int k = k_s;
-    for (; k + 1 < k_e; k += 2) {
-      const int8_t* wr0 = w0 + static_cast<int64_t>(k) * fsz;
-      const int8_t* wr1 = wr0 + fsz;
-      int32_t acc[4][2];
-      for (int p = 0; p < 4; ++p) {
-        acc[p][0] = bias[k];
-        acc[p][1] = bias[k + 1];
-      }
-      int wi = 0;
-      for (int fy = 0; fy < g.fy; ++fy) {
-        const int8_t* in = in_base + fy * in_row;
-        for (int i = 0; i < fxc; ++i) {
-          const int32_t b0 = wr0[wi + i], b1 = wr1[wi + i];
-          const int32_t v0 = in[i], v1 = in[i + sc], v2 = in[i + 2 * sc],
-                        v3 = in[i + 3 * sc];
-          acc[0][0] += v0 * b0; acc[0][1] += v0 * b1;
-          acc[1][0] += v1 * b0; acc[1][1] += v1 * b1;
-          acc[2][0] += v2 * b0; acc[2][1] += v2 * b1;
-          acc[3][0] += v3 * b0; acc[3][1] += v3 * b1;
-        }
-        wi += fxc;
-      }
-      for (int p = 0; p < 4; ++p) {
-        orow[p * kk + k] = rq.apply(acc[p][0]);
-        orow[p * kk + k + 1] = rq.apply(acc[p][1]);
-      }
-    }
-    for (; k < k_e; ++k) {
-      const int8_t* wrow = w0 + static_cast<int64_t>(k) * fsz;
-      int32_t a0 = bias[k], a1 = bias[k], a2 = bias[k], a3 = bias[k];
-      int wi = 0;
-      for (int fy = 0; fy < g.fy; ++fy) {
-        const int8_t* in = in_base + fy * in_row;
-        for (int i = 0; i < fxc; ++i) {
-          const int32_t b = wrow[wi + i];
-          a0 += static_cast<int32_t>(in[i]) * b;
-          a1 += static_cast<int32_t>(in[i + sc]) * b;
-          a2 += static_cast<int32_t>(in[i + 2 * sc]) * b;
-          a3 += static_cast<int32_t>(in[i + 3 * sc]) * b;
-        }
-        wi += fxc;
-      }
-      orow[k] = rq.apply(a0);
-      orow[kk + k] = rq.apply(a1);
-      orow[2 * kk + k] = rq.apply(a2);
-      orow[3 * kk + k] = rq.apply(a3);
-    }
-  };
-
-  for (int y = oy_s; y < oy_e; ++y) {
-    int8_t* out_y = out.data() + static_cast<int64_t>(y) * ox * kk;
-    const bool y_in = y >= y_lo && y < y_hi;
-    const int iy0 = y * g.stride - g.pad;
-    if (!y_in) {
-      for (int x = 0; x < ox; ++x) {
-        border_pixel(y, x, out_y + static_cast<int64_t>(x) * kk);
-      }
-      continue;
-    }
-    int x = 0;
-    for (; x < x_lo; ++x) {
-      border_pixel(y, x, out_y + static_cast<int64_t>(x) * kk);
-    }
-    const int8_t* row_base = in0 + iy0 * in_row;
-    for (; x + 3 < x_hi; x += 4) {
-      interior_block4(
-          row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
-          out_y + static_cast<int64_t>(x) * kk);
-    }
-    for (; x < x_hi; ++x) {
-      interior_pixel(
-          row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
-          out_y + static_cast<int64_t>(x) * kk);
-    }
-    for (; x < ox; ++x) {
-      border_pixel(y, x, out_y + static_cast<int64_t>(x) * kk);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Sparse N:M conv: per output element, walk only the filter taps and the
-// non-zeros each tap holds — cols/M gathers instead of cols MACs. Skipped
-// weights are exact zeros, so the int32 accumulator matches the dense
-// reference bit for bit.
-// ---------------------------------------------------------------------------
-
-void sparse_conv_into(const HostKernelDispatch& d, const Tensor8& input,
-                      const Tensor32& bias, const ConvGeom& g,
-                      const Requant& rq, int oy_s, int oy_e, int k_s, int k_e,
-                      Tensor8& out) {
-  const int ox = g.ox(), kk = g.k;
-  const int64_t in_row = static_cast<int64_t>(g.ix) * g.c;
-  const auto [x_lo, x_hi] = interior_range(g.ix, g.fx, g.stride, g.pad, ox);
-  const auto [y_lo, y_hi] =
-      interior_range(g.iy, g.fy, g.stride, g.pad, g.oy());
-  const int8_t* in0 = input.data();
-  const int taps = d.taps;
-  const int sc = g.stride * g.c;  // input step between adjacent out pixels
-
-  // single interior pixel: walk only the taps' non-zeros
-  const auto interior_pixel = [&](const int8_t* in_base, int8_t* orow) {
-    for (int k = k_s; k < k_e; ++k) {
-      int32_t acc = bias[k];
-      const int32_t* ts = d.tap_start.data() + static_cast<size_t>(k) * taps;
-      for (int t = 0; t < taps; ++t) {
-        const int8_t* p = in_base + d.tap_off[static_cast<size_t>(t)];
-        const int e_end = ts[t + 1];
-        for (int e = ts[t]; e < e_end; ++e) {
-          acc += static_cast<int32_t>(p[d.ci[static_cast<size_t>(e)]]) *
-                 static_cast<int32_t>(d.val[static_cast<size_t>(e)]);
-        }
-      }
-      orow[k] = rq.apply(acc);
-    }
-  };
-
-  // 4 adjacent interior pixels share one (index, value) stream walk —
-  // the per-non-zero decode cost amortizes 4x, which is what lets an
-  // M=4 layer actually run near cols/4 cost
-  const auto interior_block4 = [&](const int8_t* in_base, int8_t* orow) {
-    for (int k = k_s; k < k_e; ++k) {
-      const int32_t b = bias[k];
-      int32_t a0 = b, a1 = b, a2 = b, a3 = b;
-      const int32_t* ts = d.tap_start.data() + static_cast<size_t>(k) * taps;
-      for (int t = 0; t < taps; ++t) {
-        const int8_t* p = in_base + d.tap_off[static_cast<size_t>(t)];
-        const int e_end = ts[t + 1];
-        for (int e = ts[t]; e < e_end; ++e) {
-          const int32_t v = d.val[static_cast<size_t>(e)];
-          const int idx = d.ci[static_cast<size_t>(e)];
-          a0 += static_cast<int32_t>(p[idx]) * v;
-          a1 += static_cast<int32_t>(p[idx + sc]) * v;
-          a2 += static_cast<int32_t>(p[idx + 2 * sc]) * v;
-          a3 += static_cast<int32_t>(p[idx + 3 * sc]) * v;
-        }
-      }
-      orow[k] = rq.apply(a0);
-      orow[kk + k] = rq.apply(a1);
-      orow[2 * kk + k] = rq.apply(a2);
-      orow[3 * kk + k] = rq.apply(a3);
-    }
-  };
-
-  const auto border_pixel = [&](int iy0, int ix0, int8_t* orow) {
-    for (int k = k_s; k < k_e; ++k) {
-      int32_t acc = bias[k];
-      const int32_t* ts = d.tap_start.data() + static_cast<size_t>(k) * taps;
-      for (int t = 0; t < taps; ++t) {
-        const int iy = iy0 + d.tap_fy[static_cast<size_t>(t)];
-        const int ix = ix0 + d.tap_fx[static_cast<size_t>(t)];
-        if (iy < 0 || iy >= g.iy || ix < 0 || ix >= g.ix) continue;
-        const int8_t* p = in0 + iy * in_row + static_cast<int64_t>(ix) * g.c;
-        const int e_end = ts[t + 1];
-        for (int e = ts[t]; e < e_end; ++e) {
-          acc += static_cast<int32_t>(p[d.ci[static_cast<size_t>(e)]]) *
-                 static_cast<int32_t>(d.val[static_cast<size_t>(e)]);
-        }
-      }
-      orow[k] = rq.apply(acc);
-    }
-  };
-
-  for (int y = oy_s; y < oy_e; ++y) {
-    int8_t* out_y = out.data() + static_cast<int64_t>(y) * ox * kk;
-    const bool y_in = y >= y_lo && y < y_hi;
-    const int iy0 = y * g.stride - g.pad;
-    if (!y_in) {
-      for (int x = 0; x < ox; ++x) {
-        border_pixel(iy0, x * g.stride - g.pad,
-                     out_y + static_cast<int64_t>(x) * kk);
-      }
-      continue;
-    }
-    int x = 0;
-    for (; x < x_lo; ++x) {
-      border_pixel(iy0, x * g.stride - g.pad,
-                   out_y + static_cast<int64_t>(x) * kk);
-    }
-    const int8_t* row_base = in0 + iy0 * in_row;
-    for (; x + 3 < x_hi; x += 4) {
-      interior_block4(
-          row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
-          out_y + static_cast<int64_t>(x) * kk);
-    }
-    for (; x < x_hi; ++x) {
-      interior_pixel(
-          row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
-          out_y + static_cast<int64_t>(x) * kk);
-    }
-    for (; x < ox; ++x) {
-      border_pixel(iy0, x * g.stride - g.pad,
-                   out_y + static_cast<int64_t>(x) * kk);
-    }
-  }
-}
-
 void check_fc_args(const Tensor8& input, const Tensor8& weights,
                    const Tensor32& bias, int t_s, int t_e, int k_s, int k_e,
                    const Tensor8& out, bool dense) {
@@ -350,143 +50,179 @@ void check_fc_args(const Tensor8& input, const Tensor8& weights,
                  "host fc range out of bounds");
 }
 
-void dense_fc_into(const Tensor8& input, const Tensor8& weights,
-                   const Tensor32& bias, const Requant& rq, int t_s, int t_e,
-                   int k_s, int k_e, Tensor8& out) {
-  const int c = input.dim(1), kk = out.dim(1);
-  const int8_t* w0 = weights.data();
-  int ti = t_s;
-  // 4 tokens x 4 output channels: 16 accumulators share every input and
-  // weight load, cutting weight-stream traffic 4x — large dense FC
-  // layers are weight-bandwidth-bound, so this is where the win is
-  for (; ti + 3 < t_e; ti += 4) {
-    const int8_t* in0 = input.data() + static_cast<int64_t>(ti) * c;
-    const int8_t* in1 = in0 + c;
-    const int8_t* in2 = in1 + c;
-    const int8_t* in3 = in2 + c;
-    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
-    int ki = k_s;
-    for (; ki + 3 < k_e; ki += 4) {
-      const int8_t* wr0 = w0 + static_cast<int64_t>(ki) * c;
-      const int8_t* wr1 = wr0 + c;
-      const int8_t* wr2 = wr1 + c;
-      const int8_t* wr3 = wr2 + c;
-      int32_t acc[4][4];
-      for (int p = 0; p < 4; ++p) {
-        for (int q = 0; q < 4; ++q) acc[p][q] = bias[ki + q];
-      }
-      for (int i = 0; i < c; ++i) {
-        const int32_t b0 = wr0[i], b1 = wr1[i], b2 = wr2[i], b3 = wr3[i];
-        const int32_t v0 = in0[i], v1 = in1[i], v2 = in2[i], v3 = in3[i];
-        acc[0][0] += v0 * b0; acc[0][1] += v0 * b1;
-        acc[0][2] += v0 * b2; acc[0][3] += v0 * b3;
-        acc[1][0] += v1 * b0; acc[1][1] += v1 * b1;
-        acc[1][2] += v1 * b2; acc[1][3] += v1 * b3;
-        acc[2][0] += v2 * b0; acc[2][1] += v2 * b1;
-        acc[2][2] += v2 * b2; acc[2][3] += v2 * b3;
-        acc[3][0] += v3 * b0; acc[3][1] += v3 * b1;
-        acc[3][2] += v3 * b2; acc[3][3] += v3 * b3;
-      }
-      for (int p = 0; p < 4; ++p) {
-        for (int q = 0; q < 4; ++q) {
-          orow[p * kk + ki + q] = rq.apply(acc[p][q]);
-        }
-      }
-    }
-    for (; ki < k_e; ++ki) {
-      const int8_t* w = w0 + static_cast<int64_t>(ki) * c;
-      int32_t a0 = bias[ki], a1 = bias[ki], a2 = bias[ki], a3 = bias[ki];
-      for (int i = 0; i < c; ++i) {
-        const int32_t b = w[i];
-        a0 += static_cast<int32_t>(in0[i]) * b;
-        a1 += static_cast<int32_t>(in1[i]) * b;
-        a2 += static_cast<int32_t>(in2[i]) * b;
-        a3 += static_cast<int32_t>(in3[i]) * b;
-      }
-      orow[ki] = rq.apply(a0);
-      orow[kk + ki] = rq.apply(a1);
-      orow[2 * kk + ki] = rq.apply(a2);
-      orow[3 * kk + ki] = rq.apply(a3);
-    }
-  }
-  for (; ti < t_e; ++ti) {
-    const int8_t* in = input.data() + static_cast<int64_t>(ti) * c;
-    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
-    int ki = k_s;
-    for (; ki + 3 < k_e; ki += 4) {
-      const int8_t* wr0 = w0 + static_cast<int64_t>(ki) * c;
-      const int8_t* wr1 = wr0 + c;
-      const int8_t* wr2 = wr1 + c;
-      const int8_t* wr3 = wr2 + c;
-      int32_t a0 = bias[ki], a1 = bias[ki + 1], a2 = bias[ki + 2],
-              a3 = bias[ki + 3];
-      for (int i = 0; i < c; ++i) {
-        const int32_t v = in[i];
-        a0 += v * wr0[i];
-        a1 += v * wr1[i];
-        a2 += v * wr2[i];
-        a3 += v * wr3[i];
-      }
-      orow[ki] = rq.apply(a0);
-      orow[ki + 1] = rq.apply(a1);
-      orow[ki + 2] = rq.apply(a2);
-      orow[ki + 3] = rq.apply(a3);
-    }
-    for (; ki < k_e; ++ki) {
-      const int8_t* w = w0 + static_cast<int64_t>(ki) * c;
-      int32_t acc = bias[ki];
-      for (int i = 0; i < c; ++i) {
-        acc += static_cast<int32_t>(in[i]) * static_cast<int32_t>(w[i]);
-      }
-      orow[ki] = rq.apply(acc);
-    }
-  }
+// ---------------------------------------------------------------------------
+// Scalar registry entries. These adapters bind the registry's uniform
+// signature to the private scalar kernel copies of THIS translation unit,
+// which is compiled with the base ISA flags only — the guaranteed
+// fallback contains no AVX code whatever the other TUs were built with.
+// ---------------------------------------------------------------------------
+
+void run_conv_dense_scalar(const HostKernelDispatch&, const Tensor8& input,
+                           const Tensor8& weights, const Tensor32& bias,
+                           const ConvGeom& g, const Requant& rq, int oy_s,
+                           int oy_e, int k_s, int k_e, Tensor8& out) {
+  hostk::dense_conv_into(input, weights, bias, g, rq, oy_s, oy_e, k_s, k_e,
+                         out);
 }
 
-void sparse_fc_into(const HostKernelDispatch& d, const Tensor8& input,
-                    const Tensor32& bias, const Requant& rq, int t_s, int t_e,
-                    int k_s, int k_e, Tensor8& out) {
-  const int c = input.dim(1), kk = out.dim(1);
-  int ti = t_s;
-  // 4 tokens share one walk of each row's (column, value) stream — the
-  // per-non-zero decode cost amortizes 4x across the batch rows
-  for (; ti + 3 < t_e; ti += 4) {
-    const int8_t* in0 = input.data() + static_cast<int64_t>(ti) * c;
-    const int8_t* in1 = in0 + c;
-    const int8_t* in2 = in1 + c;
-    const int8_t* in3 = in2 + c;
-    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
-    for (int ki = k_s; ki < k_e; ++ki) {
-      const int32_t b = bias[ki];
-      int32_t a0 = b, a1 = b, a2 = b, a3 = b;
-      const int e_end = d.row_start[static_cast<size_t>(ki) + 1];
-      for (int e = d.row_start[static_cast<size_t>(ki)]; e < e_end; ++e) {
-        const int32_t v = d.val[static_cast<size_t>(e)];
-        const int idx = d.col[static_cast<size_t>(e)];
-        a0 += static_cast<int32_t>(in0[idx]) * v;
-        a1 += static_cast<int32_t>(in1[idx]) * v;
-        a2 += static_cast<int32_t>(in2[idx]) * v;
-        a3 += static_cast<int32_t>(in3[idx]) * v;
-      }
-      orow[ki] = rq.apply(a0);
-      orow[kk + ki] = rq.apply(a1);
-      orow[2 * kk + ki] = rq.apply(a2);
-      orow[3 * kk + ki] = rq.apply(a3);
+void run_conv_nm_scalar(const HostKernelDispatch& d, const Tensor8& input,
+                        const Tensor8&, const Tensor32& bias,
+                        const ConvGeom& g, const Requant& rq, int oy_s,
+                        int oy_e, int k_s, int k_e, Tensor8& out) {
+  hostk::sparse_conv_into(d, input, bias, g, rq, oy_s, oy_e, k_s, k_e, out);
+}
+
+void run_fc_dense_scalar(const HostKernelDispatch&, const Tensor8& input,
+                         const Tensor8& weights, const Tensor32& bias,
+                         const Requant& rq, int t_s, int t_e, int k_s,
+                         int k_e, Tensor8& out) {
+  hostk::dense_fc_into(input, weights, bias, rq, t_s, t_e, k_s, k_e, out);
+}
+
+void run_fc_nm_scalar(const HostKernelDispatch& d, const Tensor8& input,
+                      const Tensor8&, const Tensor32& bias, const Requant& rq,
+                      int t_s, int t_e, int k_s, int k_e, Tensor8& out) {
+  hostk::sparse_fc_into(d, input, bias, rq, t_s, t_e, k_s, k_e, out);
+}
+
+// ---------------------------------------------------------------------------
+// Geometry predicates. A predicate says "this instance is the fast choice
+// here", never "this instance works here" — every instance handles every
+// geometry of its family via internal scalar borders/tails.
+// ---------------------------------------------------------------------------
+
+#if defined(DECIMATE_HAVE_AVX2_TU) || defined(DECIMATE_HAVE_AVX512_TU)
+bool conv_dense_wide16(const ConvGeom& g, int) { return g.fx * g.c >= 16; }
+
+bool conv_nm_interior8(const ConvGeom& g, int) {
+  // the pixel-major kernel multiplies each non-zero across up to 16
+  // adjacent output columns — it needs unit stride (contiguous pixels in
+  // the transposed plane) and enough interior to fill at least half a
+  // vector (partial remainder blocks keep narrow interiors vectorized,
+  // so >= 8 columns already beats the scalar gather)
+  const auto [x_lo, x_hi] =
+      hostk::interior_range(g.ix, g.fx, g.stride, g.pad, g.ox());
+  return g.stride == 1 && x_hi - x_lo >= 8;
+}
+
+bool fc_dense_deep16(int, int c, int, int) { return c >= 16; }
+
+bool fc_nm_tokens8(int tokens, int, int, int) { return tokens >= 8; }
+#endif
+
+#if defined(DECIMATE_HAVE_AVX512_TU)
+bool conv_dense_wide64(const ConvGeom& g, int) { return g.fx * g.c >= 64; }
+
+bool fc_dense_deep64(int, int c, int, int) { return c >= 64; }
+#endif
+
+bool fits_always_conv(const ConvGeom&, int) { return true; }
+bool fits_always_fc(int, int, int, int) { return true; }
+
+// ---------------------------------------------------------------------------
+// The instance table. Selection scans in order and takes the first entry
+// whose family matches, whose ISA the host (as capped) supports, and
+// whose predicate accepts the geometry — so within a family, faster
+// tiers come first and the scalar instance is the unconditional last
+// resort.
+// ---------------------------------------------------------------------------
+
+constexpr HostIsa kIsaScalar = HostIsa::kScalar;
+
+const hostk::Instance kInstances[] = {
+    // dense conv: the avx2 4-channel madd block outranks the vnni dp64
+    // variant — its advantage is robust across conv shapes (a 64-byte
+    // chunk only fills from long filter rows, and whole-model dense conv
+    // measured faster through it), while the vnni instance stays
+    // registered for forcing/benching on the shapes where it wins
+#if defined(DECIMATE_HAVE_AVX2_TU)
+    {{"conv-dense-mac16-avx2", HostImpl::kDenseConv, HostIsa::kAvx2,
+      "fx*c >= 16"},
+     conv_dense_wide16, nullptr, hostk::conv_dense_avx2, nullptr},
+#endif
+#if defined(DECIMATE_HAVE_AVX512_TU)
+    {{"conv-dense-dp64-vnni", HostImpl::kDenseConv, HostIsa::kAvx512Vnni,
+      "fx*c >= 64"},
+     conv_dense_wide64, nullptr, hostk::conv_dense_vnni, nullptr},
+#endif
+    {{"conv-dense-scalar", HostImpl::kDenseConv, kIsaScalar, "always"},
+     fits_always_conv, nullptr, run_conv_dense_scalar, nullptr},
+
+#if defined(DECIMATE_HAVE_AVX2_TU)
+    {{"conv-nm-pix16-avx2", HostImpl::kSparseConv, HostIsa::kAvx2,
+      "stride == 1 && interior >= 8"},
+     conv_nm_interior8, nullptr, hostk::conv_nm_avx2, nullptr},
+#endif
+    {{"conv-nm-scalar", HostImpl::kSparseConv, kIsaScalar, "always"},
+     fits_always_conv, nullptr, run_conv_nm_scalar, nullptr},
+
+#if defined(DECIMATE_HAVE_AVX512_TU)
+    {{"fc-dense-dp64-vnni", HostImpl::kDenseFc, HostIsa::kAvx512Vnni,
+      "c >= 64"},
+     nullptr, fc_dense_deep64, nullptr, hostk::fc_dense_vnni},
+#endif
+#if defined(DECIMATE_HAVE_AVX2_TU)
+    {{"fc-dense-mac16-avx2", HostImpl::kDenseFc, HostIsa::kAvx2, "c >= 16"},
+     nullptr, fc_dense_deep16, nullptr, hostk::fc_dense_avx2},
+#endif
+    {{"fc-dense-scalar", HostImpl::kDenseFc, kIsaScalar, "always"},
+     nullptr, fits_always_fc, nullptr, run_fc_dense_scalar},
+
+#if defined(DECIMATE_HAVE_AVX2_TU)
+    {{"fc-nm-tok16-avx2", HostImpl::kSparseFc, HostIsa::kAvx2,
+      "tokens >= 8"},
+     nullptr, fc_nm_tokens8, nullptr, hostk::fc_nm_avx2},
+#endif
+    {{"fc-nm-scalar", HostImpl::kSparseFc, kIsaScalar, "always"},
+     nullptr, fits_always_fc, nullptr, run_fc_nm_scalar},
+};
+
+constexpr int kNumInstances =
+    static_cast<int>(sizeof(kInstances) / sizeof(kInstances[0]));
+
+std::atomic<HostIsa> g_isa_cap{HostIsa::kAvx512Vnni};
+
+/// Scalar instance of a family (always present; the -1 / mismatch
+/// fallback at run time).
+const hostk::Instance& scalar_instance(HostImpl family) {
+  for (const hostk::Instance& ins : kInstances) {
+    if (ins.info.family == family && ins.info.isa == HostIsa::kScalar) {
+      return ins;
     }
   }
-  for (; ti < t_e; ++ti) {
-    const int8_t* in = input.data() + static_cast<int64_t>(ti) * c;
-    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
-    for (int ki = k_s; ki < k_e; ++ki) {
-      int32_t acc = bias[ki];
-      const int e_end = d.row_start[static_cast<size_t>(ki) + 1];
-      for (int e = d.row_start[static_cast<size_t>(ki)]; e < e_end; ++e) {
-        acc += static_cast<int32_t>(in[d.col[static_cast<size_t>(e)]]) *
-               static_cast<int32_t>(d.val[static_cast<size_t>(e)]);
-      }
-      orow[ki] = rq.apply(acc);
+  DECIMATE_FAIL("no scalar instance for family " << host_impl_name(family));
+}
+
+/// The instance a dispatch resolved to: its stored selection when valid
+/// for the family (and runnable on this CPU), else the scalar fallback.
+const hostk::Instance& resolve(const HostKernelDispatch& d) {
+  if (d.instance >= 0 && d.instance < kNumInstances) {
+    const hostk::Instance& ins = kInstances[d.instance];
+    if (ins.info.family == d.impl && ins.info.isa <= host_isa_detected()) {
+      return ins;
     }
   }
+  return scalar_instance(d.impl);
+}
+
+int select_conv_instance(HostImpl family, const ConvGeom& g, int m) {
+  const HostIsa isa = host_isa();
+  for (int i = 0; i < kNumInstances; ++i) {
+    const hostk::Instance& ins = kInstances[i];
+    if (ins.info.family != family || ins.info.isa > isa) continue;
+    if (ins.fits_conv != nullptr && ins.fits_conv(g, m)) return i;
+  }
+  DECIMATE_FAIL("no conv instance fits family " << host_impl_name(family));
+}
+
+int select_fc_instance(HostImpl family, int tokens, int c, int k, int m) {
+  const HostIsa isa = host_isa();
+  for (int i = 0; i < kNumInstances; ++i) {
+    const hostk::Instance& ins = kInstances[i];
+    if (ins.info.family != family || ins.info.isa > isa) continue;
+    if (ins.fits_fc != nullptr && ins.fits_fc(tokens, c, k, m)) return i;
+  }
+  DECIMATE_FAIL("no fc instance fits family " << host_impl_name(family));
 }
 
 }  // namespace
@@ -502,11 +238,71 @@ const char* host_impl_name(HostImpl impl) {
   return "?";
 }
 
+const char* host_isa_name(HostIsa isa) {
+  switch (isa) {
+    case HostIsa::kScalar: return "scalar";
+    case HostIsa::kAvx2: return "avx2";
+    case HostIsa::kAvx512Vnni: return "avx512vnni";
+  }
+  return "?";
+}
+
+HostIsa host_isa_detected() {
+  static const HostIsa detected = [] {
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512vnni")) {
+      return HostIsa::kAvx512Vnni;
+    }
+    if (__builtin_cpu_supports("avx2")) return HostIsa::kAvx2;
+#endif
+    return HostIsa::kScalar;
+  }();
+  return detected;
+}
+
+HostIsa host_isa() {
+  return std::min(host_isa_detected(), g_isa_cap.load(std::memory_order_relaxed));
+}
+
+void set_host_isa_cap(HostIsa cap) {
+  g_isa_cap.store(cap, std::memory_order_relaxed);
+}
+
+int host_instance_count() { return kNumInstances; }
+
+const HostInstanceInfo& host_instance_info(int id) {
+  DECIMATE_CHECK(id >= 0 && id < kNumInstances,
+                 "host instance id out of range: " << id);
+  return kInstances[id].info;
+}
+
+const char* host_instance_name(const HostKernelDispatch& d) {
+  if (d.impl == HostImpl::kRefFallback) return "ref";
+  return resolve(d).info.name;
+}
+
+void host_force_instance(HostKernelDispatch& d, int id) {
+  DECIMATE_CHECK(id >= 0 && id < kNumInstances,
+                 "host instance id out of range: " << id);
+  const hostk::Instance& ins = kInstances[id];
+  DECIMATE_CHECK(ins.info.family == d.impl,
+                 "instance " << ins.info.name << " does not implement "
+                             << host_impl_name(d.impl));
+  DECIMATE_CHECK(ins.info.isa <= host_isa_detected(),
+                 "instance " << ins.info.name
+                             << " needs an ISA this CPU lacks");
+  d.instance = id;
+}
+
 HostKernelDispatch host_dispatch_for_conv(const ConvGeom& g,
                                           const NmPacked* packed) {
   HostKernelDispatch d;
   if (packed == nullptr) {
     d.impl = HostImpl::kDenseConv;
+    d.instance = select_conv_instance(d.impl, g, 0);
     return d;
   }
   DECIMATE_CHECK(packed->rows == g.k && packed->cols == g.fsz(),
@@ -514,6 +310,7 @@ HostKernelDispatch host_dispatch_for_conv(const ConvGeom& g,
   DECIMATE_CHECK(g.c <= 65535, "conv channel count overflows gather index");
   d.impl = HostImpl::kSparseConv;
   d.m = packed->m;
+  d.instance = select_conv_instance(d.impl, g, packed->m);
   d.taps = g.fy * g.fx;
   d.tap_off.resize(static_cast<size_t>(d.taps));
   d.tap_fy.resize(static_cast<size_t>(d.taps));
@@ -553,16 +350,18 @@ HostKernelDispatch host_dispatch_for_conv(const ConvGeom& g,
 }
 
 HostKernelDispatch host_dispatch_for_fc(int rows, int c,
-                                        const NmPacked* packed) {
+                                        const NmPacked* packed, int tokens) {
   HostKernelDispatch d;
   if (packed == nullptr) {
     d.impl = HostImpl::kDenseFc;
+    d.instance = select_fc_instance(d.impl, tokens, c, rows, 0);
     return d;
   }
   DECIMATE_CHECK(packed->rows == rows && packed->cols == c,
                  "packed weights do not match fc geometry");
   d.impl = HostImpl::kSparseFc;
   d.m = packed->m;
+  d.instance = select_fc_instance(d.impl, tokens, c, rows, packed->m);
   d.row_start.assign(static_cast<size_t>(rows) + 1, 0);
   d.col.reserve(static_cast<size_t>(rows) * packed->nz_per_row);
   d.val.reserve(d.col.capacity());
@@ -589,18 +388,18 @@ void host_conv2d_s8_into(const HostKernelDispatch& d, const Tensor8& input,
     case HostImpl::kSparseConv:
       check_conv_args(input, weights, bias, g, oy_s, oy_e, k_s, k_e, out,
                       /*dense=*/false);
-      sparse_conv_into(d, input, bias, g, rq, oy_s, oy_e, k_s, k_e, out);
-      return;
+      break;
     case HostImpl::kDenseConv:
       check_conv_args(input, weights, bias, g, oy_s, oy_e, k_s, k_e, out,
                       /*dense=*/true);
-      dense_conv_into(input, weights, bias, g, rq, oy_s, oy_e, k_s, k_e, out);
-      return;
+      break;
     case HostImpl::kRefFallback:
       conv2d_s8_into(input, weights, bias, g, rq, oy_s, oy_e, k_s, k_e, out);
       return;
     default: DECIMATE_FAIL("dispatch is not a conv kernel");
   }
+  resolve(d).conv_run(d, input, weights, bias, g, rq, oy_s, oy_e, k_s, k_e,
+                      out);
 }
 
 Tensor8 host_conv2d_s8(const HostKernelDispatch& d, const Tensor8& input,
@@ -619,18 +418,17 @@ void host_fc_s8_into(const HostKernelDispatch& d, const Tensor8& input,
     case HostImpl::kSparseFc:
       check_fc_args(input, weights, bias, t_s, t_e, k_s, k_e, out,
                     /*dense=*/false);
-      sparse_fc_into(d, input, bias, rq, t_s, t_e, k_s, k_e, out);
-      return;
+      break;
     case HostImpl::kDenseFc:
       check_fc_args(input, weights, bias, t_s, t_e, k_s, k_e, out,
                     /*dense=*/true);
-      dense_fc_into(input, weights, bias, rq, t_s, t_e, k_s, k_e, out);
-      return;
+      break;
     case HostImpl::kRefFallback:
       fc_s8_into(input, weights, bias, rq, t_s, t_e, k_s, k_e, out);
       return;
     default: DECIMATE_FAIL("dispatch is not an fc kernel");
   }
+  resolve(d).fc_run(d, input, weights, bias, rq, t_s, t_e, k_s, k_e, out);
 }
 
 Tensor8 host_fc_s8(const HostKernelDispatch& d, const Tensor8& input,

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "nn/layer_geometry.hpp"
 #include "nn/nm_format.hpp"
 #include "nn/quant.hpp"
@@ -51,24 +52,31 @@ const char* host_impl_name(HostImpl impl);
 struct HostKernelDispatch {
   HostImpl impl = HostImpl::kRefFallback;
   int m = 0;  // N:M block size for the sparse impls (0 = dense)
+  // Registry index of the kernel instance selected for this node's
+  // geometry (see nn/host_kernel_instances.hpp). The table is a static
+  // singleton, so the index survives plan copies; -1 resolves to the
+  // family's scalar instance at run time.
+  int instance = -1;
 
   // Sparse conv: non-zeros grouped by (output channel, filter tap), in
   // ascending (tap, channel) order — the dense reference order with the
   // zeros removed. tap_start is a CSR of size rows*taps+1 into ci/val;
   // tap_off/tap_fy/tap_fx are per-tap input addressing (interior offset
-  // and tap coordinates for the border path).
+  // and tap coordinates for the border path). The streamed arrays
+  // (val/ci/col) are 64-byte aligned so vector loads never straddle a
+  // cache line at the base.
   int taps = 0;  // fy * fx
   std::vector<int32_t> tap_start;
-  std::vector<uint16_t> ci;     // input channel within the tap
+  AlignedVec<uint16_t> ci;      // input channel within the tap
   std::vector<int32_t> tap_off; // interior input offset: (fy*ix + fx)*c
   std::vector<int16_t> tap_fy, tap_fx;
 
   // Sparse FC: per output channel, the absolute input features of its
   // non-zeros. row_start is a CSR of size rows+1 into col/val.
   std::vector<int32_t> row_start;
-  std::vector<int32_t> col;
+  AlignedVec<int32_t> col;
 
-  std::vector<int8_t> val;  // non-zero values, parallel to ci / col
+  AlignedVec<int8_t> val;  // non-zero values, parallel to ci / col
 
   bool sparse() const {
     return impl == HostImpl::kSparseConv || impl == HostImpl::kSparseFc;
@@ -79,15 +87,21 @@ struct HostKernelDispatch {
 
 /// Build the dispatch for a conv node: sparse gather plan when `packed`
 /// is non-null (any NmLayout; logical offsets are decoded), blocked dense
-/// otherwise.
+/// otherwise. The kernel instance is selected here, keyed on the node's
+/// geometry (channel divisibility, stride, interior width) and the host
+/// ISA — see nn/host_kernel_instances.hpp.
 HostKernelDispatch host_dispatch_for_conv(const ConvGeom& g,
                                           const NmPacked* packed);
 
 /// Build the dispatch for an FC/matmul node over `c` input features and
 /// `rows` output channels; matmul passes packed == nullptr (weights are
-/// dynamic activations).
+/// dynamic activations). `tokens` is the token count the plan will run
+/// the node with — it keys instance selection (the token-parallel sparse
+/// SIMD instance needs >= 16 tokens to pay for its transpose) but never
+/// correctness: every instance accepts any token range at run time.
 HostKernelDispatch host_dispatch_for_fc(int rows, int c,
-                                        const NmPacked* packed);
+                                        const NmPacked* packed,
+                                        int tokens = 1);
 
 /// Ranged convolution through the dispatch: bit-identical to
 /// conv2d_s8_into over the same ranges (disjoint ranges stitch exactly).

@@ -1,0 +1,228 @@
+// AVX-512 VNNI kernel instances: vpdpbusd 64-lane u8 x s8 dot products.
+//
+// vpdpbusd multiplies unsigned bytes by signed bytes and accumulates the
+// int32 lane sums WITHOUT saturation (unlike vpdpbusds), so it preserves
+// the wrap-mod-2^32 accumulation contract. Our activations are signed,
+// so each chunk is biased into u8 with a XOR 0x80 (a + 128 as u8) and
+// corrected exactly:
+//
+//   sum((a+128) * w) = sum(a*w) + 128 * sum(w)   (mod 2^32)
+//
+// The correction term sum(w) is accumulated in the same loop with a
+// second vpdpbusd against an all-ones u8 vector, and the combine is done
+// in uint32 arithmetic, so the final accumulator equals the scalar
+// reference bit for bit. Horizontal reduction (_mm512_reduce_add_epi32)
+// only reorders int32 additions — order-free modulo 2^32.
+//
+// Compiled with -mavx512f -mavx512bw -mavx512vl -mavx512vnni (CMake:
+// DECIMATE_HAVE_AVX512_TU); selected/forced only after CPUID reports all
+// four features.
+
+#include <immintrin.h>
+
+#include "nn/host_kernels_impl.hpp"
+
+namespace decimate {
+namespace hostk {
+
+namespace {
+
+/// One 64-byte dot-product step: data term into `acc`, weight-sum
+/// correction term into `corr`.
+inline void dot64(__m512i& acc, __m512i& corr, const int8_t* a,
+                  const int8_t* w) {
+  const __m512i av = _mm512_xor_si512(
+      _mm512_loadu_si512(a), _mm512_set1_epi8(static_cast<char>(0x80)));
+  const __m512i wv = _mm512_loadu_si512(w);
+  acc = _mm512_dpbusd_epi32(acc, av, wv);
+  corr = _mm512_dpbusd_epi32(corr, _mm512_set1_epi8(1), wv);
+}
+
+/// Exact combine: sum(a*w) = biased accumulator - 128 * sum(w), mod 2^32.
+inline int32_t combine(__m512i acc, __m512i corr) {
+  const auto a = static_cast<uint32_t>(_mm512_reduce_add_epi32(acc));
+  const auto s = static_cast<uint32_t>(_mm512_reduce_add_epi32(corr));
+  return static_cast<int32_t>(a - 128u * s);
+}
+
+}  // namespace
+
+void conv_dense_vnni(const HostKernelDispatch&, const Tensor8& input,
+                     const Tensor8& weights, const Tensor32& bias,
+                     const ConvGeom& g, const Requant& rq, int oy_s, int oy_e,
+                     int k_s, int k_e, Tensor8& out) {
+  const int ox = g.ox(), kk = g.k, fsz = g.fsz();
+  const int fxc = g.fx * g.c;
+  const int vec = fxc & ~63;  // 64-byte-covered prefix of each filter row
+  const int64_t in_row = static_cast<int64_t>(g.ix) * g.c;
+  const auto [x_lo, x_hi] = interior_range(g.ix, g.fx, g.stride, g.pad, ox);
+  const auto [y_lo, y_hi] =
+      interior_range(g.iy, g.fy, g.stride, g.pad, g.oy());
+  const int8_t* in0 = input.data();
+  const int8_t* w0 = weights.data();
+
+  const auto interior_pixel = [&](const int8_t* in_base, int8_t* orow) {
+    int k = k_s;
+    for (; k + 1 < k_e; k += 2) {
+      const int8_t* wr0 = w0 + static_cast<int64_t>(k) * fsz;
+      const int8_t* wr1 = wr0 + fsz;
+      __m512i acc0 = _mm512_setzero_si512(), corr0 = acc0;
+      __m512i acc1 = acc0, corr1 = acc0;
+      int32_t s0 = bias[k], s1 = bias[k + 1];
+      int wi = 0;
+      for (int fy = 0; fy < g.fy; ++fy) {
+        const int8_t* in = in_base + fy * in_row;
+        int i = 0;
+        for (; i < vec; i += 64) {
+          dot64(acc0, corr0, in + i, wr0 + wi + i);
+          dot64(acc1, corr1, in + i, wr1 + wi + i);
+        }
+        for (; i < fxc; ++i) {
+          const int32_t v = in[i];
+          s0 += v * wr0[wi + i];
+          s1 += v * wr1[wi + i];
+        }
+        wi += fxc;
+      }
+      orow[k] = rq.apply(s0 + combine(acc0, corr0));
+      orow[k + 1] = rq.apply(s1 + combine(acc1, corr1));
+    }
+    for (; k < k_e; ++k) {
+      const int8_t* wr = w0 + static_cast<int64_t>(k) * fsz;
+      __m512i acc = _mm512_setzero_si512(), corr = acc;
+      int32_t s = bias[k];
+      int wi = 0;
+      for (int fy = 0; fy < g.fy; ++fy) {
+        const int8_t* in = in_base + fy * in_row;
+        int i = 0;
+        for (; i < vec; i += 64) dot64(acc, corr, in + i, wr + wi + i);
+        for (; i < fxc; ++i) {
+          s += static_cast<int32_t>(in[i]) * static_cast<int32_t>(wr[wi + i]);
+        }
+        wi += fxc;
+      }
+      orow[k] = rq.apply(s + combine(acc, corr));
+    }
+  };
+
+  for (int y = oy_s; y < oy_e; ++y) {
+    int8_t* out_y = out.data() + static_cast<int64_t>(y) * ox * kk;
+    const bool y_in = y >= y_lo && y < y_hi;
+    if (!y_in) {
+      for (int x = 0; x < ox; ++x) {
+        dense_conv_pixel(in0, w0, bias, g, rq, y, x, k_s, k_e,
+                         out_y + static_cast<int64_t>(x) * kk);
+      }
+      continue;
+    }
+    const int8_t* row_base = in0 + (y * g.stride - g.pad) * in_row;
+    int x = 0;
+    for (; x < x_lo; ++x) {
+      dense_conv_pixel(in0, w0, bias, g, rq, y, x, k_s, k_e,
+                       out_y + static_cast<int64_t>(x) * kk);
+    }
+    for (; x < x_hi; ++x) {
+      interior_pixel(row_base + static_cast<int64_t>(x * g.stride - g.pad) * g.c,
+                     out_y + static_cast<int64_t>(x) * kk);
+    }
+    for (; x < ox; ++x) {
+      dense_conv_pixel(in0, w0, bias, g, rq, y, x, k_s, k_e,
+                       out_y + static_cast<int64_t>(x) * kk);
+    }
+  }
+}
+
+void fc_dense_vnni(const HostKernelDispatch&, const Tensor8& input,
+                   const Tensor8& weights, const Tensor32& bias,
+                   const Requant& rq, int t_s, int t_e, int k_s, int k_e,
+                   Tensor8& out) {
+  const int c = input.dim(1), kk = out.dim(1);
+  const int vec = c & ~63;
+  const int8_t* w0 = weights.data();
+
+  // 2 tokens x 2 output channels: each weight chunk (and its correction
+  // dot) is loaded once for two tokens
+  int ti = t_s;
+  for (; ti + 1 < t_e; ti += 2) {
+    const int8_t* in0 = input.data() + static_cast<int64_t>(ti) * c;
+    const int8_t* in1 = in0 + c;
+    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
+    int ki = k_s;
+    for (; ki + 1 < k_e; ki += 2) {
+      const int8_t* wr0 = w0 + static_cast<int64_t>(ki) * c;
+      const int8_t* wr1 = wr0 + c;
+      const __m512i bias_u8 = _mm512_set1_epi8(static_cast<char>(0x80));
+      const __m512i ones = _mm512_set1_epi8(1);
+      __m512i a00 = _mm512_setzero_si512(), a01 = a00, a10 = a00, a11 = a00;
+      __m512i c0 = a00, c1 = a00;
+      int i = 0;
+      for (; i < vec; i += 64) {
+        const __m512i x0 =
+            _mm512_xor_si512(_mm512_loadu_si512(in0 + i), bias_u8);
+        const __m512i x1 =
+            _mm512_xor_si512(_mm512_loadu_si512(in1 + i), bias_u8);
+        const __m512i v0 = _mm512_loadu_si512(wr0 + i);
+        const __m512i v1 = _mm512_loadu_si512(wr1 + i);
+        a00 = _mm512_dpbusd_epi32(a00, x0, v0);
+        a01 = _mm512_dpbusd_epi32(a01, x0, v1);
+        a10 = _mm512_dpbusd_epi32(a10, x1, v0);
+        a11 = _mm512_dpbusd_epi32(a11, x1, v1);
+        c0 = _mm512_dpbusd_epi32(c0, ones, v0);
+        c1 = _mm512_dpbusd_epi32(c1, ones, v1);
+      }
+      int32_t s00 = bias[ki] + combine(a00, c0);
+      int32_t s01 = bias[ki + 1] + combine(a01, c1);
+      int32_t s10 = bias[ki] + combine(a10, c0);
+      int32_t s11 = bias[ki + 1] + combine(a11, c1);
+      for (; i < c; ++i) {
+        const int32_t b0 = wr0[i], b1 = wr1[i];
+        const int32_t v0 = in0[i], v1 = in1[i];
+        s00 += v0 * b0;
+        s01 += v0 * b1;
+        s10 += v1 * b0;
+        s11 += v1 * b1;
+      }
+      orow[ki] = rq.apply(s00);
+      orow[ki + 1] = rq.apply(s01);
+      orow[kk + ki] = rq.apply(s10);
+      orow[kk + ki + 1] = rq.apply(s11);
+    }
+    for (; ki < k_e; ++ki) {
+      const int8_t* w = w0 + static_cast<int64_t>(ki) * c;
+      __m512i acc0 = _mm512_setzero_si512(), corr0 = acc0;
+      __m512i acc1 = acc0, corr1 = acc0;
+      int i = 0;
+      for (; i < vec; i += 64) {
+        dot64(acc0, corr0, in0 + i, w + i);
+        dot64(acc1, corr1, in1 + i, w + i);
+      }
+      int32_t s0 = bias[ki] + combine(acc0, corr0);
+      int32_t s1 = bias[ki] + combine(acc1, corr1);
+      for (; i < c; ++i) {
+        const int32_t b = w[i];
+        s0 += static_cast<int32_t>(in0[i]) * b;
+        s1 += static_cast<int32_t>(in1[i]) * b;
+      }
+      orow[ki] = rq.apply(s0);
+      orow[kk + ki] = rq.apply(s1);
+    }
+  }
+  for (; ti < t_e; ++ti) {
+    const int8_t* in = input.data() + static_cast<int64_t>(ti) * c;
+    int8_t* orow = out.data() + static_cast<int64_t>(ti) * kk;
+    for (int ki = k_s; ki < k_e; ++ki) {
+      const int8_t* w = w0 + static_cast<int64_t>(ki) * c;
+      __m512i acc = _mm512_setzero_si512(), corr = acc;
+      int i = 0;
+      for (; i < vec; i += 64) dot64(acc, corr, in + i, w + i);
+      int32_t s = bias[ki] + combine(acc, corr);
+      for (; i < c; ++i) {
+        s += static_cast<int32_t>(in[i]) * static_cast<int32_t>(w[i]);
+      }
+      orow[ki] = rq.apply(s);
+    }
+  }
+}
+
+}  // namespace hostk
+}  // namespace decimate

@@ -84,7 +84,8 @@ Tensor8 NmPacked::to_dense() const {
 
 NmPacked nm_pack(std::span<const int8_t> w, int rows, int cols, int m,
                  NmLayout layout) {
-  DECIMATE_CHECK(m == 4 || m == 8 || m == 16, "M must be 4, 8 or 16");
+  DECIMATE_CHECK(m == 2 || m == 4 || m == 8 || m == 16,
+                 "M must be 2, 4, 8 or 16");
   DECIMATE_CHECK(cols % m == 0, "cols " << cols << " not multiple of M " << m);
   DECIMATE_CHECK(is_nm_sparse(w, rows, cols, 1, m),
                  "matrix is not 1:" << m << " sparse");
@@ -98,7 +99,7 @@ NmPacked nm_pack(std::span<const int8_t> w, int rows, int cols, int m,
   p.rows = rows;
   p.cols = cols;
   p.nz_per_row = cols / m;
-  p.nz_padded = static_cast<int>(round_up(p.nz_per_row, m == 4 ? 8 : 4));
+  p.nz_padded = static_cast<int>(round_up(p.nz_per_row, m <= 4 ? 8 : 4));
   p.layout = layout;
   const int bits_ = p.offset_bits();
   p.values_row_bytes = p.nz_padded;
@@ -175,7 +176,7 @@ int64_t csr_bytes(int rows, int64_t nnz) {
 
 int64_t nm_bytes(int rows, int cols, int m, bool duplicated_offsets) {
   const int64_t nnz = static_cast<int64_t>(rows) * cols / m;
-  const int bits_ = (m == 4) ? 2 : 4;
+  const int bits_ = (m <= 4) ? 2 : 4;
   const int dup = duplicated_offsets ? 2 : 1;
   return nnz + ceil_div(nnz * bits_ * dup, 8);
 }

@@ -3,7 +3,8 @@
 // a values matrix of shape (rows, cols/M) holding the non-zero weights and
 // a packed offsets array holding each NZ element's position inside its
 // M-block, in ceil(log2(M)) bits rounded to a power of two:
-//   M=4  -> 2-bit offsets, M=8/16 -> 4-bit offsets.
+//   M=2/4 -> 2-bit offsets, M=8/16 -> 4-bit offsets (M=2 only needs one
+//   bit but shares the M=4 field width so pack/unpack stay uniform).
 //
 // Three layout variants, matching the three kernel families:
 //  - kSw:            one offset per NZ (software-only kernels)
@@ -30,7 +31,7 @@ enum class NmLayout : uint8_t { kSw, kConvIsaDup, kFcIsaInterleaved };
 const char* nm_layout_name(NmLayout layout);
 
 struct NmPacked {
-  int m = 0;             // block size (4, 8, 16)
+  int m = 0;             // block size (2, 4, 8, 16)
   int rows = 0;          // output channels K
   int cols = 0;          // dense row length (FY*FX*C or C)
   int nz_per_row = 0;    // cols / m (logical)
@@ -48,7 +49,7 @@ struct NmPacked {
   std::vector<uint8_t> offsets;  // rows * offsets_row_bytes (pair-rows for
                                  // the FC interleaved layout)
 
-  int offset_bits() const { return m == 4 ? 2 : 4; }
+  int offset_bits() const { return m <= 4 ? 2 : 4; }
   int64_t values_bytes() const { return static_cast<int64_t>(values.size()); }
   int64_t offsets_bytes() const {
     return static_cast<int64_t>(offsets.size());

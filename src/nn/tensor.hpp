@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
@@ -84,8 +85,13 @@ class Tensor {
   }
 
   std::vector<int> shape_;
-  std::vector<T> data_;
+  // 64-byte-aligned backing storage: a vector load at the base of any
+  // tensor never straddles a cache line (see common/aligned.hpp)
+  std::vector<T, AlignedAlloc<T>> data_;
 };
+
+static_assert(kHostAlign % 64 == 0,
+              "tensor backing storage must be at least 64-byte aligned");
 
 using Tensor8 = Tensor<int8_t>;
 using Tensor32 = Tensor<int32_t>;

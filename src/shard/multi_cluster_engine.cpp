@@ -172,6 +172,12 @@ DataParallelRun MultiClusterEngine::run_data_parallel(
 
   ExecutionEngine engine;  // run() is thread-safe with verify off
   engine.set_use_host_kernels(use_host_kernels_);
+  // with several clusters the round-robin thunks already occupy the host,
+  // and a nested intra-image split inside a pool task would run inline
+  // anyway (WorkerPool nesting guard) — pin the engine serial to skip the
+  // attempt. A single cluster keeps the plan's host_threads so intra-image
+  // parallelism still applies when it is the only parallelism available.
+  if (num_clusters_ > 1) engine.set_intra_image_threads(1);
   std::vector<std::function<void()>> thunks;
   for (int c = 0; c < num_clusters_ && c < n; ++c) {
     thunks.emplace_back([&, c] {

@@ -10,8 +10,10 @@
 #include <atomic>
 #include <numeric>
 
+#include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "exec/worker_pool.hpp"
+#include "nn/host_kernel_instances.hpp"
 #include "nn/host_kernels.hpp"
 #include "nn/prune.hpp"
 #include "nn/ref_ops.hpp"
@@ -233,6 +235,180 @@ TEST(HostKernels, DispatchDropsExplicitZeroValues) {
   EXPECT_TRUE(host_fc_s8(d, input, w, bias, test_requant()) == ref);
 }
 
+TEST(HostKernels, BackingStorageIs64ByteAligned) {
+  // the SIMD instances use unaligned loads (loadu) so alignment is never
+  // a correctness requirement, but 64B-aligned rows keep vector loads off
+  // cache-line splits — pin the allocator so a regression is loud
+  Rng rng(108);
+  const Tensor8 t8 = Tensor8::random({5, 7, 16}, rng);
+  const Tensor32 t32({33}, 1);
+  EXPECT_TRUE(host_aligned(t8.data()));
+  EXPECT_TRUE(host_aligned(t32.data()));
+
+  const ConvGeom g{8, 8, 16, 8, 3, 3, 1, 1};
+  const Tensor8 w = random_sparse_weights(g.k, g.fsz(), 4, rng);
+  const NmPacked packed = nm_pack(w.flat(), g.k, g.fsz(), 4, NmLayout::kSw);
+  const HostKernelDispatch d = host_dispatch_for_conv(g, &packed);
+  EXPECT_TRUE(host_aligned(d.val.data()));
+  EXPECT_TRUE(host_aligned(d.ci.data()));
+  const HostKernelDispatch df = host_dispatch_for_fc(10, 64, nullptr);
+  (void)df;
+  const Tensor8 wf = random_sparse_weights(10, 64, 4, rng);
+  const NmPacked pf = nm_pack(wf.flat(), 10, 64, 4, NmLayout::kSw);
+  const HostKernelDispatch ds = host_dispatch_for_fc(10, 64, &pf);
+  EXPECT_TRUE(host_aligned(ds.val.data()));
+  EXPECT_TRUE(host_aligned(ds.col.data()));
+}
+
+// Restores the ISA cap on scope exit so a failing assertion can't leak a
+// scalar clamp into later tests.
+struct IsaCapGuard {
+  explicit IsaCapGuard(HostIsa cap) { set_host_isa_cap(cap); }
+  ~IsaCapGuard() { set_host_isa_cap(HostIsa::kAvx512Vnni); }
+};
+
+// Every registry instance runnable on this CPU, forced onto every
+// geometry of its family — including ones its selection predicate would
+// route away from (c % 16 != 0, width-1 interiors, stride 2, M=2) — must
+// be bit-identical to the scalar reference. Predicates are performance
+// heuristics, never correctness gates.
+TEST(HostKernels, EveryConvInstanceBitExactOnOddGeometries) {
+  Rng rng(201);
+  const std::vector<ConvCase> cases = {
+      {{8, 8, 16, 8, 3, 3, 1, 1}, "3x3 pad1"},
+      {{8, 8, 20, 6, 3, 3, 1, 1}, "c=20 not divisible by 16"},
+      {{3, 3, 16, 4, 3, 3, 1, 1}, "width-1 interior"},
+      {{8, 8, 16, 8, 3, 3, 2, 1}, "stride2 (sparse pix16 self-gates)"},
+      {{7, 9, 24, 5, 3, 5, 1, 2}, "non-square 3x5"},
+      {{6, 6, 4, 7, 1, 1, 1, 0}, "1x1 c=4 scalar-tail only"},
+  };
+  for (const ConvCase& cc : cases) {
+    const ConvGeom& g = cc.g;
+    const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng);
+    const Tensor32 bias = random_bias(g.k, rng);
+    const Requant rq = test_requant();
+    for (const int m : {0, 2, 4, 8, 16}) {
+      if (m != 0 && g.fsz() % m != 0) continue;
+      const Tensor8 w = conv_weights(g, m, rng);
+      const Tensor8 ref = conv2d_s8(input, w, bias, g, rq);
+      const std::vector<NmLayout> layouts =
+          m == 0 ? std::vector<NmLayout>{NmLayout::kSw}
+                 : std::vector<NmLayout>{NmLayout::kSw, NmLayout::kConvIsaDup,
+                                         NmLayout::kFcIsaInterleaved};
+      for (const NmLayout layout : layouts) {
+        if (m != 0 && layout == NmLayout::kFcIsaInterleaved && g.k % 2 != 0) {
+          continue;  // interleaved layout needs an even channel count
+        }
+        HostKernelDispatch d = conv_dispatch(g, w, m, layout);
+        for (int id = 0; id < host_instance_count(); ++id) {
+          const HostInstanceInfo& info = host_instance_info(id);
+          if (info.family != d.impl) continue;
+          if (info.isa > host_isa_detected()) continue;
+          host_force_instance(d, id);
+          ASSERT_TRUE(host_conv2d_s8(d, input, w, bias, g, rq) == ref)
+              << cc.tag << " m=" << m << " layout=" << nm_layout_name(layout)
+              << " instance=" << info.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(HostKernels, EveryFcInstanceBitExactOnOddGeometries) {
+  Rng rng(202);
+  // tokens below/at/above the 16-token transpose block, c not divisible
+  // by 16, k odd (kills the 2x2/4-row unrolls' even assumption), M=2
+  for (const auto& [tokens, c, k] : std::vector<std::tuple<int, int, int>>{
+           {1, 64, 10}, {3, 20, 7}, {16, 48, 11}, {17, 16, 2}, {33, 40, 9}}) {
+    const Tensor8 input = Tensor8::random({tokens, c}, rng);
+    const Tensor32 bias = random_bias(k, rng);
+    const Requant rq = test_requant();
+    for (const int m : {0, 2, 4, 8, 16}) {
+      if (m != 0 && c % m != 0) continue;
+      const Tensor8 w = m == 0 ? random_weights(k, c, rng)
+                               : random_sparse_weights(k, c, m, rng);
+      const Tensor8 ref = fc_s8(input, w, bias, rq);
+      const std::vector<NmLayout> layouts =
+          m == 0 ? std::vector<NmLayout>{NmLayout::kSw}
+                 : std::vector<NmLayout>{NmLayout::kSw, NmLayout::kConvIsaDup,
+                                         NmLayout::kFcIsaInterleaved};
+      for (const NmLayout layout : layouts) {
+        if (m != 0 && layout == NmLayout::kFcIsaInterleaved && k % 2 != 0) {
+          continue;
+        }
+        const NmPacked packed =
+            m == 0 ? NmPacked{} : nm_pack(w.flat(), k, c, m, layout);
+        HostKernelDispatch d =
+            host_dispatch_for_fc(k, c, m == 0 ? nullptr : &packed, tokens);
+        for (int id = 0; id < host_instance_count(); ++id) {
+          const HostInstanceInfo& info = host_instance_info(id);
+          if (info.family != d.impl) continue;
+          if (info.isa > host_isa_detected()) continue;
+          host_force_instance(d, id);
+          ASSERT_TRUE(host_fc_s8(d, input, w, bias, rq) == ref)
+              << "t=" << tokens << " c=" << c << " k=" << k << " m=" << m
+              << " layout=" << nm_layout_name(layout)
+              << " instance=" << info.name;
+
+          // ranged slices must stitch bit-exactly per instance too (the
+          // engine's intra-image split runs exactly these)
+          Tensor8 out({tokens, k});
+          const int t_mid = tokens / 2, k_mid = k / 2;
+          host_fc_s8_into(d, input, w, bias, rq, 0, t_mid, 0, k, out);
+          host_fc_s8_into(d, input, w, bias, rq, t_mid, tokens, 0, k_mid, out);
+          host_fc_s8_into(d, input, w, bias, rq, t_mid, tokens, k_mid, k, out);
+          ASSERT_TRUE(out == ref)
+              << "ranged t=" << tokens << " m=" << m
+              << " instance=" << info.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(HostKernels, ScalarIsaCapForcesScalarSelectionBitExactly) {
+  // clamp selection to the scalar tier: newly built dispatches must pick
+  // the scalar instances and still match the reference — this is the
+  // "plan compiled on a capable machine, forced to scalar" guarantee
+  const IsaCapGuard guard(HostIsa::kScalar);
+  EXPECT_EQ(host_isa(), HostIsa::kScalar);
+  Rng rng(203);
+  const ConvGeom g{8, 8, 32, 8, 3, 3, 1, 1};
+  const Tensor8 input = Tensor8::random({g.iy, g.ix, g.c}, rng);
+  const Tensor32 bias = random_bias(g.k, rng);
+  const Requant rq = test_requant();
+  for (const int m : {0, 4}) {
+    const Tensor8 w = conv_weights(g, m, rng);
+    const HostKernelDispatch d = conv_dispatch(g, w, m);
+    EXPECT_NE(std::string(host_instance_name(d)).find("scalar"),
+              std::string::npos)
+        << host_instance_name(d);
+    EXPECT_TRUE(host_conv2d_s8(d, input, w, bias, g, rq) ==
+                conv2d_s8(input, w, bias, g, rq))
+        << "m=" << m;
+  }
+}
+
+TEST(HostKernels, InstanceRegistryIsWellFormed) {
+  ASSERT_GT(host_instance_count(), 0);
+  // every family must end in a scalar guaranteed-fallback instance
+  bool scalar_seen[5] = {};  // indexed by HostImpl (kRefFallback unused)
+  for (int id = 0; id < host_instance_count(); ++id) {
+    const HostInstanceInfo& info = host_instance_info(id);
+    EXPECT_NE(info.name, nullptr);
+    EXPECT_NE(info.geometry, nullptr);
+    if (info.isa == HostIsa::kScalar) {
+      scalar_seen[static_cast<int>(info.family)] = true;
+    }
+  }
+  for (const HostImpl fam :
+       {HostImpl::kDenseConv, HostImpl::kSparseConv, HostImpl::kDenseFc,
+        HostImpl::kSparseFc}) {
+    EXPECT_TRUE(scalar_seen[static_cast<int>(fam)])
+        << "family " << static_cast<int>(fam) << " has no scalar fallback";
+  }
+}
+
 TEST(WorkerPool, RunsEveryTaskExactlyOnceAndIsReusable) {
   WorkerPool pool(3);
   EXPECT_EQ(pool.threads(), 3);
@@ -248,6 +424,40 @@ TEST(WorkerPool, ZeroThreadPoolRunsInline) {
   std::vector<int> order;
   pool.run(4, [&](int i) { order.push_back(i); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WorkerPool, NestedSubmissionRunsInlineWithoutDeadlock) {
+  // a task that re-enters pool.run (engine intra-image split inside a
+  // run_batch image task) must execute the nested job inline on the
+  // calling worker — never re-acquire the job lock or oversubscribe
+  WorkerPool pool(2);
+  EXPECT_FALSE(WorkerPool::in_task());
+  std::atomic<int> inner_hits{0};
+  std::atomic<int> inline_depth_ok{0};
+  pool.run(4, [&](int) {
+    EXPECT_TRUE(WorkerPool::in_task());
+    pool.run(3, [&](int) {
+      if (WorkerPool::in_task()) inline_depth_ok++;
+      inner_hits++;
+    });
+  });
+  EXPECT_FALSE(WorkerPool::in_task());
+  EXPECT_EQ(inner_hits.load(), 12);
+  EXPECT_EQ(inline_depth_ok.load(), 12);
+
+  // nested exceptions propagate straight to the submitting task
+  EXPECT_THROW(
+      pool.run(2,
+               [&](int) {
+                 pool.run(2, [](int i) {
+                   if (i == 1) throw std::runtime_error("nested boom");
+                 });
+               }),
+      std::runtime_error);
+  // and the pool stays usable
+  std::atomic<int> ok{0};
+  pool.run(5, [&](int) { ok++; });
+  EXPECT_EQ(ok.load(), 5);
 }
 
 TEST(WorkerPool, PropagatesTheFirstTaskException) {
