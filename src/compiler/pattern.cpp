@@ -11,8 +11,10 @@ KernelChoice select_kernel(const Node& node, const CompileOptions& opt) {
         const int m = detect_one_to_m(node.weights.flat(), node.conv.k,
                                       node.conv.fsz());
         if (m != 0) {
-          return {opt.enable_isa ? KernelKind::kConvSparseIsa
-                                 : KernelKind::kConvSparseSw,
+          // The xDecimate csr implements M in {4, 8, 16}; M=2 runs on the
+          // SW sparse kernel (2-bit offsets shared with M=4).
+          return {opt.enable_isa && m != 2 ? KernelKind::kConvSparseIsa
+                                           : KernelKind::kConvSparseSw,
                   m};
         }
       }
@@ -25,10 +27,10 @@ KernelChoice select_kernel(const Node& node, const CompileOptions& opt) {
       if (opt.enable_sparse) {
         const int m =
             detect_one_to_m(node.weights.flat(), node.fc.k, node.fc.c);
-        // The pair-channel ISA kernel needs an even K; fall back to the
-        // SW sparse kernel otherwise.
+        // The pair-channel ISA kernel needs an even K and M in {4, 8, 16};
+        // fall back to the SW sparse kernel otherwise.
         if (m != 0) {
-          if (opt.enable_isa && node.fc.k % 2 == 0) {
+          if (opt.enable_isa && node.fc.k % 2 == 0 && m != 2) {
             return {KernelKind::kFcSparseIsa, m};
           }
           return {KernelKind::kFcSparseSw, m};

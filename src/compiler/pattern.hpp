@@ -42,6 +42,17 @@ struct CompileOptions {
   // only changes how fast a plan runs, never what it contains, so it is
   // NOT part of the plan fingerprint.
   int host_threads = 1;
+  // Run the static plan verifier (src/verify) as a compile post-pass and
+  // throw VerifyError when it finds error-level defects. On by default in
+  // Debug builds; Release builds opt in explicitly (the serving PlanStore
+  // always verifies newly admitted plans regardless of this flag). Like
+  // host_threads, this never changes what a plan contains, so it is NOT
+  // part of the plan fingerprint.
+#ifdef NDEBUG
+  bool verify_plans = false;
+#else
+  bool verify_plans = true;
+#endif
   // Optional TileLatencyCache warm file: when non-empty, the Compiler
   // (and PlanStore) pre-load measured tile cycles from this path at
   // construction, so a previously-saved file makes compiles ISS-free

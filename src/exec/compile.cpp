@@ -7,6 +7,7 @@
 #include "exec/tile_runner.hpp"
 #include "kernels/vecops.hpp"
 #include "nn/prune.hpp"
+#include "verify/verify.hpp"
 
 namespace decimate {
 
@@ -580,6 +581,7 @@ CompiledPlan Compiler::compile(const Graph& graph) {
         break;
       case OpType::kInput:
         DECIMATE_FAIL("unexpected input node");
+        break;
       default:
         compile_vec_node(graph, node, step);
         break;
@@ -587,6 +589,11 @@ CompiledPlan Compiler::compile(const Graph& graph) {
     plan.total_cycles += step.report.total_cycles;
     plan.total_macs += step.report.macs;
     plan.steps.push_back(std::move(step));
+  }
+  // static post-pass: reject plans the verifier can prove wrong
+  if (opt_.verify_plans) {
+    VerifyReport report = verify_plan(plan);
+    if (!report.ok()) throw VerifyError(std::move(report));
   }
   return plan;
 }

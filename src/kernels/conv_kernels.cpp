@@ -152,27 +152,29 @@ void body_sparse_sw_m8_16(KernelBuilder& b, int m) {
 
 /// Sparse SW body for M=4: 23 instructions / 8 MACs. 2-bit offsets, 4 per
 /// byte; lanes 1..3 fold the block index into the gather index with ori.
-void body_sparse_sw_m4(KernelBuilder& b) {
+/// M=2 shares the 2-bit field width (offsets are just < 2), so the same
+/// body serves both — only the lane fold and block stride scale with M.
+void body_sparse_sw_m2_4(KernelBuilder& b, int m) {
   b.lbu_pi(ra, a7, 1);  // 4 packed 2-bit offsets
   // lane 0: index = o0
   b.andi(s11, ra, 0x3);
   b.pv_lb_ins(gp, 0, t5, s11, 0);
   b.pv_lb_ins(tp, 0, t6, s11, 0);
-  // lanes 1..2: index = o | lane*4
+  // lanes 1..2: index = o | lane*M
   for (int lane = 1; lane <= 2; ++lane) {
     b.srli(ra, ra, 2);
     b.andi(s11, ra, 0x3);
-    b.ori(s11, s11, lane * 4);
+    b.ori(s11, s11, lane * m);
     b.pv_lb_ins(gp, lane, t5, s11, 0);
     b.pv_lb_ins(tp, lane, t6, s11, 0);
   }
   // lane 3: top 2 bits are already isolated after the shift
   b.srli(ra, ra, 2);
-  b.ori(s11, ra, 12);
+  b.ori(s11, ra, 3 * m);
   b.pv_lb_ins(gp, 3, t5, s11, 0);
   b.pv_lb_ins(tp, 3, t6, s11, 0);
-  b.addi(t5, t5, 16);
-  b.addi(t6, t6, 16);
+  b.addi(t5, t5, 4 * m);
+  b.addi(t6, t6, 4 * m);
   b.lw_pi(ra, a4, 4);
   b.sdotsp_b(t3, ra, gp);
   b.sdotsp_b(t4, ra, tp);
@@ -239,8 +241,8 @@ void emit_k_loop_1x2(KernelBuilder& b, KernelKind kind, int m) {
     switch (kind) {
       case KernelKind::kConvDense1x2: body_dense_1x2(b); break;
       case KernelKind::kConvSparseSw:
-        if (m == 4) {
-          body_sparse_sw_m4(b);
+        if (m <= 4) {
+          body_sparse_sw_m2_4(b, m);
         } else {
           body_sparse_sw_m8_16(b, m);
         }
@@ -426,8 +428,12 @@ void emit_k_loop_sparse_im2col(KernelBuilder& b, int m) {
 Program build_conv_kernel(KernelKind kind, int m) {
   DECIMATE_CHECK(kernel_is_conv(kind), "not a conv kernel kind");
   if (kernel_is_sparse(kind)) {
-    DECIMATE_CHECK(m == 4 || m == 8 || m == 16,
-                   "sparse conv kernel needs M in {4,8,16}");
+    // M=2 is SW-only: the xDecimate csr and the im2col ablation variant
+    // implement the 4/8/16 block sizes of Sec. 4.3.
+    const bool sw_only = kind == KernelKind::kConvSparseSw;
+    DECIMATE_CHECK((sw_only && m == 2) || m == 4 || m == 8 || m == 16,
+                   "sparse conv kernel " << kernel_kind_name(kind)
+                                         << " does not support M=" << m);
   }
   KernelBuilder b;
   emit_work_prologue(b);
@@ -454,10 +460,10 @@ int expected_inner_loop_length(KernelKind kind, int m) {
   switch (kind) {
     case KernelKind::kConvDense4x2: return 14;
     case KernelKind::kConvDense1x2: return 5;
-    case KernelKind::kConvSparseSw: return m == 4 ? 23 : 22;
+    case KernelKind::kConvSparseSw: return m <= 4 ? 23 : 22;
     case KernelKind::kConvSparseIsa: return m == 4 ? 23 : 12;
     case KernelKind::kFcDense: return 5;
-    case KernelKind::kFcSparseSw: return m == 4 ? 17 : 16;
+    case KernelKind::kFcSparseSw: return m <= 4 ? 17 : 16;
     case KernelKind::kFcSparseIsa: return m == 4 ? 25 : 13;
     case KernelKind::kConvSparseIm2col: return -1;  // two loops; not a peak
   }

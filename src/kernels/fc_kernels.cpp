@@ -49,20 +49,22 @@ void body_fc_sparse_sw_m8_16(KernelBuilder& b, int m) {
   b.sdotsp_b(t3, ra, gp);
 }
 
-void body_fc_sparse_sw_m4(KernelBuilder& b) {
+// M=2 shares the 2-bit field width (offsets are just < 2), so one body
+// serves M=2 and M=4 — only the lane fold and block stride scale with M.
+void body_fc_sparse_sw_m2_4(KernelBuilder& b, int m) {
   b.lbu_pi(s0, a6, 1);
   b.andi(s11, s0, 0x3);
   b.pv_lb_ins(gp, 0, t5, s11, 0);
   for (int lane = 1; lane <= 2; ++lane) {
     b.srli(s0, s0, 2);
     b.andi(s11, s0, 0x3);
-    b.ori(s11, s11, lane * 4);
+    b.ori(s11, s11, lane * m);
     b.pv_lb_ins(gp, lane, t5, s11, 0);
   }
   b.srli(s0, s0, 2);
-  b.ori(s11, s0, 12);
+  b.ori(s11, s0, 3 * m);
   b.pv_lb_ins(gp, 3, t5, s11, 0);
-  b.addi(t5, t5, 16);
+  b.addi(t5, t5, 4 * m);
   b.lw_pi(ra, a4, 4);
   b.sdotsp_b(t3, ra, gp);
 }
@@ -98,8 +100,11 @@ void body_fc_sparse_isa_m4(KernelBuilder& b) {
 Program build_fc_kernel(KernelKind kind, int m) {
   DECIMATE_CHECK(!kernel_is_conv(kind), "not an fc kernel kind");
   if (kernel_is_sparse(kind)) {
-    DECIMATE_CHECK(m == 4 || m == 8 || m == 16,
-                   "sparse fc kernel needs M in {4,8,16}");
+    // M=2 is SW-only: the xDecimate csr implements 4/8/16 (Sec. 4.3).
+    const bool sw_only = kind == KernelKind::kFcSparseSw;
+    DECIMATE_CHECK((sw_only && m == 2) || m == 4 || m == 8 || m == 16,
+                   "sparse fc kernel " << kernel_kind_name(kind)
+                                       << " does not support M=" << m);
   }
   const bool pair = (kind != KernelKind::kFcSparseSw);  // 2 channels / iter
 
@@ -167,8 +172,8 @@ Program build_fc_kernel(KernelKind kind, int m) {
     switch (kind) {
       case KernelKind::kFcDense: body_fc_dense(b); break;
       case KernelKind::kFcSparseSw:
-        if (m == 4) {
-          body_fc_sparse_sw_m4(b);
+        if (m <= 4) {
+          body_fc_sparse_sw_m2_4(b, m);
         } else {
           body_fc_sparse_sw_m8_16(b, m);
         }

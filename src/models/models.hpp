@@ -16,13 +16,13 @@
 namespace decimate {
 
 struct Resnet18Options {
-  int sparsity_m = 0;  // 0 = dense; 4/8/16 = 1:M on 3x3 convs
+  int sparsity_m = 0;  // 0 = dense; 2/4/8/16 = 1:M on 3x3 convs
   // Per-stage override (paper future work: variable sparsity patterns).
   // When non-empty, must hold 4 entries (one per residual stage); each is
   // 0/4/8/16 and overrides sparsity_m for that stage's 3x3 convs. The
   // pattern table recognizes each layer's M independently, so mixed
   // networks deploy without any further configuration.
-  std::vector<int> per_stage_m;
+  std::vector<int> per_stage_m = {};
   int num_classes = 100;
   int input_hw = 32;
   uint64_t seed = 42;

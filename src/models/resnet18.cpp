@@ -98,9 +98,10 @@ struct ResnetBuilder {
 }  // namespace
 
 Graph build_resnet18(const Resnet18Options& opt) {
-  DECIMATE_CHECK(opt.sparsity_m == 0 || opt.sparsity_m == 4 ||
-                     opt.sparsity_m == 8 || opt.sparsity_m == 16,
-                 "sparsity must be 0/4/8/16");
+  DECIMATE_CHECK(opt.sparsity_m == 0 || opt.sparsity_m == 2 ||
+                     opt.sparsity_m == 4 || opt.sparsity_m == 8 ||
+                     opt.sparsity_m == 16,
+                 "sparsity must be 0/2/4/8/16");
   ResnetBuilder b(opt);
   const int hw = opt.input_hw;
   // stem: 3x3 s1 (CIFAR variant), dense

@@ -66,7 +66,7 @@ double sparsity(std::span<const int8_t> w) {
 }
 
 int detect_one_to_m(std::span<const int8_t> w, int rows, int cols) {
-  for (int m : {16, 8, 4}) {
+  for (int m : {16, 8, 4, 2}) {
     if (cols % m != 0) continue;
     if (!is_nm_sparse(w, rows, cols, 1, m)) continue;
     // Reject pathological all-zero matrices claiming max sparsity: they

@@ -26,9 +26,9 @@ bool is_nm_sparse(std::span<const int8_t> w, int rows, int cols, int n, int m);
 /// Fraction of zero entries.
 double sparsity(std::span<const int8_t> w);
 
-/// Detect the tightest supported 1:M pattern (M in {16, 8, 4}) of a weight
-/// matrix; returns 0 if none applies. Requires genuinely sparse blocks:
-/// a dense matrix trivially fails (some block has >1 non-zero).
+/// Detect the tightest supported 1:M pattern (M in {16, 8, 4, 2}) of a
+/// weight matrix; returns 0 if none applies. Requires genuinely sparse
+/// blocks: a dense matrix trivially fails (some block has >1 non-zero).
 int detect_one_to_m(std::span<const int8_t> w, int rows, int cols);
 
 }  // namespace decimate

@@ -1,6 +1,7 @@
 #include "serve/plan_store.hpp"
 
 #include "compiler/fingerprint.hpp"
+#include "verify/verify.hpp"
 
 namespace decimate {
 
@@ -75,12 +76,18 @@ const CompiledPlan& PlanStore::plan(int model, int batch, int num_clusters) {
     // Compiling under the lock keeps the exactly-once guarantee simple;
     // the latency cache handles its own concurrency, and serving compiles
     // only during warm-up anyway.
-    Compiler compiler(options_for(batch, num_clusters), latencies_);
-    it = plans_
-             .emplace(key,
-                      std::make_unique<CompiledPlan>(compiler.compile(
-                          *models_[static_cast<size_t>(model)].graph)))
-             .first;
+    const CompileOptions opt = options_for(batch, num_clusters);
+    Compiler compiler(opt, latencies_);
+    auto plan = std::make_unique<CompiledPlan>(
+        compiler.compile(*models_[static_cast<size_t>(model)].graph));
+    // Admission gate: serving plans are always statically verified, even
+    // in Release builds where the compiler post-pass is off by default.
+    // (When opt.verify_plans is set the compile above already verified.)
+    if (!opt.verify_plans) {
+      VerifyReport report = verify_plan(*plan);
+      if (!report.ok()) throw VerifyError(std::move(report));
+    }
+    it = plans_.emplace(key, std::move(plan)).first;
   }
   return *it->second;
 }

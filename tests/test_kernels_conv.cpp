@@ -110,7 +110,10 @@ INSTANTIATE_TEST_SUITE_P(
         ConvCase{KernelKind::kConvSparseSw, 16, kGStride2},
         ConvCase{KernelKind::kConvSparseSw, 8, kGPw1x1},
         ConvCase{KernelKind::kConvSparseSw, 4, kG5x5},
-        ConvCase{KernelKind::kConvSparseSw, 8, kGPatch16}),
+        ConvCase{KernelKind::kConvSparseSw, 8, kGPatch16},
+        ConvCase{KernelKind::kConvSparseSw, 2, kG8x8C32K8},
+        ConvCase{KernelKind::kConvSparseSw, 2, kG4x4C64K16},
+        ConvCase{KernelKind::kConvSparseSw, 2, kGStride2}),
     case_name);
 
 INSTANTIATE_TEST_SUITE_P(
@@ -151,6 +154,10 @@ TEST(ConvKernelInstrCounts, InnerLoopsMatchPaper) {
                 .region_length(kInnerBegin, kInnerEnd),
             22);
   EXPECT_EQ(KernelLauncher::program_for(KernelKind::kConvSparseSw, 4)
+                .region_length(kInnerBegin, kInnerEnd),
+            23);
+  // M=2 shares the M=4 body (2-bit offsets): same inner-loop length.
+  EXPECT_EQ(KernelLauncher::program_for(KernelKind::kConvSparseSw, 2)
                 .region_length(kInnerBegin, kInnerEnd),
             23);
   EXPECT_EQ(KernelLauncher::program_for(KernelKind::kConvSparseIsa, 8)

@@ -77,7 +77,9 @@ INSTANTIATE_TEST_SUITE_P(
         FcCase{KernelKind::kFcSparseSw, 8, FcGeom{.tokens = 1, .c = 256, .k = 9}},
         FcCase{KernelKind::kFcSparseSw, 8, FcGeom{.tokens = 7, .c = 64, .k = 13}},
         FcCase{KernelKind::kFcSparseSw, 16, FcGeom{.tokens = 16, .c = 128, .k = 24}},
-        FcCase{KernelKind::kFcSparseSw, 4, FcGeom{.tokens = 2, .c = 96, .k = 6}}),
+        FcCase{KernelKind::kFcSparseSw, 4, FcGeom{.tokens = 2, .c = 96, .k = 6}},
+        FcCase{KernelKind::kFcSparseSw, 2, FcGeom{.tokens = 1, .c = 64, .k = 16}},
+        FcCase{KernelKind::kFcSparseSw, 2, FcGeom{.tokens = 7, .c = 96, .k = 13}}),
     fc_case_name);
 
 INSTANTIATE_TEST_SUITE_P(
@@ -105,6 +107,10 @@ TEST(FcKernelInstrCounts, InnerLoopsMatchPaper) {
                 .region_length(kInnerBegin, kInnerEnd),
             16);
   EXPECT_EQ(KernelLauncher::program_for(KernelKind::kFcSparseSw, 4)
+                .region_length(kInnerBegin, kInnerEnd),
+            17);
+  // M=2 shares the M=4 body (2-bit offsets): same inner-loop length.
+  EXPECT_EQ(KernelLauncher::program_for(KernelKind::kFcSparseSw, 2)
                 .region_length(kInnerBegin, kInnerEnd),
             17);
   EXPECT_EQ(KernelLauncher::program_for(KernelKind::kFcSparseIsa, 8)
