@@ -28,6 +28,7 @@
 #include "bench_util.hpp"
 #include "exec/engine.hpp"
 #include "serve/server.hpp"
+#include "trace/energy_attr.hpp"
 
 using namespace decimate;
 
@@ -39,10 +40,16 @@ struct ScenarioRow {
   uint64_t deadline = 0;
   int requests = 0;
   double hit_rate = 0.0;
+  double miss_rate = 0.0;  // deadline misses / requests
   double throughput_ipmc = 0.0;  // images per modeled megacycle
   uint64_t p50_latency = 0;
+  uint64_t p95_latency = 0;
   uint64_t p99_latency = 0;
+  uint64_t p50_wait = 0;  // queue wait (arrival -> dispatch)
+  uint64_t p95_wait = 0;
+  uint64_t p99_wait = 0;
   uint64_t mean_exec = 0;
+  double mean_nj = 0.0;  // modeled energy per request
   std::map<std::string, int> modes;
 };
 
@@ -139,7 +146,8 @@ bool check_bit_exact(const std::map<uint64_t, Tensor8>& refs,
 }
 
 ScenarioRow run_scenario(const std::string& model_name,
-                         Dispatcher& dispatcher,
+                         Dispatcher& dispatcher, PlanStore& store,
+                         int num_clusters,
                          const std::map<uint64_t, Tensor8>& refs,
                          const std::vector<Request>& trace, uint64_t total1,
                          double deadline_x, bool& bit_exact) {
@@ -160,18 +168,29 @@ ScenarioRow run_scenario(const std::string& model_name,
   row.requests = static_cast<int>(served.size());
   row.throughput_ipmc = throughput_ipmc(served);
   std::vector<uint64_t> latencies;
+  std::vector<uint64_t> waits;
   uint64_t exec_sum = 0;
   int hits = 0;
   for (const Served& s : served) {
     latencies.push_back(s.stats.latency_cycles());
+    waits.push_back(s.stats.queue_wait_cycles());
     exec_sum += s.stats.exec_cycles();
     hits += s.stats.deadline_hit ? 1 : 0;
     ++row.modes[to_string(s.stats.mode)];
   }
   row.hit_rate = static_cast<double>(hits) / static_cast<double>(served.size());
+  row.miss_rate = 1.0 - row.hit_rate;
   row.p50_latency = percentile(latencies, 0.5);
+  row.p95_latency = percentile(latencies, 0.95);
   row.p99_latency = percentile(latencies, 0.99);
+  row.p50_wait = percentile(waits, 0.5);
+  row.p95_wait = percentile(waits, 0.95);
+  row.p99_wait = percentile(waits, 0.99);
   row.mean_exec = exec_sum / served.size();
+  // modeled joules from the cycle reports of the plans this scenario ran;
+  // every plan is already warm, so this never compiles
+  row.mean_nj = trace::attribute_energy(served, store, num_clusters)
+                    .mean_nj_per_request();
   return row;
 }
 
@@ -195,10 +214,14 @@ void emit_json(std::ostream& os, bool smoke, int clusters,
       os << "       {\"deadline_x_total\": " << r.deadline_x_total
          << ", \"deadline_cycles\": " << r.deadline << ", \"requests\": "
          << r.requests << ", \"hit_rate\": " << r.hit_rate
+         << ", \"deadline_miss_rate\": " << r.miss_rate
          << ", \"throughput_ipmc\": " << r.throughput_ipmc
-         << ", \"p50_latency\": " << r.p50_latency << ", \"p99_latency\": "
-         << r.p99_latency << ", \"mean_exec_cycles\": " << r.mean_exec
-         << ", \"modes\": {";
+         << ", \"p50_latency\": " << r.p50_latency << ", \"p95_latency\": "
+         << r.p95_latency << ", \"p99_latency\": " << r.p99_latency
+         << ", \"p50_wait\": " << r.p50_wait << ", \"p95_wait\": "
+         << r.p95_wait << ", \"p99_wait\": " << r.p99_wait
+         << ", \"mean_exec_cycles\": " << r.mean_exec
+         << ", \"mean_nj_per_request\": " << r.mean_nj << ", \"modes\": {";
       bool first = true;
       for (const auto& [mode, count] : r.modes) {
         os << (first ? "" : ", ") << "\"" << mode << "\": " << count;
@@ -312,8 +335,9 @@ int main(int argc, char** argv) {
     report.serial_ipmc = throughput_ipmc(serial_served);
 
     for (const double dx : deadline_sweep) {
-      report.rows.push_back(run_scenario(spec.name, dispatcher, refs, trace,
-                                         report.total1, dx, bit_exact));
+      report.rows.push_back(run_scenario(spec.name, dispatcher, store,
+                                         kClusters, refs, trace, report.total1,
+                                         dx, bit_exact));
     }
 
     if (spec.assert_headline) {
@@ -347,8 +371,9 @@ int main(int argc, char** argv) {
 
   const int compiles_total = store.compiles();
 
-  Table t({"model", "SLO x total", "hit%", "img/Mcyc", "p99 lat Mcyc",
-           "fused", "sharded", "data-par"});
+  Table t({"model", "SLO x total", "hit%", "img/Mcyc", "p95 lat Mcyc",
+           "p99 lat Mcyc", "p95 wait Mcyc", "uJ/img", "fused", "sharded",
+           "data-par"});
   for (const ModelReport& m : reports) {
     for (const ScenarioRow& r : m.rows) {
       const auto count = [&](const char* k) {
@@ -358,9 +383,11 @@ int main(int argc, char** argv) {
       t.add_row({m.name, Table::num(r.deadline_x_total, 1),
                  Table::num(100.0 * r.hit_rate, 0),
                  Table::num(r.throughput_ipmc, 2),
+                 Table::num(static_cast<double>(r.p95_latency) / 1e6, 2),
                  Table::num(static_cast<double>(r.p99_latency) / 1e6, 2),
-                 count("batch_fused"), count("sharded_single"),
-                 count("data_parallel")});
+                 Table::num(static_cast<double>(r.p95_wait) / 1e6, 2),
+                 Table::num(r.mean_nj / 1e3, 1), count("batch_fused"),
+                 count("sharded_single"), count("data_parallel")});
     }
   }
   std::cout << t;

@@ -5,6 +5,8 @@
 
 #include "exec/node_exec.hpp"
 #include "exec/tile_runner.hpp"
+#include "nn/host_kernel_instances.hpp"
+#include "trace/trace.hpp"
 
 namespace decimate {
 
@@ -125,10 +127,22 @@ NetworkRun ExecutionEngine::run(const CompiledPlan& plan,
                                      nullptr);
   values[0] = &input;
 
+  trace::TraceScope run_span(trace::Cat::kExec, "engine.run");
+  run_span.cycles(plan.total_cycles);
+
   for (const PlanStep& step : plan.steps) {
     const Node& node = graph.node(step.node_id);
     Tensor8& out = outputs[static_cast<size_t>(step.node_id)];
     const Tensor8& in0 = *values[static_cast<size_t>(node.inputs.at(0))];
+    // span name points into the graph (outlives the plan); family and
+    // instance are static literals from the kernel registry
+    trace::TraceScope step_span(trace::Cat::kKernel, node.name.c_str());
+    step_span.cycles(step.report.total_cycles);
+    if (node.op == OpType::kConv2d || node.op == OpType::kFc ||
+        node.op == OpType::kMatmul) {
+      step_span.sarg("family", host_impl_name(step.host.impl));
+      step_span.sarg("instance", host_instance_name(step.host));
+    }
     switch (node.op) {
       case OpType::kConv2d:
       case OpType::kFc:
@@ -217,6 +231,8 @@ BatchRun ExecutionEngine::run_batch(const CompiledPlan& plan,
                                     std::span<const Tensor8> inputs) {
   BatchRun out;
   const int n = static_cast<int>(inputs.size());
+  trace::TraceScope batch_span(trace::Cat::kExec, "engine.run_batch");
+  batch_span.arg("images", n);
   // A batch-fused plan's tile schedule (and its per-image amortized
   // reports) covers exactly options.batch images; serving a different
   // span would silently stamp a mismatched cycle report on every run.
@@ -250,6 +266,7 @@ BatchRun ExecutionEngine::run_batch(const CompiledPlan& plan,
 
   for (const NetworkRun& r : out.runs) out.sequential_cycles += r.total_cycles;
   out.batch_cycles = modeled_batch_cycles(plan, n);
+  batch_span.cycles(out.batch_cycles);
   return out;
 }
 

@@ -28,6 +28,7 @@
 
 #include "compiler/graph.hpp"
 #include "kernels/abi.hpp"
+#include "trace/metrics.hpp"
 
 namespace decimate {
 
@@ -97,11 +98,13 @@ class TileLatencyCache {
       auto it = cache_.find(key);
       if (it != cache_.end()) {
         ++hits_;
+        metrics::registry().counter("exec.tile_cache.hits").inc();
         fut = it->second;
       } else {
         fut = prom.get_future().share();
         cache_.emplace(key, fut);
         ++misses_;
+        metrics::registry().counter("exec.tile_cache.misses").inc();
         owner = true;
       }
     }

@@ -2,12 +2,32 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <utility>
 
 #include "nn/host_kernels.hpp"
 #include "nn/ref_ops.hpp"
+#include "trace/metrics.hpp"
 
 namespace decimate {
+
+namespace {
+
+// One invocation counter per host kernel family; resolved once so the
+// per-node cost is a single relaxed increment.
+void count_kernel_invocation(HostImpl impl, bool use_host) {
+  static metrics::Counter* const counters[] = {
+      &metrics::registry().counter("exec.kernel.ref"),
+      &metrics::registry().counter("exec.kernel.dense-conv-blocked"),
+      &metrics::registry().counter("exec.kernel.dense-fc-blocked"),
+      &metrics::registry().counter("exec.kernel.sparse-conv-nm"),
+      &metrics::registry().counter("exec.kernel.sparse-fc-nm"),
+  };
+  const size_t i = use_host ? static_cast<size_t>(impl) : 0;
+  counters[i < std::size(counters) ? i : 0]->inc();
+}
+
+}  // namespace
 
 Tensor8 transpose2d(const Tensor8& x) {
   DECIMATE_CHECK(x.rank() == 2, "transpose expects 2D");
@@ -22,6 +42,7 @@ Tensor8 transpose2d(const Tensor8& x) {
 void exec_gemm_node_host(const PlanStep& step, const Node& node,
                          const Tensor8& in, const Tensor8* b_operand,
                          bool use_host, Tensor8& out) {
+  count_kernel_invocation(step.host.impl, use_host);
   if (node.op == OpType::kConv2d) {
     const ConvGeom& g = node.conv;
     out = Tensor8({g.oy(), g.ox(), g.k});
@@ -62,6 +83,7 @@ void exec_gemm_node_host(const PlanStep& step, const Node& node,
 void exec_gemm_node_host_parallel(const PlanStep& step, const Node& node,
                                   const Tensor8& in, const Tensor8* b_operand,
                                   WorkerPool& pool, int parts, Tensor8& out) {
+  count_kernel_invocation(step.host.impl, /*use_host=*/true);
   // contiguous [lo, hi) chunk i of `parts` over [0, n)
   const auto chunk = [](int n, int nparts, int i) {
     const int base = n / nparts, rem = n % nparts;

@@ -1,5 +1,7 @@
 #include "exec/worker_pool.hpp"
 
+#include "trace/trace.hpp"
+
 namespace decimate {
 
 namespace {
@@ -34,6 +36,8 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::claim_tasks() {
   ++tl_task_depth;
   for (int i = next_.fetch_add(1); i < n_; i = next_.fetch_add(1)) {
+    trace::TraceScope task_span(trace::Cat::kPool, "pool.task");
+    task_span.arg("index", i);
     try {
       (*fn_)(i);
     } catch (...) {
@@ -45,9 +49,13 @@ void WorkerPool::claim_tasks() {
 }
 
 void WorkerPool::worker_loop() {
+  trace::set_thread_name("pool.worker");
   uint64_t seen = 0;
   for (;;) {
     {
+      // parked time is a first-class span so pool idleness shows up in
+      // the trace alongside the tasks it separates
+      trace::TraceScope parked(trace::Cat::kPool, "pool.parked");
       std::unique_lock<std::mutex> lock(mu_);
       cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;

@@ -30,6 +30,13 @@ struct EnergyConfig {
   // DMA energy per byte moved
   double dma_l2_pj_per_byte = 1.2;
   double dma_l3_pj_per_byte = 12.0;  // off-chip HyperRAM-class access
+  // Cycle-level knobs for attributing energy from plan reports (which
+  // carry cycles, not opcode histograms — see trace/energy_attr):
+  // average pJ a busy core burns per cycle (between alu_pj and simd_pj at
+  // IPC ~1), and bytes a DMA stream moves per dma_cycle (converts the
+  // report's cycle view back into transferred bytes).
+  double core_pj_per_cycle = 2.0;
+  double dma_bytes_per_cycle = 8.0;
 };
 
 struct EnergyBreakdown {

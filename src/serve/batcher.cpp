@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace decimate {
 
@@ -27,6 +29,8 @@ void Batcher::admit(Request r) {
   last_arrival_ = r.arrival_cycles;
   queues_[r.model].push_back(std::move(r));
   ++pending_;
+  metrics::registry().gauge("serve.queue_depth").set(
+      static_cast<int64_t>(pending_));
 }
 
 namespace {
@@ -113,6 +117,21 @@ std::optional<FormedBatch> Batcher::try_form(
     q.pop_front();
     --pending_;
   }
+  {
+    auto& reg = metrics::registry();
+    reg.gauge("serve.queue_depth").set(static_cast<int64_t>(pending_));
+    reg.histogram("serve.batch_size").observe(take);
+    switch (reason) {
+      case FlushReason::kFull: reg.counter("serve.flush.full").inc(); break;
+      case FlushReason::kDeadline:
+        reg.counter("serve.flush.deadline").inc();
+        break;
+      case FlushReason::kDrain: reg.counter("serve.flush.drain").inc(); break;
+    }
+  }
+  trace::instant(trace::Cat::kBatcher, "batcher.flush", batch.requests[0].id,
+                 trace::Flow::kStep, "batch_size",
+                 static_cast<int64_t>(take), "reason", to_string(reason));
   return batch;
 }
 

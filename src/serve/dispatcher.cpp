@@ -3,7 +3,43 @@
 #include <algorithm>
 #include <numeric>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace decimate {
+
+namespace {
+
+// ServedStats bookkeeping, mirrored onto the metrics registry after a
+// batch finishes executing (the fused fallback path may restamp
+// completions, so the final stats are the source of truth).
+void record_served_metrics(const DispatchResult& out) {
+  auto& reg = metrics::registry();
+  switch (out.mode) {
+    case ServeMode::kBatchFused:
+      reg.counter("serve.mode.batch_fused").inc();
+      break;
+    case ServeMode::kShardedSingle:
+      reg.counter("serve.mode.sharded_single").inc();
+      break;
+    case ServeMode::kDataParallel:
+      reg.counter("serve.mode.data_parallel").inc();
+      break;
+  }
+  for (const Served& s : out.served) {
+    reg.histogram("serve.queue_wait_cycles").observe(
+        s.stats.queue_wait_cycles());
+    reg.histogram("serve.exec_cycles").observe(s.stats.exec_cycles());
+    reg.histogram("serve.latency_cycles").observe(s.stats.latency_cycles());
+    reg.histogram("serve.group_size").observe(
+        static_cast<uint64_t>(s.stats.group_size));
+    reg.counter(s.stats.deadline_hit ? "serve.deadline.hits"
+                                     : "serve.deadline.misses")
+        .inc();
+  }
+}
+
+}  // namespace
 
 Dispatcher::Dispatcher(PlanStore& store, const DispatchConfig& cfg)
     : store_(store), cfg_(cfg), mce_(cfg.num_clusters) {
@@ -250,15 +286,23 @@ void Dispatcher::exec_data_parallel(FormedBatch& batch,
 DispatchResult Dispatcher::dispatch(FormedBatch batch, const SloConfig& slo) {
   const int n = static_cast<int>(batch.requests.size());
   DECIMATE_CHECK(n >= 1, "cannot dispatch an empty batch");
+  trace::TraceScope dispatch_span(trace::Cat::kDispatch,
+                                  "dispatcher.dispatch");
+  dispatch_span.arg("batch", n);
+  dispatch_span.flow(batch.requests[0].id, trace::Flow::kStep);
   std::vector<uint64_t> arrivals;
   arrivals.reserve(static_cast<size_t>(n));
   for (const Request& r : batch.requests) {
     arrivals.push_back(r.arrival_cycles);
   }
 
-  const std::vector<ModeEval> evals =
-      evaluate(batch.model, n, arrivals, batch.dispatch_cycles, slo);
-  const ModeEval& pick = evals[choose(evals)];
+  const ModeEval pick = [&] {
+    trace::TraceScope eval_span(trace::Cat::kDispatch, "dispatcher.evaluate");
+    std::vector<ModeEval> evals =
+        evaluate(batch.model, n, arrivals, batch.dispatch_cycles, slo);
+    return std::move(evals[choose(evals)]);
+  }();
+  dispatch_span.sarg("mode", to_string(pick.mode));
 
   DispatchResult out;
   out.mode = pick.mode;
@@ -276,16 +320,21 @@ DispatchResult Dispatcher::dispatch(FormedBatch batch, const SloConfig& slo) {
     s.deadline_hit = s.latency_cycles() <= slo.deadline_cycles;
   }
 
-  switch (pick.mode) {
-    case ServeMode::kBatchFused: exec_fused(batch, slo, out); break;
-    case ServeMode::kShardedSingle: exec_sharded(batch, out); break;
-    case ServeMode::kDataParallel: exec_data_parallel(batch, out); break;
+  {
+    trace::TraceScope exec_span(trace::Cat::kDispatch, "dispatcher.execute");
+    exec_span.sarg("mode", to_string(pick.mode));
+    switch (pick.mode) {
+      case ServeMode::kBatchFused: exec_fused(batch, slo, out); break;
+      case ServeMode::kShardedSingle: exec_sharded(batch, out); break;
+      case ServeMode::kDataParallel: exec_data_parallel(batch, out); break;
+    }
   }
   // after execution: the fused path may have restamped completions on a
   // mismatch recovery, so the finish time comes from the final stats
   for (const Served& s : out.served) {
     out.finish_cycles = std::max(out.finish_cycles, s.stats.completion_cycles);
   }
+  record_served_metrics(out);
   return out;
 }
 

@@ -1,6 +1,8 @@
 #include "serve/plan_store.hpp"
 
 #include "compiler/fingerprint.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "verify/verify.hpp"
 
 namespace decimate {
@@ -72,7 +74,13 @@ const CompiledPlan& PlanStore::plan(int model, int batch, int num_clusters) {
   const uint64_t key = key_for(model, batch, num_clusters);
   auto it = plans_.find(key);
   if (it == plans_.end()) {
+    // compiles_ stays the per-store view (compiles() below); the registry
+    // counter aggregates across every store in the process
     ++compiles_;
+    metrics::registry().counter("serve.plan_store.compiles").inc();
+    trace::TraceScope compile_span(trace::Cat::kServe, "plan_store.compile");
+    compile_span.arg("batch", batch);
+    compile_span.arg("clusters", num_clusters);
     // Compiling under the lock keeps the exactly-once guarantee simple;
     // the latency cache handles its own concurrency, and serving compiles
     // only during warm-up anyway.

@@ -1,5 +1,8 @@
 #include "serve/server.hpp"
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace decimate {
 
 const char* to_string(ServeMode mode) {
@@ -15,6 +18,8 @@ Server::Server(Dispatcher& dispatcher, const SloConfig& slo)
     : dispatcher_(dispatcher), batcher_(slo), slo_(slo) {}
 
 void Server::submit(Request r) {
+  const uint64_t id = r.id;
+  const auto arrival = static_cast<int64_t>(r.arrival_cycles);
   {
     const std::lock_guard<std::mutex> lock(mu_);
     DECIMATE_CHECK(!closed_, "submit after close");
@@ -26,7 +31,12 @@ void Server::submit(Request r) {
                        << r.arrival_cycles << " after " << last_submitted_);
     last_submitted_ = r.arrival_cycles;
     inbox_.push_back(std::move(r));
+    metrics::registry().gauge("serve.inbox_depth").add(1);
   }
+  metrics::registry().counter("serve.requests_submitted").inc();
+  // the request's flow starts here, on the submitting thread
+  trace::instant(trace::Cat::kServe, "request.arrival", id,
+                 trace::Flow::kStart, "arrival_cycles", arrival);
   cv_.notify_all();
 }
 
@@ -39,6 +49,8 @@ void Server::close() {
 }
 
 std::vector<Served> Server::serve() {
+  trace::set_thread_name("serve.loop");
+  trace::TraceScope serve_span(trace::Cat::kServe, "server.serve");
   std::vector<Served> done;
   batches_ = 0;
   uint64_t free_at = 0;
@@ -57,7 +69,12 @@ std::vector<Served> Server::serve() {
       DispatchResult result = dispatcher_.dispatch(std::move(*batch), slo_);
       ++batches_;
       free_at = std::max(free_at, result.finish_cycles);
-      for (Served& s : result.served) done.push_back(std::move(s));
+      for (Served& s : result.served) {
+        trace::instant(trace::Cat::kServe, "request.reply", s.stats.id,
+                       trace::Flow::kEnd, "latency_cycles",
+                       static_cast<int64_t>(s.stats.latency_cycles()));
+        done.push_back(std::move(s));
+      }
       continue;
     }
 
@@ -68,6 +85,9 @@ std::vector<Served> Server::serve() {
       Request r = std::move(inbox_.front());
       inbox_.pop_front();
       lock.unlock();
+      metrics::registry().gauge("serve.inbox_depth").add(-1);
+      trace::instant(trace::Cat::kServe, "request.enqueue", r.id,
+                     trace::Flow::kStep);
       batcher_.admit(std::move(r));
       continue;
     }

@@ -2,13 +2,28 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 
 #include "compiler/fingerprint.hpp"
 #include "exec/node_exec.hpp"
 #include "nn/host_kernels.hpp"
 #include "nn/ref_ops.hpp"
+#include "trace/trace.hpp"
 
 namespace decimate {
+
+namespace {
+
+// Stable span names for cluster shard work (trace names must outlive the
+// export, so no per-call formatting).
+const char* cluster_span_name(size_t c) {
+  static const char* const names[] = {"cluster0", "cluster1", "cluster2",
+                                      "cluster3", "cluster4", "cluster5",
+                                      "cluster6", "cluster7"};
+  return c < std::size(names) ? names[c] : "cluster8+";
+}
+
+}  // namespace
 
 MultiClusterEngine::MultiClusterEngine(int num_clusters)
     : num_clusters_(num_clusters), planner_(num_clusters) {}
@@ -79,7 +94,11 @@ void MultiClusterEngine::exec_sharded_gemm(const StepShard& ss,
     std::vector<std::function<void()>> thunks;
     thunks.reserve(active.size());
     for (size_t j = 0; j < active.size(); ++j) {
-      thunks.emplace_back([&, j] {
+      const size_t cluster = static_cast<size_t>(active[j] - ss.slices.data());
+      thunks.emplace_back([&, j, cluster] {
+        trace::TraceScope span(trace::Cat::kShard, cluster_span_name(cluster));
+        span.cycles(ss.slices[cluster].cycles);
+        span.sarg("node", node.name.c_str());
         partials[j] =
             use_host_kernels_
                 ? host_fc_s32_partial(step.host, in, *weights,
@@ -103,9 +122,13 @@ void MultiClusterEngine::exec_sharded_gemm(const StepShard& ss,
 
   // output-tile shards: disjoint slices of `out`, written concurrently
   std::vector<std::function<void()>> thunks;
-  for (const ShardSlice& slice : ss.slices) {
+  for (size_t c = 0; c < ss.slices.size(); ++c) {
+    const ShardSlice& slice = ss.slices[c];
     if (slice.tiles.empty()) continue;
-    thunks.emplace_back([&, &slice = slice] {
+    thunks.emplace_back([&, &slice = slice, c] {
+      trace::TraceScope span(trace::Cat::kShard, cluster_span_name(c));
+      span.cycles(slice.cycles);
+      span.sarg("node", node.name.c_str());
       for (int idx : slice.tiles) {
         const ShardTile& m = step.tiles_meta[static_cast<size_t>(idx)];
         if (node.op == OpType::kConv2d) {
@@ -182,6 +205,9 @@ DataParallelRun MultiClusterEngine::run_data_parallel(
   for (int c = 0; c < num_clusters_ && c < n; ++c) {
     thunks.emplace_back([&, c] {
       for (int i = c; i < n; i += num_clusters_) {
+        trace::TraceScope span(trace::Cat::kShard,
+                               cluster_span_name(static_cast<size_t>(c)));
+        span.arg("image", i);
         out.runs[static_cast<size_t>(i)] =
             engine.run(plan, inputs[static_cast<size_t>(i)]);
         out.cluster_of[static_cast<size_t>(i)] = c;
@@ -197,7 +223,10 @@ DataParallelRun MultiClusterEngine::run_data_parallel(
 
 ShardedRun MultiClusterEngine::run(const CompiledPlan& plan,
                                    const Tensor8& input) {
+  trace::TraceScope run_span(trace::Cat::kShard, "mce.run");
+  run_span.arg("clusters", num_clusters_);
   const ShardPlan& sp = shard_plan(plan);  // validates batch == 1
+  run_span.cycles(sp.critical_path_cycles);
   const Graph& graph = *plan.graph;
   DECIMATE_CHECK(static_cast<int>(plan.steps.size()) == graph.size() - 1,
                  "plan does not match graph");

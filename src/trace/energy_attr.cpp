@@ -1,0 +1,94 @@
+#include "trace/energy_attr.hpp"
+
+#include <map>
+#include <utility>
+
+namespace decimate::trace {
+
+EnergyBreakdown step_energy(const EnergyModel& model,
+                            const LayerReport& report, int num_cores,
+                            MemRegion weight_region) {
+  const EnergyConfig& cfg = model.config();
+  EnergyBreakdown e;
+  const double cores = static_cast<double>(num_cores);
+  e.compute_nj = static_cast<double>(report.compute_cycles) *
+                 cfg.core_pj_per_cycle * cores * 1e-3;
+  // inside the pipelined total, cycles beyond the compute share are cores
+  // waiting on DMA / serial marshalling
+  const uint64_t idle = report.total_cycles > report.compute_cycles
+                            ? report.total_cycles - report.compute_cycles
+                            : 0;
+  e.idle_nj =
+      static_cast<double>(idle) * cfg.idle_pj_per_cycle * cores * 1e-3;
+  // convert the DMA cycle view back into bytes; weight fetch pays the
+  // weight region's rate, activations always stage through L2
+  const uint64_t weight_dma = report.weight_dma_cycles <= report.dma_cycles
+                                  ? report.weight_dma_cycles
+                                  : report.dma_cycles;
+  const auto weight_bytes = static_cast<uint64_t>(
+      static_cast<double>(weight_dma) * cfg.dma_bytes_per_cycle);
+  const auto act_bytes = static_cast<uint64_t>(
+      static_cast<double>(report.dma_cycles - weight_dma) *
+      cfg.dma_bytes_per_cycle);
+  if (weight_region == MemRegion::kL3) {
+    e.dma_nj = model.dma_nj(act_bytes, weight_bytes);
+  } else {
+    e.dma_nj = model.dma_nj(act_bytes + weight_bytes, 0);
+  }
+  return e;
+}
+
+EnergyAttribution attribute_energy(std::span<const Served> served,
+                                   PlanStore& store, int num_clusters,
+                                   const EnergyModel& model,
+                                   int cores_per_cluster) {
+  EnergyAttribution out;
+  // (model, node name) -> index into out.layers; node names are unique
+  // within a graph, models keep mixed traces apart
+  std::map<std::pair<int, std::string>, size_t> layer_index;
+  for (const Served& s : served) {
+    const ServedStats& st = s.stats;
+    int batch = 1;
+    int clusters = 1;     // clusters the plan was compiled for
+    int active = 1;       // clusters busy on THIS request's image
+    switch (st.mode) {
+      case ServeMode::kBatchFused:
+        batch = st.group_size;
+        break;
+      case ServeMode::kShardedSingle:
+        clusters = num_clusters;
+        active = num_clusters;
+        break;
+      case ServeMode::kDataParallel:
+        break;
+    }
+    const CompiledPlan& plan = store.plan(st.model, batch, clusters);
+    const int cores = cores_per_cluster * active;
+    RequestEnergy req{st.id, 0.0};
+    for (const PlanStep& step : plan.steps) {
+      if (step.report.total_cycles == 0) continue;
+      const EnergyBreakdown eb =
+          step_energy(model, step.report, cores, plan.weight_region);
+      const double nj = eb.total_nj();
+      req.nj += nj;
+      auto [it, inserted] = layer_index.emplace(
+          std::make_pair(st.model, step.report.name), out.layers.size());
+      if (inserted) {
+        LayerEnergy le;
+        le.model = st.model;
+        le.name = step.report.name;
+        le.impl = step.report.impl;
+        out.layers.push_back(std::move(le));
+      }
+      LayerEnergy& le = out.layers[it->second];
+      le.nj += nj;
+      le.cycles += step.report.total_cycles;
+      ++le.invocations;
+    }
+    out.total_nj += req.nj;
+    out.requests.push_back(req);
+  }
+  return out;
+}
+
+}  // namespace decimate::trace

@@ -1,0 +1,75 @@
+#pragma once
+// Energy attribution: fold src/hw's EnergyModel over the per-step cycle
+// reports of the plans a serving run executed, yielding J/request and
+// J/layer — the Deutel-style "energy per inference" dashboard.
+//
+// The plan reports carry cycles (compute / DMA / pipelined total), not
+// opcode histograms, so attribution uses the first-order cycle-level
+// knobs of EnergyConfig:
+//   compute  = compute_cycles x core_pj_per_cycle x cores        (busy)
+//   idle     = (total - compute) x idle_pj_per_cycle x cores     (stalled
+//              on DMA or barriers inside the pipelined total)
+//   dma      = dma_cycles x dma_bytes_per_cycle bytes, billed at the L2
+//              rate except the weight-fetch share, billed at the plan's
+//              weight region (L3-resident weights cost ~10x per byte)
+// Like the cycle reports themselves, the result is input-independent and
+// deterministic: same arrival trace, same joules.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/plan.hpp"
+#include "hw/energy.hpp"
+#include "serve/plan_store.hpp"
+#include "serve/serving.hpp"
+
+namespace decimate::trace {
+
+/// Energy of one executed layer, aggregated across every request that ran
+/// it (per-image view: a fused batch bills each image its amortized
+/// share).
+struct LayerEnergy {
+  int model = 0;
+  std::string name;
+  std::string impl;
+  double nj = 0.0;
+  uint64_t cycles = 0;       // Σ per-image total_cycles across invocations
+  uint64_t invocations = 0;  // requests that executed this layer
+};
+
+struct RequestEnergy {
+  uint64_t id = 0;
+  double nj = 0.0;
+};
+
+struct EnergyAttribution {
+  double total_nj = 0.0;
+  std::vector<LayerEnergy> layers;      // first-execution order
+  std::vector<RequestEnergy> requests;  // input order
+  double mean_nj_per_request() const {
+    return requests.empty() ? 0.0
+                            : total_nj / static_cast<double>(requests.size());
+  }
+};
+
+/// Energy of one plan step's per-image report executed on `num_cores`
+/// cores, weights resident in `weight_region`.
+EnergyBreakdown step_energy(const EnergyModel& model,
+                            const LayerReport& report, int num_cores,
+                            MemRegion weight_region);
+
+/// Attribute energy to every served request by folding `model` over the
+/// cycle reports of the plan each request's ServedStats says it ran:
+/// kBatchFused -> plan(model, group_size, 1) (per-image amortized),
+/// kShardedSingle -> plan(model, 1, num_clusters) (all clusters busy),
+/// kDataParallel -> plan(model, 1, 1) (one cluster per image).
+/// The store must already hold those plans (a Dispatcher-served run has
+/// warmed them); missing ones compile here.
+EnergyAttribution attribute_energy(std::span<const Served> served,
+                                   PlanStore& store, int num_clusters,
+                                   const EnergyModel& model = EnergyModel{},
+                                   int cores_per_cluster = 8);
+
+}  // namespace decimate::trace

@@ -1,0 +1,186 @@
+#include "trace/metrics.hpp"
+
+#include <bit>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace decimate::metrics {
+
+// --- Histogram --------------------------------------------------------------
+
+int Histogram::bucket_of(uint64_t v) {
+  if (v < 16) return static_cast<int>(v);
+  const int width = std::bit_width(v);  // 5..64 here
+  const int octave = width - 4;         // 1.. for v >= 16
+  const int sub = static_cast<int>((v >> (width - 4)) & 7);
+  const int idx = 16 + (octave - 1) * 8 + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+uint64_t Histogram::bucket_rep(int bucket) {
+  if (bucket < 16) return static_cast<uint64_t>(bucket);
+  const int octave = (bucket - 16) / 8 + 1;
+  const int sub = (bucket - 16) % 8;
+  // bucket covers [(8 + sub) << octave, (8 + sub + 1) << octave); the
+  // midpoint keeps percentile error within half a bucket width (~6%)
+  const uint64_t lo = static_cast<uint64_t>(8 + sub) << octave;
+  const uint64_t width = uint64_t{1} << octave;
+  return lo + width / 2;
+}
+
+void Histogram::observe(uint64_t v) {
+  buckets_[static_cast<size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+uint64_t Histogram::percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (p >= 1.0) return max();
+  if (p < 0.0) p = 0.0;
+  // rank of the wanted order statistic, 1-based
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n)) + 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_rep(b);
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // deques keep element addresses stable; maps give sorted-by-name
+  // iteration for the deterministic snapshot
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*> counter_by_name;
+  std::map<std::string, Gauge*> gauge_by_name;
+  std::map<std::string, Histogram*> histogram_by_name;
+};
+
+Registry::Impl& Registry::impl() const {
+  // leaky singleton: reachable from a static pointer for the process
+  // lifetime, so handles never dangle and LSan stays quiet
+  static Impl* instance = new Impl;
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counter_by_name.find(std::string(name));
+  if (it == im.counter_by_name.end()) {
+    im.counters.emplace_back();
+    it = im.counter_by_name.emplace(std::string(name), &im.counters.back())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.gauge_by_name.find(std::string(name));
+  if (it == im.gauge_by_name.end()) {
+    im.gauges.emplace_back();
+    it = im.gauge_by_name.emplace(std::string(name), &im.gauges.back()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.histogram_by_name.find(std::string(name));
+  if (it == im.histogram_by_name.end()) {
+    im.histograms.emplace_back();
+    it = im.histogram_by_name.emplace(std::string(name), &im.histograms.back())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::snapshot_json() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im.counter_by_name) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im.gauge_by_name) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im.histogram_by_name) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+       << h->count() << ", \"sum\": " << h->sum() << ", \"mean\": "
+       << h->mean() << ", \"p50\": " << h->percentile(0.50) << ", \"p95\": "
+       << h->percentile(0.95) << ", \"p99\": " << h->percentile(0.99)
+       << ", \"max\": " << h->max() << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+bool Registry::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << snapshot_json();
+  return static_cast<bool>(out);
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& c : im.counters) c.reset();
+  for (auto& g : im.gauges) g.reset();
+  for (auto& h : im.histograms) h.reset();
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace decimate::metrics

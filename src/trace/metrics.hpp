@@ -1,0 +1,114 @@
+#pragma once
+// Metrics registry: named counters, gauges, and fixed-bucket log-scale
+// histograms for the whole runtime.
+//
+// Unlike span tracing (trace.hpp), metrics are always compiled in: every
+// instrument is one relaxed atomic op on the hot path, cheap enough for
+// the serving loop and the per-node kernel dispatch. Metric objects live
+// in a process-wide Registry keyed by name; handles returned by
+// counter()/gauge()/histogram() are stable for the process lifetime, so
+// hot paths resolve a name once (function-local static reference) and
+// then touch only the atomic.
+//
+// Histograms use HdrHistogram-style buckets: values below 16 are exact,
+// larger values land in 8 logarithmic sub-buckets per power of two, so a
+// reported percentile is within ~6% of the true order statistic at any
+// magnitude while the whole histogram stays a fixed ~4 KB of atomics
+// (no allocation, no lock on observe). p50/p95/p99 come from the bucket
+// midpoints; max and min are tracked exactly.
+//
+// snapshot_json() serializes every metric, sorted by name, so two
+// snapshots of the same state are byte-identical (tests rely on this).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace decimate::metrics {
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  // bucket 0 = value 0; 1..15 exact; then 8 sub-buckets per octave up to
+  // 2^63 (bit widths 4..63 inclusive -> 60 octaves above the exact range)
+  static constexpr int kBuckets = 16 + 60 * 8;
+
+  /// Map a value to its bucket index (exact below 16, log-scale above).
+  static int bucket_of(uint64_t v);
+  /// Representative value of a bucket (the bucket midpoint; exact for the
+  /// exact range). Inverse-ish of bucket_of: bucket_of(rep(b)) == b.
+  static uint64_t bucket_rep(int bucket);
+
+  void observe(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t min() const;  // UINT64_MAX when empty
+  double mean() const;
+
+  /// The p-quantile (p in [0, 1]) from the bucket midpoints: the value of
+  /// the bucket holding the ceil(p * count)-th smallest observation.
+  /// p >= 1 returns the exact max. 0 when empty.
+  uint64_t percentile(double p) const;
+
+  void reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+};
+
+class Registry {
+ public:
+  /// Find-or-create by name. References stay valid for the process
+  /// lifetime (metrics are never removed, reset() only zeroes values).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Deterministic JSON snapshot of every registered metric, sorted by
+  /// name: {"counters": {...}, "gauges": {...}, "histograms": {"name":
+  /// {"count", "sum", "mean", "p50", "p95", "p99", "max"}}}.
+  std::string snapshot_json() const;
+
+  /// Write snapshot_json() to a file; returns false on I/O failure.
+  bool save_json(const std::string& path) const;
+
+  /// Zero every metric's value (objects and references stay valid).
+  /// For tests and benches that want a clean slate per scenario.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The process-wide registry.
+Registry& registry();
+
+}  // namespace decimate::metrics

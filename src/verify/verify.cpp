@@ -11,6 +11,7 @@
 #include "nn/prune.hpp"
 #include "shard/shard_planner.hpp"
 #include "sim/memory_map.hpp"
+#include "trace/metrics.hpp"
 
 namespace decimate {
 
@@ -699,7 +700,12 @@ class PlanVerifier {
 }  // namespace
 
 VerifyReport verify_plan(const CompiledPlan& plan) {
-  return PlanVerifier(plan).run();
+  VerifyReport rep = PlanVerifier(plan).run();
+  auto& reg = metrics::registry();
+  reg.counter("verify.runs").inc();
+  reg.counter("verify.errors").inc(static_cast<uint64_t>(rep.errors()));
+  reg.counter("verify.warnings").inc(static_cast<uint64_t>(rep.warnings()));
+  return rep;
 }
 
 VerifyReport verify_shard(const CompiledPlan& plan, const ShardPlan& shard) {

@@ -1,0 +1,492 @@
+// Observability tests: the metrics registry (handle identity, histogram
+// buckets and percentiles against a sorted oracle, deterministic JSON
+// snapshots under concurrent increments — the TSan target), cycle-level
+// energy attribution arithmetic, and — in DECIMATE_TRACE builds — span
+// recording: nesting on one thread and across WorkerPool workers, ring
+// wrap keeping the newest events, runtime disable, flow/arg stamping, and
+// well-formedness of the exported Chrome trace JSON. The untraced build
+// instead proves the zero-cost contract: TraceScope is an empty type and
+// every entry point is inert.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "exec/plan.hpp"
+#include "exec/worker_pool.hpp"
+#include "hw/energy.hpp"
+#include "trace/energy_attr.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace decimate {
+namespace {
+
+#if !DECIMATE_TRACE_ENABLED
+// The zero-cost contract is compile-time: without -DDECIMATE_TRACE=ON the
+// span type carries no state and can be elided entirely.
+static_assert(std::is_empty_v<trace::TraceScope>,
+              "untraced TraceScope must be an empty type");
+#endif
+
+// --- metrics registry -------------------------------------------------------
+
+TEST(Metrics, HandlesAreStableAndFindOrCreate) {
+  metrics::Counter& c1 = metrics::registry().counter("test.identity.counter");
+  metrics::Counter& c2 = metrics::registry().counter("test.identity.counter");
+  EXPECT_EQ(&c1, &c2);
+  c1.reset();
+  c1.inc();
+  c1.inc(41);
+  EXPECT_EQ(c2.value(), 42u);
+
+  metrics::Gauge& g = metrics::registry().gauge("test.identity.gauge");
+  g.set(-5);
+  g.add(15);
+  EXPECT_EQ(g.value(), 10);
+  EXPECT_EQ(&g, &metrics::registry().gauge("test.identity.gauge"));
+
+  // a counter name does not alias a gauge name
+  metrics::registry().gauge("test.identity.counter").set(7);
+  EXPECT_EQ(c1.value(), 42u);
+}
+
+TEST(Metrics, HistogramBucketRoundTrip) {
+  for (int b = 0; b < metrics::Histogram::kBuckets; ++b) {
+    EXPECT_EQ(metrics::Histogram::bucket_of(metrics::Histogram::bucket_rep(b)),
+              b)
+        << "bucket " << b;
+  }
+  // monotone: a larger value never lands in a smaller bucket
+  int prev = -1;
+  for (uint64_t v = 0; v < 4096; ++v) {
+    const int b = metrics::Histogram::bucket_of(v);
+    EXPECT_GE(b, prev) << "value " << v;
+    prev = b;
+  }
+  // values below 16 are their own bucket
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(metrics::Histogram::bucket_rep(metrics::Histogram::bucket_of(v)),
+              v);
+  }
+}
+
+TEST(Metrics, HistogramPercentilesMatchSortedOracle) {
+  metrics::Histogram& h =
+      metrics::registry().histogram("test.percentile.hist");
+  h.reset();
+  // deterministic LCG spanning several magnitudes, small values included
+  std::vector<uint64_t> vals;
+  uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    vals.push_back((x >> 33) % (i % 3 == 0 ? 13 : 2'000'000));
+  }
+  for (uint64_t v : vals) h.observe(v);
+  std::vector<uint64_t> sorted = vals;
+  std::sort(sorted.begin(), sorted.end());
+
+  EXPECT_EQ(h.count(), vals.size());
+  EXPECT_EQ(h.max(), sorted.back());
+  EXPECT_EQ(h.min(), sorted.front());
+  EXPECT_EQ(h.percentile(1.0), sorted.back());  // p >= 1 is the exact max
+
+  for (const double p : {0.5, 0.9, 0.95, 0.99}) {
+    // the implementation's rank convention: floor(p * n) + 1, clamped to n
+    const size_t rank = std::min(
+        sorted.size(),
+        static_cast<size_t>(p * static_cast<double>(sorted.size())) + 1);
+    const uint64_t oracle = sorted[rank - 1];
+    // the histogram reports the midpoint of the bucket that holds the
+    // oracle order statistic...
+    EXPECT_EQ(h.percentile(p),
+              metrics::Histogram::bucket_rep(
+                  metrics::Histogram::bucket_of(oracle)))
+        << "p" << p;
+    // ...which is within the documented ~6% of the true value
+    const double err =
+        std::abs(static_cast<double>(h.percentile(p)) -
+                 static_cast<double>(oracle));
+    EXPECT_LE(err, static_cast<double>(oracle) / 14.0 + 0.51) << "p" << p;
+  }
+}
+
+TEST(Metrics, HistogramExactRangeIsExact) {
+  metrics::Histogram& h = metrics::registry().histogram("test.exact.hist");
+  h.reset();
+  const std::vector<uint64_t> vals = {0, 1, 1, 2, 3, 5, 8, 13, 15, 15};
+  for (uint64_t v : vals) h.observe(v);
+  EXPECT_EQ(h.percentile(0.5), 5u);   // rank floor(0.5*10)+1 = 6th smallest
+  EXPECT_EQ(h.percentile(0.9), 15u);  // 10th smallest
+  EXPECT_EQ(h.sum(), 63u);
+  EXPECT_DOUBLE_EQ(h.mean(), 6.3);
+}
+
+TEST(Metrics, SnapshotDeterministicUnderConcurrentIncrements) {
+  metrics::Counter& c = metrics::registry().counter("test.concurrent.counter");
+  metrics::Histogram& h =
+      metrics::registry().histogram("test.concurrent.hist");
+  c.reset();
+  h.reset();
+  constexpr int kThreads = 4, kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  // snapshots taken WHILE writers run must not crash or race (TSan runs
+  // this suite); their content is whatever the atomics held at read time
+  for (int i = 0; i < 50; ++i) {
+    const std::string s = metrics::registry().snapshot_json();
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.front(), '{');
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // quiescent state: byte-identical snapshots, counters at exact totals
+  const std::string s1 = metrics::registry().snapshot_json();
+  const std::string s2 = metrics::registry().snapshot_json();
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1.find("\"test.concurrent.counter\": 80000"), std::string::npos);
+}
+
+// --- energy attribution -----------------------------------------------------
+
+TEST(EnergyAttr, StepEnergyMatchesHandFormula) {
+  LayerReport r;
+  r.compute_cycles = 1000;
+  r.total_cycles = 1600;
+  r.dma_cycles = 500;
+  r.weight_dma_cycles = 200;
+  const EnergyModel model;  // defaults: core 2.0 pJ/cyc, 8 B/dma-cycle
+  const EnergyConfig& cfg = model.config();
+
+  const EnergyBreakdown e8 = trace::step_energy(model, r, 8, MemRegion::kL2);
+  EXPECT_DOUBLE_EQ(e8.compute_nj, 1000 * cfg.core_pj_per_cycle * 8 * 1e-3);
+  EXPECT_DOUBLE_EQ(e8.idle_nj, 600 * cfg.idle_pj_per_cycle * 8 * 1e-3);
+  // all 500 dma cycles * 8 B at the L2 rate
+  EXPECT_DOUBLE_EQ(e8.dma_nj, 4000 * cfg.dma_l2_pj_per_byte * 1e-3);
+
+  // L3-resident weights: the 200-cycle weight share pays the ~10x rate
+  const EnergyBreakdown e3 = trace::step_energy(model, r, 8, MemRegion::kL3);
+  EXPECT_DOUBLE_EQ(e3.dma_nj, (2400 * cfg.dma_l2_pj_per_byte +
+                               1600 * cfg.dma_l3_pj_per_byte) *
+                                  1e-3);
+  EXPECT_GT(e3.total_nj(), e8.total_nj());
+
+  // twice the cores, twice the busy/idle energy, same DMA
+  const EnergyBreakdown e16 = trace::step_energy(model, r, 16, MemRegion::kL2);
+  EXPECT_DOUBLE_EQ(e16.compute_nj, 2 * e8.compute_nj);
+  EXPECT_DOUBLE_EQ(e16.idle_nj, 2 * e8.idle_nj);
+  EXPECT_DOUBLE_EQ(e16.dma_nj, e8.dma_nj);
+}
+
+// --- span tracing -----------------------------------------------------------
+
+TEST(Trace, DisabledBuildCompilesToNothing) {
+#if DECIMATE_TRACE_ENABLED
+  GTEST_SKIP() << "tracing compiled in; the zero-cost path is the other build";
+#else
+  EXPECT_FALSE(trace::enabled());
+  trace::set_enabled(true);  // inert
+  EXPECT_FALSE(trace::enabled());
+  {
+    trace::TraceScope s(trace::Cat::kExec, "noop");
+    s.arg("a", 1);
+    s.sarg("b", "c");
+    s.cycles(2);
+    s.flow(3, trace::Flow::kStart);
+  }
+  trace::instant(trace::Cat::kServe, "noop.instant");
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_TRUE(trace::export_chrome_string().empty());
+  EXPECT_STREQ(trace::cat_name(trace::Cat::kKernel), "kernel");
+#endif
+}
+
+#if DECIMATE_TRACE_ENABLED
+
+std::vector<trace::Event> events_named(const char* name) {
+  std::vector<trace::Event> out;
+  trace::for_each_event([&](const trace::Event& e) {
+    if (std::string(e.name) == name) out.push_back(e);
+  });
+  return out;
+}
+
+bool contains(const trace::Event& outer, const trace::Event& inner) {
+  return outer.tid == inner.tid && outer.ts_ns <= inner.ts_ns &&
+         inner.ts_ns + inner.dur_ns <= outer.ts_ns + outer.dur_ns;
+}
+
+TEST(Trace, SpanNestingOnOneThread) {
+  trace::clear();
+  {
+    trace::TraceScope outer(trace::Cat::kExec, "test.outer");
+    outer.cycles(123);
+    {
+      trace::TraceScope inner(trace::Cat::kKernel, "test.inner");
+      inner.arg("depth", 2);
+    }
+  }
+  const auto outers = events_named("test.outer");
+  const auto inners = events_named("test.inner");
+  ASSERT_EQ(outers.size(), 1u);
+  ASSERT_EQ(inners.size(), 1u);
+  EXPECT_TRUE(contains(outers[0], inners[0]));
+  EXPECT_EQ(outers[0].cycles, 123u);
+  EXPECT_EQ(outers[0].ph, 'X');
+  EXPECT_EQ(inners[0].nargs, 1);
+  EXPECT_EQ(inners[0].aval[0], 2);
+}
+
+TEST(Trace, SpanNestingAcrossWorkerPoolThreads) {
+  trace::clear();
+  std::mutex mu;
+  std::set<std::thread::id> used;
+  WorkerPool pool(3);
+  pool.run(16, [&](int i) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      used.insert(std::this_thread::get_id());
+    }
+    trace::TraceScope s(trace::Cat::kExec, "test.pooltask");
+    s.arg("i", i);
+  });
+  // every one of our spans sits inside the pool's own "pool.task" span on
+  // the same thread track
+  const auto tasks = events_named("pool.task");
+  const auto ours = events_named("test.pooltask");
+  ASSERT_EQ(ours.size(), 16u);
+  ASSERT_GE(tasks.size(), 16u);
+  for (const trace::Event& mine : ours) {
+    bool nested = false;
+    for (const trace::Event& t : tasks) nested = nested || contains(t, mine);
+    EXPECT_TRUE(nested) << "span i=" << mine.aval[0]
+                        << " not nested in a pool.task span";
+  }
+  // span tids partition by real thread: distinct trace tids == distinct
+  // std::thread ids that executed tasks
+  std::set<uint32_t> tids;
+  for (const trace::Event& e : ours) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), used.size());
+}
+
+TEST(Trace, RingWrapKeepsTheNewestEvents) {
+  trace::clear();
+  trace::set_ring_capacity(8);  // applies to buffers created after
+  std::thread t([] {
+    for (int i = 0; i < 20; ++i) {
+      trace::instant(trace::Cat::kExec, "test.wrap", 0, trace::Flow::kNone,
+                     "i", i);
+    }
+  });
+  t.join();
+  trace::set_ring_capacity(size_t{1} << 14);
+  const auto kept = events_named("test.wrap");
+  ASSERT_EQ(kept.size(), 8u);  // ring holds the 8 newest of 20
+  for (size_t j = 0; j < kept.size(); ++j) {
+    EXPECT_EQ(kept[j].aval[0], static_cast<int64_t>(12 + j));  // oldest-first
+  }
+}
+
+TEST(Trace, RuntimeDisableDropsEvents) {
+  trace::clear();
+  trace::set_enabled(false);
+  {
+    trace::TraceScope s(trace::Cat::kExec, "test.dropped");
+  }
+  trace::instant(trace::Cat::kExec, "test.dropped");
+  trace::set_enabled(true);
+  EXPECT_TRUE(events_named("test.dropped").empty());
+}
+
+TEST(Trace, FlowAndArgsAreStamped) {
+  trace::clear();
+  trace::instant(trace::Cat::kServe, "test.flow", 41, trace::Flow::kStart,
+                 "x", 7, "s", "v");
+  const auto got = events_named("test.flow");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].ph, 'i');
+  EXPECT_EQ(got[0].flow, trace::Flow::kStart);
+  EXPECT_EQ(got[0].flow_id, 42u);  // request id + 1
+  ASSERT_EQ(got[0].nargs, 1);
+  EXPECT_EQ(got[0].aval[0], 7);
+  ASSERT_EQ(got[0].nsargs, 1);
+  EXPECT_STREQ(got[0].sval[0], "v");
+}
+
+// Minimal JSON validator: enough grammar to prove the export parses
+// (strings with escapes, numbers, literals, arrays, objects).
+struct JsonScan {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  void ws() {
+    while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool lit(const char* s) {
+    const size_t n = std::string(s).size();
+    if (static_cast<size_t>(end - p) < n ||
+        std::string(p, p + n) != s) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+  void string() {
+    if (p >= end || *p != '"') {
+      ok = false;
+      return;
+    }
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') ++p;  // skip the escaped char
+      ++p;
+    }
+    if (p >= end) {
+      ok = false;
+      return;
+    }
+    ++p;  // closing quote
+  }
+  void number() {
+    if (p < end && *p == '-') ++p;
+    const char* start = p;
+    while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' ||
+                       *p == 'E' || *p == '+' || *p == '-')) {
+      ++p;
+    }
+    if (p == start) ok = false;
+  }
+  void value() {
+    ws();
+    if (!ok || p >= end) {
+      ok = false;
+      return;
+    }
+    if (*p == '"') {
+      string();
+    } else if (*p == '{') {
+      ++p;
+      ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return;
+      }
+      for (;;) {
+        ws();
+        string();
+        ws();
+        if (!ok || p >= end || *p != ':') {
+          ok = false;
+          return;
+        }
+        ++p;
+        value();
+        ws();
+        if (!ok || p >= end) {
+          ok = false;
+          return;
+        }
+        if (*p == ',') {
+          ++p;
+          continue;
+        }
+        if (*p == '}') {
+          ++p;
+          return;
+        }
+        ok = false;
+        return;
+      }
+    } else if (*p == '[') {
+      ++p;
+      ws();
+      if (p < end && *p == ']') {
+        ++p;
+        return;
+      }
+      for (;;) {
+        value();
+        ws();
+        if (!ok || p >= end) {
+          ok = false;
+          return;
+        }
+        if (*p == ',') {
+          ++p;
+          continue;
+        }
+        if (*p == ']') {
+          ++p;
+          return;
+        }
+        ok = false;
+        return;
+      }
+    } else if (!lit("true") && !lit("false") && !lit("null")) {
+      number();
+    }
+  }
+};
+
+bool json_well_formed(const std::string& s) {
+  JsonScan scan{s.data(), s.data() + s.size()};
+  scan.value();
+  scan.ws();
+  return scan.ok && scan.p == scan.end;
+}
+
+TEST(Trace, ChromeExportIsWellFormedJson) {
+  ASSERT_TRUE(json_well_formed("{\"a\":[1,2.5,\"x\\\"y\"],\"b\":{}}"));
+  ASSERT_FALSE(json_well_formed("{\"a\":[1,]}"));
+  ASSERT_FALSE(json_well_formed("{\"a\":1"));
+
+  trace::clear();
+  trace::set_thread_name("test.main");
+  {
+    trace::TraceScope s(trace::Cat::kDispatch, "test.json \"quoted\\name");
+    s.arg("batch", 4);
+    s.sarg("mode", "fused");
+    s.cycles(99);
+    s.flow(7, trace::Flow::kStep);
+  }
+  trace::instant(trace::Cat::kServe, "test.json.instant", 7,
+                 trace::Flow::kEnd);
+  const std::string json = trace::export_chrome_string();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  // metadata, spans, instants, and flow records are all present
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);  // flow step
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);  // flow end
+  EXPECT_NE(json.find("test.main"), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":99"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"fused\""), std::string::npos);
+  // the escaped span name survives round-trip intact
+  EXPECT_NE(json.find("test.json \\\"quoted\\\\name"), std::string::npos);
+}
+
+#endif  // DECIMATE_TRACE_ENABLED
+
+}  // namespace
+}  // namespace decimate
