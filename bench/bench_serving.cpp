@@ -11,10 +11,14 @@
 // bit-exact with a sequential ExecutionEngine::run, and nothing compiles
 // after PlanStore warm-up. Results land in BENCH_serve.json.
 //
-//   ./bench_serving [--smoke] [--out PATH]
+//   ./bench_serving [--smoke] [--out PATH] [--registry DIR]
 //
 // --smoke shrinks the models and traces so CI can run the bench in
-// seconds.
+// seconds. --registry attaches DIR as the PlanStore's artifact tier:
+// warm-up plans come from (and freshly compiled ones are published to)
+// the registry, and the latency cache persists to DIR/latencies.bin —
+// a second run against the same DIR warms up with zero compiles and
+// zero ISS invocations.
 
 #include <algorithm>
 #include <cmath>
@@ -196,11 +200,12 @@ ScenarioRow run_scenario(const std::string& model_name,
 
 void emit_json(std::ostream& os, bool smoke, int clusters,
                const std::vector<ModelReport>& reports, int compiles_warm,
-               int compiles_total, bool bit_exact) {
+               int compiles_total, int registry_loads, bool bit_exact) {
   os << "{\n  \"bench\": \"serving\",\n  \"smoke\": "
      << (smoke ? "true" : "false") << ",\n  \"num_clusters\": " << clusters
      << ",\n  \"compiles_at_warmup\": " << compiles_warm
      << ",\n  \"compiles_after_serving\": " << compiles_total
+     << ",\n  \"registry_loads\": " << registry_loads
      << ",\n  \"bit_exact\": " << (bit_exact ? "true" : "false")
      << ",\n  \"models\": [\n";
   for (size_t mi = 0; mi < reports.size(); ++mi) {
@@ -239,13 +244,17 @@ void emit_json(std::ostream& os, bool smoke, int clusters,
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_serve.json";
+  std::string registry_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--registry") == 0 && i + 1 < argc) {
+      registry_dir = argv[++i];
     } else {
-      std::cerr << "usage: bench_serving [--smoke] [--out PATH]\n";
+      std::cerr
+          << "usage: bench_serving [--smoke] [--out PATH] [--registry DIR]\n";
       return 1;
     }
   }
@@ -253,7 +262,13 @@ int main(int argc, char** argv) {
   constexpr int kClusters = 4;
   CompileOptions copt;
   copt.enable_isa = true;
+  if (!registry_dir.empty()) {
+    // the registry carries the ISS warm file alongside the artifacts;
+    // setting the path before construction makes the store load it
+    copt.latency_cache_path = registry_dir + "/latencies.bin";
+  }
   PlanStore store(copt);
+  if (!registry_dir.empty()) store.attach_registry(registry_dir);
   DispatchConfig cfg;
   cfg.num_clusters = kClusters;
   cfg.fused_batches = {1, 2, 4, 8};
@@ -398,6 +413,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "compiles: " << compiles_warm << " at warm-up, "
             << compiles_total << " after serving\n";
+  if (!registry_dir.empty()) {
+    store.save_latencies();
+    std::cout << "registry " << registry_dir << ": " << store.registry_loads()
+              << " plans loaded, " << compiles_total << " compiled+published\n";
+  }
 
   bool ok = bit_exact && modes_ok;
   if (compiles_total != compiles_warm) {
@@ -412,7 +432,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   emit_json(out, smoke, kClusters, reports, compiles_warm, compiles_total,
-            bit_exact);
+            store.registry_loads(), bit_exact);
   std::cout << "wrote " << out_path << "\n";
   return ok ? 0 : 1;
 }

@@ -11,6 +11,11 @@
 //   stdout        per-request and per-layer energy attribution from the
 //                 hw energy model folded over each plan's cycle reports
 //
+// The run ends with a registry cold start: the warm plans are published
+// to trace_registry/ and reloaded through a fresh PlanStore, so the
+// trace also shows the artifact path (registry.load / registry.mmap /
+// registry.verify spans, artifact.* counters in metrics.json).
+//
 // Span recording requires a -DDECIMATE_TRACE=ON build; without it the
 // demo still serves, writes metrics.json, and prints the energy tables,
 // but trace.json is skipped (TraceScope compiles to nothing).
@@ -114,6 +119,21 @@ int main() {
   }
   std::cout << "energy per layer (first-execution order):\n"
             << per_layer << "\n";
+
+  // --- registry cold start: the artifact path, traced --------------------
+  // publish the warm plans, then reload one through a fresh store so the
+  // exported trace shows registry.load/mmap/verify alongside the serving
+  // spans (and metrics.json the artifact.* counters)
+  store.attach_registry("trace_registry")->publish(store.plan(resnet, 1, 1));
+  {
+    PlanStore cold(opt);
+    cold.attach_registry("trace_registry");
+    const int id = cold.add_model(resnet_graph);
+    cold.plan(id, 1, 1);
+    std::cout << "registry cold start: " << cold.registry_loads()
+              << " plan loaded from trace_registry/, " << cold.compiles()
+              << " compiles\n\n";
+  }
 
   // --- artifacts ---------------------------------------------------------
   if (metrics::registry().save_json("metrics.json")) {

@@ -1,0 +1,72 @@
+#include "artifact/mapped_file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DECIMATE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace decimate {
+
+std::shared_ptr<MappedFile> MappedFile::open(const std::string& path) {
+  // make_shared needs a public ctor; the private-ctor handshake
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->path_ = path;
+
+#ifdef DECIMATE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return nullptr;
+    DECIMATE_FAIL("cannot open " << path << ": " << std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    DECIMATE_FAIL("cannot stat " << path << ": " << std::strerror(errno));
+  }
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ == 0) {
+    // mmap of length 0 is EINVAL; an empty artifact is simply invalid and
+    // the parser will reject it, so hand back a valid empty span.
+    ::close(fd);
+    file->data_ = reinterpret_cast<const uint8_t*>("");
+    return file;
+  }
+  void* p = ::mmap(nullptr, file->size_, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the file
+  DECIMATE_CHECK(p != MAP_FAILED,
+                 "cannot mmap " << path << ": " << std::strerror(errno));
+  file->data_ = static_cast<const uint8_t*>(p);
+  file->mapped_ = true;
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return nullptr;
+  const auto size = in.tellg();
+  DECIMATE_CHECK(size >= 0, "cannot size " << path);
+  file->size_ = static_cast<size_t>(size);
+  file->heap_ = std::make_unique<uint8_t[]>(file->size_ + 1);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(file->heap_.get()),
+          static_cast<std::streamsize>(file->size_));
+  DECIMATE_CHECK(in.good() || file->size_ == 0, "cannot read " << path);
+  file->data_ = file->heap_.get();
+#endif
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#ifdef DECIMATE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace decimate

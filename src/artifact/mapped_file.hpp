@@ -1,0 +1,50 @@
+#pragma once
+// MappedFile: a read-only memory mapping of a plan artifact.
+//
+// The registry's zero-copy load path: the whole `.plan` file is mapped
+// once and every SharedBuf view in the rehydrated plan aliases the
+// mapping (keep-alive = the shared_ptr<MappedFile>), so N server
+// processes that load the same artifact share ONE physical copy of the
+// packed-weight section — the page cache backs all of them, and no
+// process pays a private decode/copy for the payload arrays.
+//
+// On non-POSIX hosts (no mmap) the file is read into an owned heap
+// buffer instead: same interface, same lifetime semantics, just without
+// the cross-process sharing.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace decimate {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only. Returns nullptr when the file does not exist;
+  /// throws decimate::Error on an open/map failure of an existing file.
+  static std::shared_ptr<MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+  const std::string& path() const { return path_; }
+  /// True when the bytes are a real mmap (false: heap fallback).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::unique_ptr<uint8_t[]> heap_;  // non-POSIX fallback storage
+};
+
+}  // namespace decimate

@@ -1,0 +1,104 @@
+#pragma once
+// Versioned binary serialization of CompiledPlans — the registry's wire
+// format (`.plan` files).
+//
+// Layout: a fixed header (magic, format version, plan/graph fingerprints,
+// section table, header CRC) followed by four sections:
+//
+//   graph    the full Graph: topology, geometries, requant constants and
+//            every parameter tensor — enough to rehydrate a Graph whose
+//            graph_fingerprint() equals the original's bit for bit. Gemm
+//            biases are stored by reference into the weight section.
+//   plan     CompileOptions (the nine plan-shaping fields) and every
+//            PlanStep: kernel choice, tile plans, tile costs, shard
+//            metadata, layer reports, and weight-section references for
+//            the NmPacked payloads and host-dispatch gather arrays.
+//   latency  the compile-time TileLatencyCache records
+//            (TileLatencyCache::append_records), so a loaded plan can be
+//            sharded (kFcC tile measurement) without an ISS in the
+//            serving process.
+//   weights  the payload blob: NmPacked values/offsets, the host gather
+//            arrays, and gemm biases, each 64-byte aligned. This is the
+//            section N server processes share physically: load_plan
+//            builds SharedBuf views that alias the file mapping instead
+//            of copying.
+//
+// Every structured field is explicit-width little-endian (common/serde);
+// the weight blob is raw little-endian element bytes (views reinterpret
+// them in place, so the format requires a little-endian host — asserted
+// at compile time).
+//
+// Admission: verify_artifact() runs the structural artifact.* checks
+// (magic/version, section bounds, per-section CRCs) without rehydrating;
+// load_plan() runs them, rehydrates, re-derives both fingerprints from
+// the rehydrated content (artifact.fingerprint), and finally runs the
+// PR-7 static verifier (verify_plan) — a corrupt or forged artifact is
+// rejected before anything executes from it.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "artifact/mapped_file.hpp"
+#include "exec/plan.hpp"
+#include "verify/verify.hpp"
+
+namespace decimate::artifact {
+
+constexpr uint32_t kFormatVersion = 1;
+
+/// Fixed header size: magic + version + plan/graph fingerprints +
+/// 4-entry section table + header CRC (the last 4 bytes of the header).
+/// Exposed so tests can tamper with specific header fields.
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8 + 4 + 4 * (1 + 8 + 8 + 4) + 4;
+
+/// Parsed header of a `.plan` byte buffer.
+struct ArtifactInfo {
+  uint32_t version = 0;
+  uint64_t plan_fingerprint = 0;
+  uint64_t graph_fingerprint = 0;
+  uint64_t weight_section_bytes = 0;  // the mmap-shared payload blob
+  uint64_t total_bytes = 0;
+};
+
+/// Serialize a plan to the `.plan` format. The result is self-contained:
+/// load_plan() over these bytes rebuilds a plan that runs bit-identically
+/// with no compiler and no ISS in the loading process.
+std::vector<uint8_t> serialize_plan(const CompiledPlan& plan);
+
+/// Parse the fixed header. Throws decimate::Error on a malformed one
+/// (too short, bad magic); does not validate section contents.
+ArtifactInfo peek_info(std::span<const uint8_t> bytes,
+                       const std::string& what);
+
+/// Structural admission checks, reported under stable artifact.* ids:
+///   artifact.magic    magic/size/version legality
+///   artifact.bounds   section table within the file, no overlap
+///   artifact.crc      header and per-section CRC32 (the weight-section
+///                     CRC catches bit flips in the shared payload)
+/// Never rehydrates; safe on untrusted bytes.
+VerifyReport verify_artifact(std::span<const uint8_t> bytes,
+                             const std::string& what);
+
+/// Rehydrate a plan from a mapped artifact. SharedBuf payloads (NmPacked
+/// values/offsets, host gather arrays) alias the mapping — `file` is
+/// kept alive by the returned plan; the plan owns its rehydrated graph
+/// (CompiledPlan::owned_graph). Latency records are merged into
+/// `latencies` (a fresh cache when null) and the plan costed with it.
+/// Admission gate: runs verify_artifact, the artifact.fingerprint
+/// re-derivation, and verify_plan; throws VerifyError on any error-level
+/// finding.
+CompiledPlan load_plan(std::shared_ptr<MappedFile> file,
+                       std::shared_ptr<TileLatencyCache> latencies = nullptr);
+
+/// load_plan from a heap buffer (tests, non-mmap callers): same checks;
+/// the bytes are copied into 64-byte-aligned storage owned by the
+/// returned plan's payload views.
+CompiledPlan load_plan_from_bytes(std::span<const uint8_t> bytes,
+                                  const std::string& what,
+                                  std::shared_ptr<TileLatencyCache> latencies =
+                                      nullptr);
+
+}  // namespace decimate::artifact

@@ -1,0 +1,129 @@
+#include "artifact/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+
+#include "common/serde.hpp"
+#include "compiler/fingerprint.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace decimate {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string hex16(uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+PlanRegistry::PlanRegistry(std::string dir,
+                           std::shared_ptr<TileLatencyCache> latencies)
+    : dir_(std::move(dir)),
+      latencies_(latencies ? std::move(latencies)
+                           : std::make_shared<TileLatencyCache>()) {
+  fs::create_directories(dir_);
+  latency_file_ = (fs::path(dir_) / "latencies.bin").string();
+}
+
+std::string PlanRegistry::path_for(uint64_t fingerprint) const {
+  return (fs::path(dir_) / (hex16(fingerprint) + ".plan")).string();
+}
+
+bool PlanRegistry::contains(uint64_t fingerprint) const {
+  return fs::exists(path_for(fingerprint));
+}
+
+std::string PlanRegistry::publish(const CompiledPlan& plan) {
+  DECIMATE_CHECK(plan.graph != nullptr, "cannot publish a plan without a graph");
+  trace::TraceScope span(trace::Cat::kArtifact, "registry.publish");
+  const uint64_t fp = plan_fingerprint(*plan.graph, plan.options);
+  const std::string path = path_for(fp);
+  const std::vector<uint8_t> bytes = artifact::serialize_plan(plan);
+  span.arg("bytes", static_cast<int64_t>(bytes.size()));
+  serde::write_file_atomic(path, bytes);
+  metrics::registry().counter("artifact.publishes").inc();
+  rewrite_index();
+  return path;
+}
+
+std::optional<CompiledPlan> PlanRegistry::load(uint64_t fingerprint) {
+  const uint64_t t0 = now_ns();
+  trace::TraceScope span(trace::Cat::kArtifact, "registry.load");
+  std::shared_ptr<MappedFile> file;
+  {
+    trace::TraceScope map_span(trace::Cat::kArtifact, "registry.mmap");
+    file = MappedFile::open(path_for(fingerprint));
+  }
+  if (file == nullptr) {
+    metrics::registry().counter("artifact.misses").inc();
+    return std::nullopt;
+  }
+  span.arg("bytes", static_cast<int64_t>(file->size()));
+  try {
+    // load_plan runs the whole admission gate (artifact.* structural
+    // checks, fingerprint re-derivation, the static plan verifier); the
+    // verify span wraps it so trace consumers see admission cost
+    // separately from the mmap
+    trace::TraceScope verify_span(trace::Cat::kArtifact, "registry.verify");
+    CompiledPlan plan = artifact::load_plan(std::move(file), latencies_);
+    metrics::registry().counter("artifact.hits").inc();
+    metrics::registry().histogram("artifact.load_ns").observe(now_ns() - t0);
+    return plan;
+  } catch (const VerifyError&) {
+    metrics::registry().counter("artifact.verify_rejects").inc();
+    throw;
+  }
+}
+
+std::vector<artifact::ArtifactInfo> PlanRegistry::list() const {
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".plan") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<artifact::ArtifactInfo> out;
+  out.reserve(paths.size());
+  for (const auto& p : paths) {
+    // mmap rather than read: only the header page is faulted in
+    const auto file = MappedFile::open(p);
+    if (file == nullptr) continue;  // raced with a delete
+    out.push_back(artifact::peek_info(file->bytes(), p));
+  }
+  return out;
+}
+
+void PlanRegistry::rewrite_index() const {
+  std::ostringstream idx;
+  idx << "# fingerprint\tbytes\tweight_bytes\tversion\n";
+  for (const auto& info : list()) {
+    idx << hex16(info.plan_fingerprint) << '\t' << info.total_bytes << '\t'
+        << info.weight_section_bytes << '\t' << info.version << '\n';
+  }
+  const std::string s = idx.str();
+  serde::write_file_atomic(
+      (fs::path(dir_) / "index.tsv").string(),
+      {reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+}
+
+}  // namespace decimate

@@ -1,0 +1,79 @@
+#pragma once
+// PlanRegistry: a directory of serialized CompiledPlans, keyed by plan
+// fingerprint — the deployment artifact store.
+//
+// Layout on disk:
+//   <dir>/<%016x fingerprint>.plan   one artifact per plan identity
+//   <dir>/index.tsv                  human-greppable index (fingerprint,
+//                                    bytes, weight bytes), rebuilt on
+//                                    every publish
+//   <dir>/latencies.bin              optional shared TileLatencyCache
+//                                    warm file (written by save_latencies)
+//
+// Publishing is atomic (write temp + rename), so concurrent publishers
+// and a crashed process never leave a torn artifact: readers see either
+// nothing or complete bytes. Loading mmaps the artifact read-only and
+// rehydrates through the admission gate (artifact.* structural checks +
+// the PR-7 static verifier); every SharedBuf payload in the returned
+// plan aliases the mapping, so N processes serving the same registry
+// share one physical copy of each plan's weight section.
+//
+// Observability: counters artifact.{hits,misses,publishes,
+// verify_rejects}, histogram artifact.load_ns, spans registry.load /
+// registry.mmap / registry.verify / registry.publish (Cat::kArtifact).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "artifact/plan_io.hpp"
+#include "exec/plan.hpp"
+
+namespace decimate {
+
+class PlanRegistry {
+ public:
+  /// Open (creating the directory if needed). `latencies`: the cache
+  /// loaded plans are costed with; artifact latency sections merge into
+  /// it, so serve-time shard planning over loaded plans is ISS-free.
+  /// A fresh cache is created when omitted.
+  explicit PlanRegistry(std::string dir,
+                        std::shared_ptr<TileLatencyCache> latencies = nullptr);
+
+  /// Serialize and atomically publish a plan under its fingerprint.
+  /// Re-publishing an identical fingerprint overwrites (the bytes are a
+  /// pure function of the fingerprint, so this is idempotent). Returns
+  /// the artifact path.
+  std::string publish(const CompiledPlan& plan);
+
+  /// Load the plan with this fingerprint through the admission gate.
+  /// Returns nullopt when no such artifact exists; throws VerifyError on
+  /// a corrupt/forged artifact, decimate::Error on I/O failure.
+  std::optional<CompiledPlan> load(uint64_t fingerprint);
+
+  /// Whether an artifact for this fingerprint exists on disk.
+  bool contains(uint64_t fingerprint) const;
+
+  /// Header info of every artifact in the directory (sorted by path).
+  std::vector<artifact::ArtifactInfo> list() const;
+
+  /// The artifact path a fingerprint maps to (whether or not it exists).
+  std::string path_for(uint64_t fingerprint) const;
+
+  const std::string& dir() const { return dir_; }
+  const std::string& latency_file() const { return latency_file_; }
+  std::shared_ptr<TileLatencyCache> shared_latencies() const {
+    return latencies_;
+  }
+
+ private:
+  void rewrite_index() const;
+
+  std::string dir_;
+  std::string latency_file_;
+  std::shared_ptr<TileLatencyCache> latencies_;
+};
+
+}  // namespace decimate

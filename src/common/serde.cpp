@@ -1,0 +1,76 @@
+#include "common/serde.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace decimate::serde {
+
+namespace {
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(std::span<const uint8_t> data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool read_file(const std::string& path, std::vector<uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  DECIMATE_CHECK(size >= 0, "cannot stat " << path);
+  in.seekg(0, std::ios::beg);
+  out.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(out.data()), size);
+  }
+  DECIMATE_CHECK(in.good(), "failed reading " << path);
+  return true;
+}
+
+void write_file_atomic(const std::string& path,
+                       std::span<const uint8_t> data) {
+  // pid-salted temp name: two processes publishing the same path never
+  // tear each other's half-written temp file; rename() is atomic either way
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    DECIMATE_CHECK(out.good(), "cannot open " << tmp << " for writing");
+    if (!data.empty()) {
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+    }
+    out.flush();
+    DECIMATE_CHECK(out.good(), "failed writing " << tmp);
+  }
+  DECIMATE_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot move " << tmp << " into place at " << path);
+}
+
+}  // namespace decimate::serde

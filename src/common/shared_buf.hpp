@@ -1,0 +1,97 @@
+#pragma once
+// SharedBuf<T>: an array that either OWNS 64-byte-aligned storage (the
+// normal compile-time path — backed by AlignedVec, with the vector-like
+// mutation API the builders use) or is a read-only VIEW into memory kept
+// alive by a shared keep-alive handle (the registry load path — the view
+// aliases a file mapping, so N server processes that load the same plan
+// artifact share one physical copy of the packed weights instead of each
+// decoding a private heap copy).
+//
+// NmPacked and HostKernelDispatch store their payload arrays through
+// this type. Reads (data() const, operator[] const, size, span
+// conversion) work in both modes; mutation is owned-mode only and throws
+// in a view — registry-loaded plans are immutable by construction.
+//
+// Copying is shallow: copies share the same storage (shared_ptr), which
+// is exactly what plan copies want — payloads are written once at pack /
+// build time and never mutated afterwards. Don't mutate a buffer after
+// copying it; mutate, then copy.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "common/aligned.hpp"
+#include "common/check.hpp"
+
+namespace decimate {
+
+template <typename T>
+class SharedBuf {
+ public:
+  SharedBuf() = default;
+
+  /// A view over [p, p+n) whose lifetime is guaranteed by `keepalive`
+  /// (e.g. the mmap of a plan artifact). The bytes must stay immutable.
+  static SharedBuf view(const T* p, size_t n,
+                        std::shared_ptr<const void> keepalive) {
+    SharedBuf b;
+    b.view_ptr_ = p;
+    b.view_size_ = n;
+    b.keepalive_ = std::move(keepalive);
+    return b;
+  }
+
+  bool is_view() const { return view_ptr_ != nullptr; }
+
+  // --- reads (both modes) ---------------------------------------------------
+  const T* data() const { return is_view() ? view_ptr_ : owned_data(); }
+  size_t size() const { return is_view() ? view_size_ : owned_size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  operator std::span<const T>() const { return {data(), size()}; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  /// The keep-alive handle of a view (null for owned buffers) — plan
+  /// loaders hand this out so sibling structures can alias the same
+  /// mapping.
+  const std::shared_ptr<const void>& keepalive() const { return keepalive_; }
+
+  // --- mutation (owned mode only) -------------------------------------------
+  T* data() {
+    DECIMATE_CHECK(!is_view(), "SharedBuf: mutable access to a view");
+    return own_ ? own_->data() : nullptr;
+  }
+  T& operator[](size_t i) { return data()[i]; }
+  void assign(size_t n, T v) { mut().assign(n, v); }
+  void resize(size_t n) { mut().resize(n); }
+  void reserve(size_t n) { mut().reserve(n); }
+  void push_back(T v) { mut().push_back(v); }
+  size_t capacity() const { return own_ ? own_->capacity() : 0; }
+  void clear() {
+    view_ptr_ = nullptr;
+    view_size_ = 0;
+    keepalive_.reset();
+    own_.reset();
+  }
+
+ private:
+  AlignedVec<T>& mut() {
+    DECIMATE_CHECK(!is_view(), "SharedBuf: cannot mutate a view");
+    if (!own_) own_ = std::make_shared<AlignedVec<T>>();
+    return *own_;
+  }
+  const T* owned_data() const { return own_ ? own_->data() : nullptr; }
+  size_t owned_size() const { return own_ ? own_->size() : 0; }
+
+  // owned storage (copies share it; see header comment)
+  std::shared_ptr<AlignedVec<T>> own_;
+  // view fields
+  const T* view_ptr_ = nullptr;
+  size_t view_size_ = 0;
+  std::shared_ptr<const void> keepalive_;
+};
+
+}  // namespace decimate

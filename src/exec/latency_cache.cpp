@@ -2,118 +2,116 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
-#include <fstream>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/serde.hpp"
 
 namespace decimate {
 
 namespace {
 
-// File layout: magic, version, entry count, then `count` fixed-size
-// records. The record encodes the full TileKey tuple plus the measured
-// cycles; bumping kVersion invalidates stale files wholesale.
+// File layout: magic, version, CRC of the record block, then the
+// count-prefixed records (append_records). Each record encodes the full
+// TileKey tuple plus the measured cycles in explicit little-endian
+// fields (common/serde.hpp); bumping kVersion invalidates stale files
+// wholesale. v1 wrote host-endian packed structs; v2 is the portable
+// serde encoding shared with the plan-artifact latency section.
 constexpr char kMagic[4] = {'D', 'T', 'L', 'C'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
-struct Record {
-  uint8_t domain = 0;
-  uint8_t kind = 0;
-  uint8_t vec_op = 0;
-  uint8_t pad = 0;
-  int32_t m = 0;
-  int32_t cfg = 0;
-  std::array<int32_t, 8> geom{};
-  uint64_t cycles = 0;
-};
-static_assert(sizeof(Record) == 56, "record layout drifted");
+void write_record(serde::Writer& w, const TileKey& key, uint64_t cycles) {
+  w.u8(static_cast<uint8_t>(key.domain));
+  w.u8(static_cast<uint8_t>(key.kind));
+  w.u8(static_cast<uint8_t>(key.vec_op));
+  w.u8(0);  // pad, keeps the record word-aligned and greppable
+  w.i32(key.m);
+  w.i32(key.cfg);
+  for (const int g : key.geom) w.i32(g);
+  w.u64(cycles);
+}
+
+std::pair<TileKey, uint64_t> read_record(serde::Reader& r) {
+  TileKey key;
+  key.domain = static_cast<TileKey::Domain>(r.u8());
+  key.kind = static_cast<KernelKind>(r.u8());
+  key.vec_op = static_cast<OpType>(r.u8());
+  r.u8();  // pad
+  key.m = r.i32();
+  key.cfg = r.i32();
+  for (auto& g : key.geom) g = r.i32();
+  return {key, r.u64()};
+}
 
 }  // namespace
 
-size_t TileLatencyCache::save(const std::string& path) const {
-  // snapshot ready entries under the lock; write outside it
-  std::vector<Record> records;
+size_t TileLatencyCache::append_records(serde::Writer& w) const {
+  // snapshot ready entries under the lock; in-flight simulations on
+  // other threads are skipped (they will be in the next snapshot)
+  std::vector<std::pair<TileKey, uint64_t>> records;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     records.reserve(cache_.size());
     for (const auto& [key, fut] : cache_) {
       if (fut.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
-        continue;  // simulation still in flight on another thread
+        continue;
       }
-      Record r;
-      r.domain = static_cast<uint8_t>(key.domain);
-      r.kind = static_cast<uint8_t>(key.kind);
-      r.vec_op = static_cast<uint8_t>(key.vec_op);
-      r.m = key.m;
-      r.cfg = key.cfg;
-      for (size_t i = 0; i < key.geom.size(); ++i) r.geom[i] = key.geom[i];
-      r.cycles = fut.get();
-      records.push_back(r);
+      records.emplace_back(key, fut.get());
     }
   }
-
-  // write-then-rename so a killed process never leaves a truncated file
-  // behind — a malformed warm file would fail every later start
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    DECIMATE_CHECK(out.good(), "cannot open latency cache file " << tmp);
-    out.write(kMagic, sizeof(kMagic));
-    const uint32_t version = kVersion;
-    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-    const uint64_t count = records.size();
-    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    for (const Record& r : records) {
-      out.write(reinterpret_cast<const char*>(&r), sizeof(r));
-    }
-    out.flush();
-    DECIMATE_CHECK(out.good(), "failed writing latency cache file " << tmp);
-  }
-  DECIMATE_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
-                 "cannot move latency cache file into place at " << path);
+  w.u64(records.size());
+  for (const auto& [key, cycles] : records) write_record(w, key, cycles);
   return records.size();
 }
 
-size_t TileLatencyCache::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return 0;  // no warm file yet: cold start
-
-  char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  DECIMATE_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
-                 "latency cache file " << path << " has a bad magic");
-  uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  DECIMATE_CHECK(in.good() && version == kVersion,
-                 "latency cache file " << path << " has version " << version
-                                       << ", expected " << kVersion);
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  DECIMATE_CHECK(in.good(), "latency cache file " << path << " truncated");
-
+size_t TileLatencyCache::merge_records(serde::Reader& r) {
+  const uint64_t count = r.u64();
   size_t inserted = 0;
   const std::lock_guard<std::mutex> lock(mu_);
   for (uint64_t i = 0; i < count; ++i) {
-    Record r;
-    in.read(reinterpret_cast<char*>(&r), sizeof(r));
-    DECIMATE_CHECK(in.good(), "latency cache file " << path << " truncated");
-    TileKey key;
-    key.domain = static_cast<TileKey::Domain>(r.domain);
-    key.kind = static_cast<KernelKind>(r.kind);
-    key.vec_op = static_cast<OpType>(r.vec_op);
-    key.m = r.m;
-    key.cfg = r.cfg;
-    for (size_t g = 0; g < key.geom.size(); ++g) key.geom[g] = r.geom[g];
+    const auto [key, cycles] = read_record(r);
     if (cache_.count(key) != 0) continue;  // a measured value wins
     std::promise<uint64_t> prom;
-    prom.set_value(r.cycles);
+    prom.set_value(cycles);
     cache_.emplace(key, prom.get_future().share());
     ++inserted;
   }
   return inserted;
+}
+
+size_t TileLatencyCache::save(const std::string& path) const {
+  serde::Writer records;
+  const size_t count = append_records(records);
+
+  serde::Writer out;
+  out.bytes(kMagic, sizeof(kMagic));
+  out.u32(kVersion);
+  out.u32(serde::crc32(records.buffer()));
+  out.bytes(records.buffer().data(), records.buffer().size());
+  serde::write_file_atomic(path, out.buffer());
+  return count;
+}
+
+size_t TileLatencyCache::load(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  if (!serde::read_file(path, bytes)) return 0;  // no warm file: cold start
+
+  serde::Reader r(bytes, "latency cache file " + path);
+  const auto magic = r.take(sizeof(kMagic));
+  DECIMATE_CHECK(std::equal(magic.begin(), magic.end(),
+                            reinterpret_cast<const uint8_t*>(kMagic)),
+                 "latency cache file " << path << " has a bad magic");
+  const uint32_t version = r.u32();
+  DECIMATE_CHECK(version == kVersion,
+                 "latency cache file " << path << " has version " << version
+                                       << ", expected " << kVersion);
+  const uint32_t crc = r.u32();
+  const auto records = r.take(r.remaining());
+  DECIMATE_CHECK(serde::crc32(records) == crc,
+                 "latency cache file " << path << " is corrupt (CRC)");
+  serde::Reader rr(records, "latency cache records of " + path);
+  return merge_records(rr);
 }
 
 }  // namespace decimate

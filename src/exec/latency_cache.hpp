@@ -26,6 +26,7 @@
 #include <string>
 #include <tuple>
 
+#include "common/serde.hpp"
 #include "compiler/graph.hpp"
 #include "kernels/abi.hpp"
 #include "trace/metrics.hpp"
@@ -136,6 +137,16 @@ class TileLatencyCache {
   /// loaded key is a hit with no simulation, which is the point: a warm
   /// file makes plan compiles ISS-free across process restarts.
   size_t load(const std::string& path);
+
+  /// Append every ready entry as a count-prefixed record block to `w`
+  /// (the record layout save() uses, without the file header). The plan
+  /// artifact embeds the compile-time cache this way, so a registry-
+  /// loaded plan can shard (kFcC tile measurement) without an ISS.
+  size_t append_records(serde::Writer& w) const;
+
+  /// Merge a count-prefixed record block written by append_records();
+  /// existing keys win, exactly like load(). Returns entries inserted.
+  size_t merge_records(serde::Reader& r);
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);

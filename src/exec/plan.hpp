@@ -129,7 +129,14 @@ struct PlanStep {
 };
 
 struct CompiledPlan {
-  const Graph* graph = nullptr;  // must outlive the plan
+  // Compiler-produced plans borrow the caller's graph (`graph` must
+  // outlive the plan; the serving PlanStore guarantees it with its own
+  // stable copy). Registry-loaded plans instead OWN their rehydrated
+  // graph via `owned_graph` — `graph` then points into it, so a loaded
+  // plan is self-contained and cannot dangle whatever happens to the
+  // graph it was originally compiled from.
+  const Graph* graph = nullptr;
+  std::shared_ptr<const Graph> owned_graph;
   CompileOptions options;
   MemRegion weight_region = MemRegion::kL2;
   int64_t weight_bytes = 0;   // total deployed (values+offsets+bias)

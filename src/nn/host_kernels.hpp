@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/shared_buf.hpp"
 #include "nn/layer_geometry.hpp"
 #include "nn/nm_format.hpp"
 #include "nn/quant.hpp"
@@ -64,19 +65,22 @@ struct HostKernelDispatch {
   // tap_off/tap_fy/tap_fx are per-tap input addressing (interior offset
   // and tap coordinates for the border path). The streamed arrays
   // (val/ci/col) are 64-byte aligned so vector loads never straddle a
-  // cache line at the base.
+  // cache line at the base. Arrays are SharedBufs: built/owned at compile
+  // time, read-only views into the artifact's mmap'd weight section when
+  // the plan was loaded from the registry (so server processes share one
+  // physical copy of the gather plan instead of each decoding its own).
   int taps = 0;  // fy * fx
-  std::vector<int32_t> tap_start;
-  AlignedVec<uint16_t> ci;      // input channel within the tap
-  std::vector<int32_t> tap_off; // interior input offset: (fy*ix + fx)*c
-  std::vector<int16_t> tap_fy, tap_fx;
+  SharedBuf<int32_t> tap_start;
+  SharedBuf<uint16_t> ci;       // input channel within the tap
+  SharedBuf<int32_t> tap_off;   // interior input offset: (fy*ix + fx)*c
+  SharedBuf<int16_t> tap_fy, tap_fx;
 
   // Sparse FC: per output channel, the absolute input features of its
   // non-zeros. row_start is a CSR of size rows+1 into col/val.
-  std::vector<int32_t> row_start;
-  AlignedVec<int32_t> col;
+  SharedBuf<int32_t> row_start;
+  SharedBuf<int32_t> col;
 
-  AlignedVec<int8_t> val;  // non-zero values, parallel to ci / col
+  SharedBuf<int8_t> val;  // non-zero values, parallel to ci / col
 
   bool sparse() const {
     return impl == HostImpl::kSparseConv || impl == HostImpl::kSparseFc;
@@ -84,6 +88,16 @@ struct HostKernelDispatch {
   /// MACs one output element costs (nz per row for sparse, cols dense).
   int64_t nz_total() const { return static_cast<int64_t>(val.size()); }
 };
+
+/// Re-select the kernel instance index for a dispatch whose arrays were
+/// rehydrated from a plan artifact: the index is a position in this
+/// host's static instance registry (ISA-dependent), so it is never
+/// serialized — loaders call these with the deserialized family/geometry
+/// to bind the dispatch to the loading host. Same selection logic as
+/// host_dispatch_for_conv / host_dispatch_for_fc.
+int host_select_instance_for_conv(HostImpl family, const ConvGeom& g, int m);
+int host_select_instance_for_fc(HostImpl family, int tokens, int c, int k,
+                                int m);
 
 /// Build the dispatch for a conv node: sparse gather plan when `packed`
 /// is non-null (any NmLayout; logical offsets are decoded), blocked dense

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/shared_buf.hpp"
 #include "nn/tensor.hpp"
 
 namespace decimate {
@@ -45,9 +46,11 @@ struct NmPacked {
 
   int values_row_bytes = 0;   // padded to 4
   int offsets_row_bytes = 0;  // padded to 4
-  std::vector<int8_t> values;    // rows * values_row_bytes
-  std::vector<uint8_t> offsets;  // rows * offsets_row_bytes (pair-rows for
-                                 // the FC interleaved layout)
+  // Owned at pack time; registry-loaded plans hold read-only views into
+  // the artifact's mmap'd weight section instead (common/shared_buf.hpp).
+  SharedBuf<int8_t> values;    // rows * values_row_bytes
+  SharedBuf<uint8_t> offsets;  // rows * offsets_row_bytes (pair-rows for
+                               // the FC interleaved layout)
 
   int offset_bits() const { return m <= 4 ? 2 : 4; }
   int64_t values_bytes() const { return static_cast<int64_t>(values.size()); }

@@ -69,10 +69,45 @@ uint64_t PlanStore::key_for(int model, int batch, int num_clusters) const {
                                options_for(batch, num_clusters));
 }
 
+void PlanStore::attach_registry(std::shared_ptr<PlanRegistry> registry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  registry_ = std::move(registry);
+}
+
+std::shared_ptr<PlanRegistry> PlanStore::attach_registry(
+    const std::string& dir) {
+  auto registry = std::make_shared<PlanRegistry>(dir, latencies_);
+  attach_registry(registry);
+  return registry;
+}
+
+std::shared_ptr<PlanRegistry> PlanStore::registry() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return registry_;
+}
+
 const CompiledPlan& PlanStore::plan(int model, int batch, int num_clusters) {
   const std::lock_guard<std::mutex> lock(mu_);
   const uint64_t key = key_for(model, batch, num_clusters);
   auto it = plans_.find(key);
+  if (it == plans_.end() && registry_ != nullptr) {
+    // read-through: a published artifact with this exact plan identity
+    // serves without the compiler or the ISS. load() already ran the
+    // full admission gate (artifact.* checks + static verifier); the
+    // loaded plan owns its rehydrated graph, so it never references the
+    // store's model copy.
+    auto loaded = registry_->load(key);
+    if (loaded.has_value()) {
+      // runtime knobs are the loading process's, not the publisher's
+      loaded->options.host_threads = base_.host_threads;
+      loaded->options.verify_plans = base_.verify_plans;
+      ++registry_loads_;
+      it = plans_
+               .emplace(key,
+                        std::make_unique<CompiledPlan>(std::move(*loaded)))
+               .first;
+    }
+  }
   if (it == plans_.end()) {
     // compiles_ stays the per-store view (compiles() below); the registry
     // counter aggregates across every store in the process
@@ -96,6 +131,10 @@ const CompiledPlan& PlanStore::plan(int model, int batch, int num_clusters) {
       if (!report.ok()) throw VerifyError(std::move(report));
     }
     it = plans_.emplace(key, std::move(plan)).first;
+    // write-through: the next process (or the next fleet rollout) finds
+    // this exact plan identity on disk and cold-starts with zero
+    // compiles and zero ISS invocations
+    if (registry_ != nullptr) registry_->publish(*it->second);
   }
   return *it->second;
 }
@@ -113,6 +152,11 @@ void PlanStore::warm(int model, std::span<const int> batches,
 int PlanStore::compiles() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return compiles_;
+}
+
+int PlanStore::registry_loads() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return registry_loads_;
 }
 
 }  // namespace decimate

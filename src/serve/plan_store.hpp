@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "artifact/registry.hpp"
 #include "exec/compile.hpp"
 
 namespace decimate {
@@ -58,8 +59,30 @@ class PlanStore {
   void warm(int model, std::span<const int> batches, int num_clusters = 1);
 
   /// Plans compiled so far (cache misses): zero recompiles after warm-up
-  /// means this stays constant while serving.
+  /// means this stays constant while serving. Registry loads are NOT
+  /// compiles — a store serving entirely from a warm registry keeps this
+  /// at zero forever.
   int compiles() const;
+
+  /// Plans admitted from the registry (read-through hits).
+  int registry_loads() const;
+
+  /// Attach a PlanRegistry as the read-through / write-through tier:
+  /// plan() misses first try registry.load(fingerprint) (a hit skips the
+  /// compiler AND the ISS entirely), and freshly compiled plans are
+  /// published back so the next process cold-starts warm. For serve-time
+  /// shard planning to stay ISS-free too, construct the registry with
+  /// this store's shared_latencies() — loaded plans are then costed
+  /// against the same cache the store's compiles feed.
+  void attach_registry(std::shared_ptr<PlanRegistry> registry);
+
+  /// Convenience: open (or create) `dir` as this store's registry tier,
+  /// sharing the store's latency cache — artifact latency sections merge
+  /// straight into it, which is what makes a warm-registry cold start
+  /// ISS-free end to end. Returns the registry.
+  std::shared_ptr<PlanRegistry> attach_registry(const std::string& dir);
+
+  std::shared_ptr<PlanRegistry> registry() const;
 
   /// Persist the shared latency cache to base_options().latency_cache_path
   /// (which must be set). A store constructed later with the same path
@@ -83,11 +106,13 @@ class PlanStore {
 
   CompileOptions base_;
   std::shared_ptr<TileLatencyCache> latencies_;
+  std::shared_ptr<PlanRegistry> registry_;
   mutable std::mutex mu_;
   std::vector<Model> models_;
   // unique_ptr values keep plan references stable across inserts
   std::map<uint64_t, std::unique_ptr<CompiledPlan>> plans_;
   int compiles_ = 0;
+  int registry_loads_ = 0;
 };
 
 }  // namespace decimate

@@ -28,6 +28,8 @@ const char* cat_name(Cat cat) {
       return "shard";
     case Cat::kPool:
       return "pool";
+    case Cat::kArtifact:
+      return "artifact";
   }
   return "?";
 }
@@ -322,6 +324,8 @@ const char* cat_name(Cat cat) {
       return "shard";
     case Cat::kPool:
       return "pool";
+    case Cat::kArtifact:
+      return "artifact";
   }
   return "?";
 }

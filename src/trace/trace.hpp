@@ -55,6 +55,7 @@ enum class Cat : uint8_t {
   kKernel,    // per-PlanStep kernel execution
   kShard,     // MultiClusterEngine: per-cluster shard work
   kPool,      // WorkerPool: task execution and parked time
+  kArtifact,  // PlanRegistry: artifact load / mmap / verify / publish
 };
 
 const char* cat_name(Cat cat);
