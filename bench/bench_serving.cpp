@@ -12,6 +12,7 @@
 // after PlanStore warm-up. Results land in BENCH_serve.json.
 //
 //   ./bench_serving [--smoke] [--out PATH] [--registry DIR]
+//                   [--wallclock] [--overload] [--faults]
 //
 // --smoke shrinks the models and traces so CI can run the bench in
 // seconds. --registry attaches DIR as the PlanStore's artifact tier:
@@ -19,6 +20,19 @@
 // the registry, and the latency cache persists to DIR/latencies.bin —
 // a second run against the same DIR warms up with zero compiles and
 // zero ISS invocations.
+//
+// --wallclock appends a wall-clock overload sweep (ServerMode::
+// kWallClock, real threads, steady-clock deadlines): seeded Poisson
+// arrivals are paced in wall time at a multiple of the server's modeled
+// sustained img/s, and each point reports offered load vs goodput, wall
+// latency percentiles, shed/reject rates, and the deadline-miss rate
+// among served requests. --overload sweeps 0.5x/1x/2x/4x sustained
+// (without it only the 2x point runs); in --smoke the 2x point asserts
+// the headline robustness claim — the excess load is shed with typed
+// reasons while every admitted-and-served request meets its SLO.
+// --faults additionally injects a deterministic transient-exception
+// schedule into dispatch execution and asserts the retry ladder absorbs
+// it (requests still complete, nothing terminally fails).
 
 #include <algorithm>
 #include <cmath>
@@ -29,10 +43,15 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "bench_util.hpp"
 #include "exec/engine.hpp"
+#include "serve/fault.hpp"
 #include "serve/server.hpp"
+#include "serve/wallclock.hpp"
 #include "trace/energy_attr.hpp"
+#include "trace/metrics.hpp"
 
 using namespace decimate;
 
@@ -198,9 +217,217 @@ ScenarioRow run_scenario(const std::string& model_name,
   return row;
 }
 
+// --- wall-clock overload sweep ----------------------------------------------
+
+struct WallPoint {
+  double mult = 0.0;          // offered load as a multiple of sustained
+  double offered_ips = 0.0;   // img/s submitted
+  double goodput_ips = 0.0;   // img/s served kOk
+  int requests = 0;
+  int ok = 0;
+  int shed = 0;
+  int rejected = 0;
+  int failed = 0;
+  int redispatched = 0;
+  double shed_rate = 0.0;
+  double reject_rate = 0.0;
+  double miss_rate = 0.0;     // deadline misses / served kOk
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+};
+
+struct WallReport {
+  double sustained_ips = 0.0;
+  double ns_per_cycle = 0.0;
+  uint64_t deadline_ns = 0;
+  bool faults = false;
+  uint64_t faults_injected = 0;
+  std::vector<WallPoint> points;
+};
+
+/// One overload point: pace `n` seeded-Poisson arrivals in wall time at
+/// `mult` x the server's sustained rate while serve() runs on its own
+/// thread, then score the typed outcomes.
+WallPoint run_wall_point(PlanStore& store, const DispatchConfig& dcfg,
+                         const WallClockConfig& wcfg, int model,
+                         const std::vector<int>& shape, int n, double mult,
+                         uint64_t seed, bool& bit_exact) {
+  WallClockServer server(store, dcfg, wcfg);
+  server.warm(model);
+  const double sustained = server.sustained_img_per_s(model);
+  const double rate = mult * sustained;
+  const double mean_gap_ns = 1e9 / rate;
+
+  Rng rng(seed);
+  std::vector<Tensor8> inputs;
+  std::vector<uint64_t> arrivals;  // target arrival offsets, ns
+  inputs.reserve(static_cast<size_t>(n));
+  uint64_t t = 0;
+  for (int i = 0; i < n; ++i) {
+    t += static_cast<uint64_t>(-mean_gap_ns * std::log1p(-rng.uniform()));
+    arrivals.push_back(t);
+    inputs.push_back(Tensor8::random(shape, rng));
+  }
+
+  std::vector<WallServed> done;
+  std::thread server_thread([&] { done = server.serve(); });
+  const auto epoch = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(
+        epoch + std::chrono::nanoseconds(arrivals[static_cast<size_t>(i)]));
+    WallRequest r;
+    r.id = static_cast<uint64_t>(i);
+    r.model = model;
+    r.input = inputs[static_cast<size_t>(i)];
+    server.submit(std::move(r));
+  }
+  server.close();
+  server_thread.join();
+
+  WallPoint pt;
+  pt.mult = mult;
+  pt.offered_ips = rate;
+  pt.requests = n;
+  std::vector<uint64_t> latencies;
+  uint64_t first_arrival = UINT64_MAX, last_completion = 0;
+  int misses = 0;
+  ExecutionEngine engine;
+  const CompiledPlan& single = store.plan(model, 1, 1);
+  for (const WallServed& w : done) {
+    switch (w.outcome) {
+      case ServeOutcome::kOk: {
+        ++pt.ok;
+        pt.redispatched += w.redispatched ? 1 : 0;
+        misses += w.deadline_hit ? 0 : 1;
+        latencies.push_back(w.latency_ns());
+        first_arrival = std::min(first_arrival, w.arrival_ns);
+        last_completion = std::max(last_completion, w.completion_ns);
+        const Tensor8& in = inputs[static_cast<size_t>(w.id)];
+        if (!(w.output == engine.run(single, in).output)) {
+          std::cerr << "FAIL: wall-clock request " << w.id
+                    << " differs from the sequential run\n";
+          bit_exact = false;
+        }
+        break;
+      }
+      case ServeOutcome::kShed: ++pt.shed; break;
+      case ServeOutcome::kRejected: ++pt.rejected; break;
+      case ServeOutcome::kFailed: ++pt.failed; break;
+    }
+  }
+  pt.shed_rate = static_cast<double>(pt.shed) / n;
+  pt.reject_rate = static_cast<double>(pt.rejected) / n;
+  pt.miss_rate = pt.ok > 0 ? static_cast<double>(misses) / pt.ok : 0.0;
+  pt.p50_ns = percentile(latencies, 0.5);
+  pt.p99_ns = percentile(latencies, 0.99);
+  pt.goodput_ips =
+      last_completion > first_arrival
+          ? static_cast<double>(pt.ok) * 1e9 /
+                static_cast<double>(last_completion - first_arrival)
+          : 0.0;
+  return pt;
+}
+
+WallReport run_wall_sweep(PlanStore& store, int model,
+                          const std::vector<int>& shape, int clusters,
+                          bool smoke, bool overload, bool faults,
+                          bool& bit_exact, bool& wall_ok) {
+  DispatchConfig dcfg;
+  dcfg.num_clusters = clusters;
+  dcfg.fused_batches = {1, 2, 4, 8};
+
+  WallClockConfig wcfg;
+  wcfg.deadline_ns = 150'000'000;  // 150 ms: generous per-request, binding
+                                   // in aggregate once the queue backs up
+  wcfg.max_batch = 8;
+  wcfg.admission.max_queue_depth = smoke ? 8 : 16;
+  wcfg.watchdog_floor_ns = 20'000'000;  // recovery still fits the SLO
+
+  // deterministic transient-exception schedule: every 5th dispatch
+  // (phase 2) throws before executing; retry-with-backoff must absorb it
+  fault::FaultInjector injector(0xc4a05);
+  if (faults) {
+    fault::SitePlan plan;
+    plan.kind = fault::Kind::kException;
+    plan.period = 5;
+    plan.phase = 2;
+    injector.set_plan(fault::Site::kDispatchExec, plan);
+    fault::FaultInjector::install(&injector);
+  }
+  const uint64_t retries_before =
+      metrics::registry().counter("serve.wall.retries").value();
+
+  WallReport report;
+  report.deadline_ns = wcfg.deadline_ns;
+  report.faults = faults;
+  const int n = smoke ? 48 : 128;
+  const std::vector<double> mults =
+      overload ? std::vector<double>{0.5, 1.0, 2.0, 4.0}
+               : std::vector<double>{2.0};
+  for (size_t i = 0; i < mults.size(); ++i) {
+    report.points.push_back(run_wall_point(store, dcfg, wcfg, model, shape, n,
+                                           mults[i],
+                                           0xbe7c + static_cast<uint64_t>(i),
+                                           bit_exact));
+  }
+  {
+    // sustained/calibration snapshot from a fresh server (cheap: every
+    // plan is warm)
+    WallClockServer probe(store, dcfg, wcfg);
+    probe.warm(model);
+    report.sustained_ips = probe.sustained_img_per_s(model);
+    report.ns_per_cycle = probe.ns_per_cycle();
+  }
+  if (faults) {
+    fault::FaultInjector::install(nullptr);
+    report.faults_injected = injector.injected(fault::Site::kDispatchExec);
+    if (report.faults_injected == 0) {
+      std::cerr << "FAIL: --faults injected nothing\n";
+      wall_ok = false;
+    }
+    if (metrics::registry().counter("serve.wall.retries").value() ==
+        retries_before) {
+      std::cerr << "FAIL: injected faults never exercised the retry ladder\n";
+      wall_ok = false;
+    }
+  }
+
+  for (const WallPoint& pt : report.points) {
+    if (pt.failed != 0) {
+      std::cerr << "FAIL: " << pt.failed << " requests terminally failed at "
+                << pt.mult << "x (every fault class must recover or shed)\n";
+      wall_ok = false;
+    }
+    if (pt.ok + pt.shed + pt.rejected + pt.failed != pt.requests) {
+      std::cerr << "FAIL: outcomes do not cover the trace at " << pt.mult
+                << "x\n";
+      wall_ok = false;
+    }
+  }
+  if (smoke) {
+    // the headline robustness claim, asserted at 2x sustained: excess
+    // load sheds with typed reasons while every served request meets its
+    // deadline
+    for (const WallPoint& pt : report.points) {
+      if (pt.mult != 2.0) continue;
+      if (pt.miss_rate != 0.0) {
+        std::cerr << "FAIL: deadline misses among served requests at 2x ("
+                  << pt.miss_rate << ")\n";
+        wall_ok = false;
+      }
+      if (pt.shed + pt.rejected == 0) {
+        std::cerr << "FAIL: 2x overload shed/rejected nothing\n";
+        wall_ok = false;
+      }
+    }
+  }
+  return report;
+}
+
 void emit_json(std::ostream& os, bool smoke, int clusters,
                const std::vector<ModelReport>& reports, int compiles_warm,
-               int compiles_total, int registry_loads, bool bit_exact) {
+               int compiles_total, int registry_loads, bool bit_exact,
+               const WallReport* wall) {
   os << "{\n  \"bench\": \"serving\",\n  \"smoke\": "
      << (smoke ? "true" : "false") << ",\n  \"num_clusters\": " << clusters
      << ",\n  \"compiles_at_warmup\": " << compiles_warm
@@ -236,25 +463,60 @@ void emit_json(std::ostream& os, bool smoke, int clusters,
     }
     os << "     ]}" << (mi + 1 < reports.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (wall != nullptr) {
+    os << ",\n  \"wallclock\": {\n    \"sustained_img_per_s\": "
+       << wall->sustained_ips << ",\n    \"ns_per_cycle\": "
+       << wall->ns_per_cycle << ",\n    \"deadline_ns\": "
+       << wall->deadline_ns << ",\n    \"faults\": "
+       << (wall->faults ? "true" : "false")
+       << ",\n    \"faults_injected\": " << wall->faults_injected
+       << ",\n    \"overload_sweep\": [\n";
+    for (size_t i = 0; i < wall->points.size(); ++i) {
+      const WallPoint& p = wall->points[i];
+      os << "      {\"offered_x_sustained\": " << p.mult
+         << ", \"offered_img_per_s\": " << p.offered_ips
+         << ", \"goodput_img_per_s\": " << p.goodput_ips
+         << ", \"requests\": " << p.requests << ", \"ok\": " << p.ok
+         << ", \"shed\": " << p.shed << ", \"rejected\": " << p.rejected
+         << ", \"failed\": " << p.failed << ", \"redispatched\": "
+         << p.redispatched << ", \"shed_rate\": " << p.shed_rate
+         << ", \"reject_rate\": " << p.reject_rate
+         << ", \"deadline_miss_rate\": " << p.miss_rate
+         << ", \"p50_latency_ns\": " << p.p50_ns
+         << ", \"p99_latency_ns\": " << p.p99_ns << "}"
+         << (i + 1 < wall->points.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n  }";
+  }
+  os << "\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool wallclock = false;
+  bool overload = false;
+  bool faults = false;
   std::string out_path = "BENCH_serve.json";
   std::string registry_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--wallclock") == 0) {
+      wallclock = true;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--registry") == 0 && i + 1 < argc) {
       registry_dir = argv[++i];
     } else {
-      std::cerr
-          << "usage: bench_serving [--smoke] [--out PATH] [--registry DIR]\n";
+      std::cerr << "usage: bench_serving [--smoke] [--out PATH] "
+                   "[--registry DIR] [--wallclock] [--overload] [--faults]\n";
       return 1;
     }
   }
@@ -426,13 +688,46 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- wall-clock overload sweep (real threads, steady-clock deadlines) -----
+  WallReport wall;
+  bool wall_ok = true;
+  if (wallclock) {
+    const int id = ids[0];  // the headline ResNet18 geometry
+    wall = run_wall_sweep(store, id, specs[0].graph->node(0).out_shape,
+                          kClusters, smoke, overload, faults, bit_exact,
+                          wall_ok);
+    Table wt({"offered x", "offered img/s", "goodput img/s", "ok", "shed",
+              "rej", "fail", "redisp", "miss%", "p50 ms", "p99 ms"});
+    for (const WallPoint& p : wall.points) {
+      wt.add_row({Table::num(p.mult, 1), Table::num(p.offered_ips, 0),
+                  Table::num(p.goodput_ips, 0), std::to_string(p.ok),
+                  std::to_string(p.shed), std::to_string(p.rejected),
+                  std::to_string(p.failed), std::to_string(p.redispatched),
+                  Table::num(100.0 * p.miss_rate, 1),
+                  Table::num(static_cast<double>(p.p50_ns) / 1e6, 2),
+                  Table::num(static_cast<double>(p.p99_ns) / 1e6, 2)});
+    }
+    std::cout << "\nwall-clock overload sweep (sustained "
+              << Table::num(wall.sustained_ips, 0) << " img/s, "
+              << Table::num(wall.ns_per_cycle, 3) << " ns/cycle, deadline "
+              << wall.deadline_ns / 1'000'000 << " ms"
+              << (faults ? ", transient faults injected" : "") << ")\n"
+              << wt;
+    if (store.compiles() != compiles_total) {
+      std::cerr << "FAIL: the wall-clock sweep recompiled plans ("
+                << compiles_total << " -> " << store.compiles() << ")\n";
+      wall_ok = false;
+    }
+    ok = ok && wall_ok && bit_exact;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open " << out_path << "\n";
     return 1;
   }
   emit_json(out, smoke, kClusters, reports, compiles_warm, compiles_total,
-            store.registry_loads(), bit_exact);
+            store.registry_loads(), bit_exact, wallclock ? &wall : nullptr);
   std::cout << "wrote " << out_path << "\n";
   return ok ? 0 : 1;
 }

@@ -33,12 +33,26 @@
 
 namespace decimate {
 
+/// One parsed index.tsv line (see index_entries()).
+struct IndexEntry {
+  uint64_t fingerprint = 0;
+  uint64_t total_bytes = 0;
+  uint64_t weight_bytes = 0;
+  uint64_t version = 0;
+};
+
 class PlanRegistry {
  public:
   /// Open (creating the directory if needed). `latencies`: the cache
   /// loaded plans are costed with; artifact latency sections merge into
   /// it, so serve-time shard planning over loaded plans is ISS-free.
   /// A fresh cache is created when omitted.
+  ///
+  /// Startup hygiene: sweeps stale `*.tmp` files a crashed publisher left
+  /// behind (a temp whose writer pid is dead, or an un-suffixed temp old
+  /// enough that no writer can still hold it) — counted in
+  /// artifact.stale_tmp_swept — and parses index.tsv tolerantly, so a
+  /// torn index never fails the open (see index_entries()).
   explicit PlanRegistry(std::string dir,
                         std::shared_ptr<TileLatencyCache> latencies = nullptr);
 
@@ -58,6 +72,13 @@ class PlanRegistry {
 
   /// Header info of every artifact in the directory (sorted by path).
   std::vector<artifact::ArtifactInfo> list() const;
+
+  /// Parse index.tsv, skipping comments and corrupt/truncated lines
+  /// (each skipped data line increments artifact.index_skipped_lines
+  /// rather than throwing — the index is a greppable convenience, the
+  /// artifacts themselves are the source of truth). Empty when no index
+  /// exists yet.
+  std::vector<IndexEntry> index_entries() const;
 
   /// The artifact path a fingerprint maps to (whether or not it exists).
   std::string path_for(uint64_t fingerprint) const;

@@ -1,5 +1,6 @@
 #include "exec/worker_pool.hpp"
 
+#include "serve/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace decimate {
@@ -39,6 +40,9 @@ void WorkerPool::claim_tasks() {
     trace::TraceScope task_span(trace::Cat::kPool, "pool.task");
     task_span.arg("index", i);
     try {
+      // Chaos hook: inside the try, so an injected worker exception takes
+      // the same first-exception path a real task failure would.
+      fault::on_site(fault::Site::kWorkerTask);
       (*fn_)(i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(err_mu_);

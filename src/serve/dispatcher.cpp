@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "serve/fault.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -203,12 +204,17 @@ std::vector<Tensor8> Dispatcher::run_chunk_with_fallback(
     const uint64_t dur = ExecutionEngine::modeled_batch_cycles(chunk_plan, b);
     for (auto& o : completion_offsets) o = dur;
     for (auto& r : run.runs) outputs.push_back(std::move(r.output));
-  } catch (const BatchMismatchError&) {
+  } catch (const BatchMismatchError& e) {
     // Only this structured error is recoverable: it proves the inputs
     // are fine and the plan merely covers a different fused batch (a
     // mis-warmed or externally shared store), so re-running image by
     // image on the unfused plan is always safe. A bare Error could be
     // any real failure and must keep propagating.
+    metrics::registry().counter("serve.fallbacks").inc();
+    trace::TraceScope fb_span(trace::Cat::kServe, "dispatcher.fallback");
+    fb_span.sarg("reason", "batch_mismatch");
+    fb_span.arg("fused_for", e.fused_batch());
+    fb_span.arg("got", e.got());
     group_size = 1;
     uint64_t at = 0;
     for (int i = 0; i < b; ++i) {
@@ -283,7 +289,8 @@ void Dispatcher::exec_data_parallel(FormedBatch& batch,
   }
 }
 
-DispatchResult Dispatcher::dispatch(FormedBatch batch, const SloConfig& slo) {
+DispatchResult Dispatcher::dispatch(FormedBatch batch, const SloConfig& slo,
+                                    std::optional<ServeMode> force_mode) {
   const int n = static_cast<int>(batch.requests.size());
   DECIMATE_CHECK(n >= 1, "cannot dispatch an empty batch");
   trace::TraceScope dispatch_span(trace::Cat::kDispatch,
@@ -300,7 +307,13 @@ DispatchResult Dispatcher::dispatch(FormedBatch batch, const SloConfig& slo) {
     trace::TraceScope eval_span(trace::Cat::kDispatch, "dispatcher.evaluate");
     std::vector<ModeEval> evals =
         evaluate(batch.model, n, arrivals, batch.dispatch_cycles, slo);
-    return std::move(evals[choose(evals)]);
+    // evaluate() emits evals in ServeMode declaration order, so a forced
+    // mode indexes directly
+    const size_t idx = force_mode.has_value()
+                           ? static_cast<size_t>(*force_mode)
+                           : choose(evals);
+    DECIMATE_CHECK(idx < evals.size(), "forced mode out of range");
+    return std::move(evals[idx]);
   }();
   dispatch_span.sarg("mode", to_string(pick.mode));
 
@@ -323,6 +336,7 @@ DispatchResult Dispatcher::dispatch(FormedBatch batch, const SloConfig& slo) {
   {
     trace::TraceScope exec_span(trace::Cat::kDispatch, "dispatcher.execute");
     exec_span.sarg("mode", to_string(pick.mode));
+    fault::on_site(fault::Site::kDispatchExec);
     switch (pick.mode) {
       case ServeMode::kBatchFused: exec_fused(batch, slo, out); break;
       case ServeMode::kShardedSingle: exec_sharded(batch, out); break;

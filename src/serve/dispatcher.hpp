@@ -35,6 +35,7 @@
 // image by image on the unfused plan and restamps the affected stats
 // instead of failing the batch.
 
+#include <optional>
 #include <vector>
 
 #include "serve/batcher.hpp"
@@ -92,7 +93,11 @@ class Dispatcher {
   /// request order and bit-exact with sequential ExecutionEngine::run.
   /// Takes the batch by value: the inputs are consumed (moved into the
   /// execution paths), never deep-copied on the serving path.
-  DispatchResult dispatch(FormedBatch batch, const SloConfig& slo);
+  /// `force_mode` overrides the selection rule (the wall-clock server's
+  /// brown-out ladder pins kShardedSingle under sustained overload); the
+  /// stats still report the forced mode's modeled completions.
+  DispatchResult dispatch(FormedBatch batch, const SloConfig& slo,
+                          std::optional<ServeMode> force_mode = std::nullopt);
 
   /// Run one fused chunk, recovering from a fused-batch mismatch: if
   /// `chunk_plan` turns out to be fused for a different batch than

@@ -1,0 +1,160 @@
+#include "serve/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace decimate::fault {
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+// Cooperative cancellation target for injected stalls on this thread.
+thread_local const std::atomic<bool>* tl_cancel = nullptr;
+
+// splitmix64: decorrelates (seed, seq) into a bit position.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+const char* injected_counter_name(Site site) {
+  switch (site) {
+    case Site::kWorkerTask: return "fault.injected.worker_task";
+    case Site::kRegistryLoad: return "fault.injected.registry_load";
+    case Site::kDispatchExec: return "fault.injected.dispatch_exec";
+  }
+  return "fault.injected.unknown";
+}
+
+}  // namespace
+
+const char* to_string(Site site) {
+  switch (site) {
+    case Site::kWorkerTask: return "worker_task";
+    case Site::kRegistryLoad: return "registry_load";
+    case Site::kDispatchExec: return "dispatch_exec";
+  }
+  return "?";
+}
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kException: return "exception";
+    case Kind::kStall: return "stall";
+    case Kind::kBitFlip: return "bit_flip";
+  }
+  return "?";
+}
+
+FaultInjectedError::FaultInjectedError(Site site, uint64_t seq)
+    : Error([&] {
+        std::ostringstream os;
+        os << "injected fault at site " << to_string(site) << " (event #"
+           << seq << ")";
+        return os.str();
+      }()),
+      site_(site),
+      seq_(seq) {}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
+
+void FaultInjector::set_plan(Site site, const SitePlan& plan) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  plans_[static_cast<int>(site)] = plan;
+}
+
+uint64_t FaultInjector::events(Site site) const {
+  return events_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::injected(Site site) const {
+  return injected_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+Fired FaultInjector::fire(Site site) {
+  const int s = static_cast<int>(site);
+  const uint64_t seq = events_[s].fetch_add(1, std::memory_order_relaxed);
+  Kind kind = Kind::kNone;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const SitePlan& plan = plans_[s];
+    const bool scheduled = plan.kind != Kind::kNone && plan.period > 0 &&
+                           seq >= plan.phase &&
+                           (seq - plan.phase) % plan.period == 0;
+    if (scheduled && (plan.count < 0 || fired_[s] < plan.count)) {
+      ++fired_[s];
+      kind = plan.kind;
+    }
+  }
+  if (kind == Kind::kNone) return {Kind::kNone, seq};
+
+  injected_[s].fetch_add(1, std::memory_order_relaxed);
+  metrics::registry().counter(injected_counter_name(site)).inc();
+  trace::instant(trace::Cat::kFault, "fault.inject", 0, trace::Flow::kNone,
+                 "seq", static_cast<int64_t>(seq), "kind", to_string(kind));
+
+  switch (kind) {
+    case Kind::kException:
+      throw FaultInjectedError(site, seq);
+    case Kind::kStall: {
+      // Chunked sleep so a watchdog that abandons the surrounding job can
+      // unstick this thread through its cancel flag instead of waiting
+      // out the full stall.
+      const std::atomic<bool>* cancel = tl_cancel;
+      constexpr uint64_t kChunkNs = 100'000;
+      uint64_t slept = 0;
+      while (slept < stall_ns_) {
+        if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+          break;
+        }
+        const uint64_t step = std::min(kChunkNs, stall_ns_ - slept);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(step));
+        slept += step;
+      }
+      break;
+    }
+    case Kind::kBitFlip:
+    case Kind::kNone:
+      break;
+  }
+  return {kind, seq};
+}
+
+void FaultInjector::flip_bit(std::vector<uint8_t>& bytes,
+                             uint64_t seq) const {
+  DECIMATE_CHECK(!bytes.empty(), "cannot flip a bit in an empty buffer");
+  // Restrict to the second half: for .plan artifacts that is inside the
+  // CRC-covered weight section, never the inter-section alignment padding
+  // a flip could silently hide in.
+  const uint64_t half_bits = (bytes.size() - bytes.size() / 2) * 8;
+  const uint64_t bit = mix(seed_ ^ mix(seq)) % half_bits;
+  const uint64_t pos = bytes.size() / 2 + bit / 8;
+  bytes[pos] ^= static_cast<uint8_t>(1U << (bit % 8));
+}
+
+void FaultInjector::install(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* FaultInjector::installed() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+void on_site(Site site) {
+  FaultInjector* inj = g_injector.load(std::memory_order_relaxed);
+  if (inj == nullptr) return;
+  inj->fire(site);
+}
+
+void set_cancel_flag(const std::atomic<bool>* flag) { tl_cancel = flag; }
+
+}  // namespace decimate::fault

@@ -1,0 +1,139 @@
+#pragma once
+// FaultInjector: deterministic, seeded fault injection for exercising the
+// serving stack's recovery paths.
+//
+// Production code calls the fault::on_site() / fire() hooks at three
+// points:
+//
+//   kWorkerTask    WorkerPool::claim_tasks, before each task body runs
+//   kRegistryLoad  PlanRegistry::load, after the artifact is mapped
+//   kDispatchExec  Dispatcher::dispatch, before a batch executes (and the
+//                  wall-clock server's per-image redispatch path)
+//
+// With no injector installed (the default, and the only state production
+// ever sees) a hook costs one relaxed atomic load. Tests and the chaos
+// bench install a process-wide FaultInjector whose per-site schedule
+// decides, for the site's k-th event, whether to throw a
+// FaultInjectedError (a transient worker/dispatch exception), stall the
+// calling thread (a bounded sleep honoring the thread's cooperative
+// cancel flag, modeling a hung worker), or report kBitFlip so the call
+// site corrupts the bytes it is about to consume (registry load — the
+// corruption then has to be caught by the real admission gate, not by the
+// injector).
+//
+// Determinism: schedules are (period, phase, count) predicates over a
+// per-site atomic event counter, so WHICH events fault is a pure function
+// of how many events the site has seen — independent of thread
+// interleaving — and the bit flipped by flip_bit() is a pure function of
+// (seed, event index). Re-running a seeded test injects the same faults.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace decimate::fault {
+
+/// Hook points in the serving stack (indices into the injector's plans).
+enum class Site : uint8_t {
+  kWorkerTask = 0,   // WorkerPool task bodies
+  kRegistryLoad = 1, // PlanRegistry::load admission path
+  kDispatchExec = 2, // Dispatcher execute / per-image redispatch
+};
+constexpr int kSiteCount = 3;
+
+/// What the injector does when a scheduled event fires.
+enum class Kind : uint8_t {
+  kNone = 0,
+  kException,  // throw FaultInjectedError from the hook
+  kStall,      // sleep stall_ns (cancellable), then continue normally
+  kBitFlip,    // return kBitFlip: the call site corrupts its own bytes
+};
+
+const char* to_string(Site site);
+const char* to_string(Kind kind);
+
+/// The transient fault the injector throws for Kind::kException. By
+/// contract this error is retryable: the operation itself was sound and
+/// only the injector failed it, which is exactly the shape of fault the
+/// retry-with-backoff ladder is meant to absorb.
+class FaultInjectedError : public Error {
+ public:
+  FaultInjectedError(Site site, uint64_t seq);
+  Site site() const { return site_; }
+  uint64_t seq() const { return seq_; }
+
+ private:
+  Site site_;
+  uint64_t seq_;
+};
+
+/// Per-site schedule: event `seq` faults iff period > 0, seq >= phase,
+/// (seq - phase) % period == 0, and fewer than `count` faults have fired
+/// at the site so far (count < 0 = unlimited).
+struct SitePlan {
+  Kind kind = Kind::kNone;
+  uint64_t period = 0;
+  uint64_t phase = 0;
+  int64_t count = -1;
+};
+
+/// Outcome of one fire(): the kind injected (kNone = nothing) and the
+/// site event index it fired at (the flip_bit seed for kBitFlip).
+struct Fired {
+  Kind kind = Kind::kNone;
+  uint64_t seq = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 1);
+
+  /// Configure before install(); not safe to call while hooks may fire.
+  void set_plan(Site site, const SitePlan& plan);
+  void set_stall_ns(uint64_t ns) { stall_ns_ = ns; }
+
+  /// Record one event at `site` and act on the schedule: kException
+  /// throws FaultInjectedError, kStall sleeps (waking early once the
+  /// calling thread's cancel flag rises), kBitFlip / kNone return so the
+  /// call site decides. Thread-safe.
+  Fired fire(Site site);
+
+  /// Flip one (seed, seq)-deterministic bit in the second half of
+  /// `bytes` — for artifacts that lands inside the CRC-covered weight
+  /// section, so the corruption must be caught by the admission gate.
+  void flip_bit(std::vector<uint8_t>& bytes, uint64_t seq) const;
+
+  uint64_t events(Site site) const;
+  uint64_t injected(Site site) const;
+
+  /// Install as the process-wide injector (nullptr uninstalls). The
+  /// injector must outlive its installation.
+  static void install(FaultInjector* injector);
+  static FaultInjector* installed();
+
+ private:
+  uint64_t seed_;
+  uint64_t stall_ns_ = 2'000'000;  // 2 ms default stall
+  mutable std::mutex mu_;          // guards plans_ + fired counts
+  SitePlan plans_[kSiteCount];
+  int64_t fired_[kSiteCount] = {0, 0, 0};
+  std::atomic<uint64_t> events_[kSiteCount] = {0, 0, 0};
+  std::atomic<uint64_t> injected_[kSiteCount] = {0, 0, 0};
+};
+
+/// Hook for sites that cannot act on kBitFlip themselves: fires the
+/// installed injector (if any) and discards non-throwing outcomes. The
+/// uninstalled fast path is a single relaxed atomic load.
+void on_site(Site site);
+
+/// Register `flag` (owned by the caller, may be nullptr to clear) as this
+/// thread's cooperative cancel flag: an injected stall on this thread
+/// wakes every 100us and returns early once *flag is true. The wall-clock
+/// server points this at the job's `abandoned` flag so a watchdog timeout
+/// actually unsticks a stalled executor.
+void set_cancel_flag(const std::atomic<bool>* flag);
+
+}  // namespace decimate::fault

@@ -90,22 +90,34 @@ const CompiledPlan& PlanStore::plan(int model, int batch, int num_clusters) {
   const std::lock_guard<std::mutex> lock(mu_);
   const uint64_t key = key_for(model, batch, num_clusters);
   auto it = plans_.find(key);
-  if (it == plans_.end() && registry_ != nullptr) {
+  if (it == plans_.end() && registry_ != nullptr &&
+      quarantined_.count(key) == 0) {
     // read-through: a published artifact with this exact plan identity
     // serves without the compiler or the ISS. load() already ran the
     // full admission gate (artifact.* checks + static verifier); the
     // loaded plan owns its rehydrated graph, so it never references the
-    // store's model copy.
-    auto loaded = registry_->load(key);
-    if (loaded.has_value()) {
-      // runtime knobs are the loading process's, not the publisher's
-      loaded->options.host_threads = base_.host_threads;
-      loaded->options.verify_plans = base_.verify_plans;
-      ++registry_loads_;
-      it = plans_
-               .emplace(key,
-                        std::make_unique<CompiledPlan>(std::move(*loaded)))
-               .first;
+    // store's model copy. A quarantined fingerprint skips this tier —
+    // the on-disk artifact is exactly what is distrusted.
+    try {
+      auto loaded = registry_->load(key);
+      if (loaded.has_value()) {
+        // runtime knobs are the loading process's, not the publisher's
+        loaded->options.host_threads = base_.host_threads;
+        loaded->options.verify_plans = base_.verify_plans;
+        ++registry_loads_;
+        it = plans_
+                 .emplace(key,
+                          std::make_unique<CompiledPlan>(std::move(*loaded)))
+                 .first;
+      }
+    } catch (const Error&) {
+      // A corrupt/unreadable artifact (VerifyError from the admission
+      // gate, I/O failure, an injected load fault) must not take serving
+      // down: count it and fall back to compiling from the graph — the
+      // write-through below then replaces the bad artifact.
+      ++registry_faults_;
+      metrics::registry().counter("serve.plan_store.registry_faults").inc();
+      trace::instant(trace::Cat::kServe, "plan_store.registry_fault");
     }
   }
   if (it == plans_.end()) {
@@ -157,6 +169,35 @@ int PlanStore::compiles() const {
 int PlanStore::registry_loads() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return registry_loads_;
+}
+
+uint64_t PlanStore::quarantine(int model, int batch, int num_clusters) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t key = key_for(model, batch, num_clusters);
+  quarantined_.insert(key);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    // plan() promises references stay valid for the store's lifetime, so
+    // the distrusted plan retires instead of being destroyed; only its
+    // index entry goes, forcing the next plan() call to compile fresh.
+    retired_.push_back(std::move(it->second));
+    plans_.erase(it);
+  }
+  ++quarantines_;
+  metrics::registry().counter("serve.plan_store.quarantines").inc();
+  trace::instant(trace::Cat::kServe, "plan_store.quarantine", 0,
+                 trace::Flow::kNone, "batch", batch);
+  return key;
+}
+
+int PlanStore::quarantines() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return quarantines_;
+}
+
+int PlanStore::registry_faults() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return registry_faults_;
 }
 
 }  // namespace decimate

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -67,6 +68,23 @@ class PlanStore {
   /// Plans admitted from the registry (read-through hits).
   int registry_loads() const;
 
+  /// Quarantine a plan identity the serving layer has judged poisoned
+  /// (N consecutive execution failures): the cached entry retires — any
+  /// reference already handed out stays valid for the store's lifetime,
+  /// honoring plan()'s contract — and the fingerprint is barred from
+  /// registry read-through, so the next plan() call for this config
+  /// compiles fresh from the graph (and its write-through publish
+  /// replaces the distrusted artifact). Returns the fingerprint.
+  uint64_t quarantine(int model, int batch, int num_clusters = 1);
+
+  /// Plan identities quarantined so far.
+  int quarantines() const;
+
+  /// Registry read-throughs that failed the admission gate (corrupt /
+  /// unreadable artifact) and fell back to a fresh compile instead of
+  /// taking down the caller.
+  int registry_faults() const;
+
   /// Attach a PlanRegistry as the read-through / write-through tier:
   /// plan() misses first try registry.load(fingerprint) (a hit skips the
   /// compiler AND the ISS entirely), and freshly compiled plans are
@@ -111,8 +129,14 @@ class PlanStore {
   std::vector<Model> models_;
   // unique_ptr values keep plan references stable across inserts
   std::map<uint64_t, std::unique_ptr<CompiledPlan>> plans_;
+  // quarantined plans retire here (never destroyed: references stay
+  // valid) and their fingerprints skip registry read-through
+  std::vector<std::unique_ptr<CompiledPlan>> retired_;
+  std::set<uint64_t> quarantined_;
   int compiles_ = 0;
   int registry_loads_ = 0;
+  int quarantines_ = 0;
+  int registry_faults_ = 0;
 };
 
 }  // namespace decimate

@@ -15,6 +15,17 @@
 
 namespace decimate {
 
+/// Which timeline a server runs on. kVirtualCycle is the deterministic
+/// modeled-cycle event loop (Server); kWallClock is the real-time mode
+/// (WallClockServer): steady-clock deadlines, real thread concurrency,
+/// admission control / load-shedding / fault recovery.
+enum class ServerMode : uint8_t {
+  kVirtualCycle,
+  kWallClock,
+};
+
+const char* to_string(ServerMode mode);
+
 /// How the Dispatcher executed a formed batch.
 enum class ServeMode : uint8_t {
   kBatchFused,     // run_batch on one cluster, batch-fused plan chunks

@@ -30,6 +30,8 @@ const char* cat_name(Cat cat) {
       return "pool";
     case Cat::kArtifact:
       return "artifact";
+    case Cat::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -326,6 +328,8 @@ const char* cat_name(Cat cat) {
       return "pool";
     case Cat::kArtifact:
       return "artifact";
+    case Cat::kFault:
+      return "fault";
   }
   return "?";
 }

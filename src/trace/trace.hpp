@@ -56,6 +56,7 @@ enum class Cat : uint8_t {
   kShard,     // MultiClusterEngine: per-cluster shard work
   kPool,      // WorkerPool: task execution and parked time
   kArtifact,  // PlanRegistry: artifact load / mmap / verify / publish
+  kFault,     // FaultInjector: injected faults and recovery actions
 };
 
 const char* cat_name(Cat cat);

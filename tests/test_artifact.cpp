@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <unistd.h>
 
@@ -22,6 +24,7 @@
 #include "models/models.hpp"
 #include "serve/plan_store.hpp"
 #include "shard/multi_cluster_engine.hpp"
+#include "trace/metrics.hpp"
 
 namespace decimate {
 namespace {
@@ -384,6 +387,77 @@ TEST(PlanRegistry, ConcurrentLoadsAreIndependentAndBitExact) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(ok.load(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// registry startup hygiene
+// ---------------------------------------------------------------------------
+
+TEST(PlanRegistry, StartupSweepsStaleTempsAndSparesLiveOnes) {
+  TempDir dir;
+  fs::create_directories(dir.path);
+  const fs::path base(dir.path);
+
+  // a crashed publisher's leavings: a dead-pid temp (no such /proc entry)
+  // and an ancient suffix-less temp
+  const fs::path dead_pid = base / "0123456789abcdef.plan.tmp.999999999";
+  const fs::path ancient = base / "fedcba9876543210.plan.tmp";
+  // a live writer's temp (our own pid) must survive the sweep
+  const fs::path live =
+      base / ("aaaaaaaaaaaaaaaa.plan.tmp." + std::to_string(::getpid()));
+  // and a real artifact name is never a sweep candidate
+  const fs::path plan_file = base / "bbbbbbbbbbbbbbbb.plan";
+  for (const fs::path& p : {dead_pid, ancient, live, plan_file}) {
+    std::ofstream(p) << "x";
+  }
+  fs::last_write_time(ancient,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::minutes(5));
+
+  auto& swept = metrics::registry().counter("artifact.stale_tmp_swept");
+  const uint64_t before = swept.value();
+  PlanRegistry registry(dir.path);
+
+  EXPECT_FALSE(fs::exists(dead_pid));
+  EXPECT_FALSE(fs::exists(ancient));
+  EXPECT_TRUE(fs::exists(live));
+  EXPECT_TRUE(fs::exists(plan_file));
+  EXPECT_EQ(swept.value(), before + 2);
+}
+
+TEST(PlanRegistry, IndexSkipsTornLinesAndKeepsGoodOnes) {
+  TempDir dir;
+  fs::create_directories(dir.path);
+  {
+    std::ofstream idx(fs::path(dir.path) / "index.tsv");
+    idx << "# fingerprint\tbytes\tweight_bytes\tversion\n";
+    idx << "00deadbeef001122\t4096\t2048\t3\n";   // good
+    idx << "00deadbee\n";                          // torn mid-write
+    idx << "nothexnothexnoth\t1\t2\t3\n";         // 16 chars, not hex
+    idx << "0000000000000001\t77\n";               // missing fields
+    idx << "\n";                                   // blank: not an error
+  }
+
+  auto& skipped = metrics::registry().counter("artifact.index_skipped_lines");
+  const uint64_t before = skipped.value();
+  PlanRegistry registry(dir.path);  // tolerant parse runs at open, too
+  const auto entries = registry.index_entries();
+
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].fingerprint, 0x00deadbeef001122ULL);
+  EXPECT_EQ(entries[0].total_bytes, 4096u);
+  EXPECT_EQ(entries[0].weight_bytes, 2048u);
+  EXPECT_EQ(entries[0].version, 3u);
+  // three bad lines, counted by the constructor pass and the explicit one
+  EXPECT_EQ(skipped.value(), before + 6);
+
+  // a publish rewrites the index; the rebuilt file parses clean
+  const Graph g = small_ffn();
+  registry.publish(compile_plan(g, isa_options()));
+  const uint64_t after_publish = skipped.value();
+  const auto rebuilt = registry.index_entries();
+  ASSERT_EQ(rebuilt.size(), 1u);
+  EXPECT_EQ(skipped.value(), after_publish);
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include "exec/engine.hpp"
 #include "models/models.hpp"
 #include "serve/server.hpp"
+#include "trace/metrics.hpp"
 
 namespace decimate {
 namespace {
@@ -496,6 +497,39 @@ TEST(Serve, DispatcherChunkFallbackRecoversFromMismatchedPlan) {
   ASSERT_EQ(offsets.size(), 4u);
   EXPECT_EQ(offsets.back(), ExecutionEngine::modeled_batch_cycles(fused, 4));
   EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(Serve, ChunkFallbackIsCountedAndOnlyWhenItFires) {
+  // ops visibility for the recovery path: every mismatch fallback bumps
+  // serve.fallbacks (and emits a kServe span); the fused fast path does not
+  const Graph g = small_ffn();
+  CompileOptions fopt = isa_options();
+  fopt.batch = 2;
+  Compiler fused_compiler(fopt);
+  const CompiledPlan fused = fused_compiler.compile(g);
+  Compiler single_compiler(isa_options(), fused_compiler.shared_latencies());
+  const CompiledPlan single = single_compiler.compile(g);
+
+  ExecutionEngine engine;
+  Rng rng(68);
+  std::vector<Tensor8> inputs;
+  inputs.push_back(Tensor8::random(input_shape(g), rng));
+
+  auto& fallbacks = metrics::registry().counter("serve.fallbacks");
+  const uint64_t before = fallbacks.value();
+  int group = 0;
+  std::vector<uint64_t> offsets;
+  Dispatcher::run_chunk_with_fallback(engine, fused, single, inputs, group,
+                                      offsets);
+  EXPECT_EQ(group, 1);
+  EXPECT_EQ(fallbacks.value(), before + 1);
+
+  // matching span: fused path, counter untouched
+  inputs.push_back(Tensor8::random(input_shape(g), rng));
+  Dispatcher::run_chunk_with_fallback(engine, fused, single, inputs, group,
+                                      offsets);
+  EXPECT_EQ(group, 2);
+  EXPECT_EQ(fallbacks.value(), before + 1);
 }
 
 // --- batcher unit behavior ---------------------------------------------------

@@ -1,0 +1,705 @@
+// Wall-clock serving tests: the FaultInjector's deterministic schedules,
+// EDF queue ordering and shed-victim selection, the pure admission
+// decision, and the WallClockServer end to end — a 4-thread bit-exact
+// smoke (the TSan target), reject-at-admission, shed-under-burst,
+// queue-full rejection with shedding off, and every rung of the
+// fault-tolerance ladder under seeded injection: retry-then-succeed,
+// watchdog-timeout-then-per-image-redispatch, quarantine-after-N
+// consecutive failures, corrupt-artifact fallback to a fresh compile,
+// and brown-out batch shrinking under a deep queue.
+//
+// Fault tests use deadlines in the seconds so WHICH requests complete is
+// schedule-determined, not machine-speed-determined — the suite must
+// pass identically under TSan's ~10x slowdown.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <thread>
+#include <unistd.h>
+
+#include "exec/engine.hpp"
+#include "models/models.hpp"
+#include "serve/fault.hpp"
+#include "serve/wallclock.hpp"
+#include "trace/metrics.hpp"
+
+namespace decimate {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kHugeDeadlineNs = 20'000'000'000;  // 20 s: never binds
+
+CompileOptions isa_options() {
+  CompileOptions opt;
+  opt.enable_isa = true;
+  return opt;
+}
+
+Graph small_ffn() { return build_ffn_block(32, 64, 128, 8, 11); }
+
+std::vector<int> input_shape(const Graph& g) { return g.node(0).out_shape; }
+
+/// One latency cache for the whole binary: tile geometries repeat across
+/// tests, so every unique tile is ISS-measured once per test run.
+std::shared_ptr<TileLatencyCache> shared_test_cache() {
+  static auto cache = std::make_shared<TileLatencyCache>();
+  return cache;
+}
+
+/// Installs the injector on construction, uninstalls on destruction.
+/// Declare BEFORE the server under test: the injector must outlive every
+/// thread that can fire a hook.
+struct Installed {
+  explicit Installed(fault::FaultInjector& inj) {
+    fault::FaultInjector::install(&inj);
+  }
+  ~Installed() { fault::FaultInjector::install(nullptr); }
+};
+
+/// A scratch directory that cleans up after itself.
+struct TempDir {
+  TempDir() {
+    path = (fs::temp_directory_path() /
+            ("decimate_wallclock_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter()++)))
+               .string();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static std::atomic<int>& counter() {
+    static std::atomic<int> c{0};
+    return c;
+  }
+  std::string path;
+};
+
+WallRequest request(uint64_t id, int model, Tensor8 input,
+                    uint64_t deadline_ns = kHugeDeadlineNs, int value = 1) {
+  WallRequest r;
+  r.id = id;
+  r.model = model;
+  r.value = value;
+  r.deadline_ns = deadline_ns;
+  r.input = std::move(input);
+  return r;
+}
+
+std::map<ServeOutcome, int> outcome_counts(
+    const std::vector<WallServed>& done) {
+  std::map<ServeOutcome, int> counts;
+  for (const WallServed& w : done) ++counts[w.outcome];
+  return counts;
+}
+
+// --- FaultInjector ----------------------------------------------------------
+
+TEST(FaultInjector, ScheduleIsDeterministicOverEventCounts) {
+  fault::FaultInjector inj(7);
+  fault::SitePlan plan;
+  plan.kind = fault::Kind::kException;
+  plan.period = 3;
+  plan.phase = 1;
+  plan.count = 2;
+  inj.set_plan(fault::Site::kWorkerTask, plan);
+
+  std::vector<uint64_t> thrown_at;
+  for (int i = 0; i < 9; ++i) {
+    try {
+      inj.fire(fault::Site::kWorkerTask);
+    } catch (const fault::FaultInjectedError& e) {
+      EXPECT_EQ(e.site(), fault::Site::kWorkerTask);
+      thrown_at.push_back(e.seq());
+    }
+  }
+  // period 3, phase 1 would fire at seqs 1, 4, 7, ... but count = 2 stops
+  // the schedule after two injections
+  ASSERT_EQ(thrown_at, (std::vector<uint64_t>{1, 4}));
+  EXPECT_EQ(inj.events(fault::Site::kWorkerTask), 9u);
+  EXPECT_EQ(inj.injected(fault::Site::kWorkerTask), 2u);
+  // other sites never fired
+  EXPECT_EQ(inj.events(fault::Site::kDispatchExec), 0u);
+  EXPECT_EQ(inj.injected(fault::Site::kDispatchExec), 0u);
+}
+
+TEST(FaultInjector, FlipBitIsSeedDeterministicAndLandsInSecondHalf) {
+  const std::vector<uint8_t> zeros(64, 0);
+  fault::FaultInjector a(42);
+  fault::FaultInjector b(42);
+
+  std::vector<uint8_t> va = zeros;
+  std::vector<uint8_t> vb = zeros;
+  a.flip_bit(va, 5);
+  b.flip_bit(vb, 5);
+  EXPECT_EQ(va, vb);  // same (seed, seq) -> same bit
+
+  int flipped_bits = 0;
+  size_t flipped_at = 0;
+  for (size_t i = 0; i < va.size(); ++i) {
+    if (va[i] != 0) {
+      flipped_at = i;
+      for (int bit = 0; bit < 8; ++bit) flipped_bits += (va[i] >> bit) & 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);       // exactly one bit
+  EXPECT_GE(flipped_at, 32u);       // second half: inside the CRC-covered
+                                    // weight section for real artifacts
+}
+
+TEST(FaultInjector, UninstalledHookIsANoOp) {
+  ASSERT_EQ(fault::FaultInjector::installed(), nullptr);
+  EXPECT_NO_THROW(fault::on_site(fault::Site::kWorkerTask));
+  EXPECT_NO_THROW(fault::on_site(fault::Site::kDispatchExec));
+}
+
+// --- EdfQueue / admission_decision ------------------------------------------
+
+QueuedRequest queued(uint64_t id, uint64_t deadline_abs, int value = 1,
+                     uint64_t arrival = 0, uint64_t pred = 100) {
+  QueuedRequest q;
+  q.req.id = id;
+  q.req.value = value;
+  q.arrival_ns = arrival;
+  q.deadline_abs_ns = deadline_abs;
+  q.predicted_exec_ns = pred;
+  return q;
+}
+
+TEST(EdfQueue, OrdersByDeadlineStableOnTies) {
+  EdfQueue q;
+  q.push(queued(0, 300));
+  q.push(queued(1, 100));
+  q.push(queued(2, 200));
+  q.push(queued(3, 100));  // ties queue behind earlier arrivals
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.backlog_ns(), 400u);
+  EXPECT_EQ(q.front().req.id, 1u);
+
+  const auto batch = q.pop_model_batch(0, 8);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].req.id, 1u);
+  EXPECT_EQ(batch[1].req.id, 3u);
+  EXPECT_EQ(batch[2].req.id, 2u);
+  EXPECT_EQ(batch[3].req.id, 0u);
+  EXPECT_EQ(q.backlog_ns(), 0u);
+}
+
+TEST(EdfQueue, PopModelBatchKeepsOtherModelsQueued) {
+  EdfQueue q;
+  auto a = queued(0, 100);
+  a.req.model = 0;
+  auto b = queued(1, 150);
+  b.req.model = 1;
+  auto c = queued(2, 200);
+  c.req.model = 0;
+  q.push(std::move(a));
+  q.push(std::move(b));
+  q.push(std::move(c));
+
+  const auto batch = q.pop_model_batch(0, 8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].req.id, 0u);
+  EXPECT_EQ(batch[1].req.id, 2u);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front().req.id, 1u);  // model 1 kept its place
+}
+
+TEST(EdfQueue, ShedVictimIsLowestValueThenLatestDeadline) {
+  EdfQueue q;
+  q.push(queued(0, 100, /*value=*/5));
+  q.push(queued(1, 400, /*value=*/1));  // lowest value: first victim
+  q.push(queued(2, 500, /*value=*/5));  // then latest deadline among value 5
+  q.push(queued(3, 200, /*value=*/5));
+
+  EXPECT_EQ(q.shed_one().req.id, 1u);
+  EXPECT_EQ(q.shed_one().req.id, 2u);
+  // of the remaining {0: deadline 100, 3: deadline 200}, the later
+  // deadline sheds first
+  EXPECT_EQ(q.shed_one().req.id, 3u);
+}
+
+TEST(EdfQueue, ShedVictimPrefersLatestDeadline) {
+  EdfQueue q;
+  q.push(queued(0, 100));
+  q.push(queued(1, 200));
+  EXPECT_EQ(q.shed_one().req.id, 1u);
+  EXPECT_EQ(q.shed_one().req.id, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Admission, DecisionBoundaries) {
+  AdmissionPolicy p;
+  p.max_queue_depth = 4;
+  p.headroom = 1.0;  // exact arithmetic at the boundary
+
+  // feasible: now + backlog + pred == deadline admits
+  EXPECT_EQ(admission_decision(p, 1000, 1000 + 300, 100, 200, 0),
+            ServeReason::kNone);
+  // one ns past the deadline rejects
+  EXPECT_EQ(admission_decision(p, 1000, 1000 + 299, 100, 200, 0),
+            ServeReason::kAdmissionInfeasible);
+  // headroom scales the predicted work before the comparison
+  p.headroom = 2.0;
+  EXPECT_EQ(admission_decision(p, 1000, 1000 + 599, 100, 200, 0),
+            ServeReason::kAdmissionInfeasible);
+  EXPECT_EQ(admission_decision(p, 1000, 1000 + 600, 100, 200, 0),
+            ServeReason::kNone);
+  // admission control off admits the doomed
+  p.admission_control = false;
+  EXPECT_EQ(admission_decision(p, 1000, 1000, 100, 200, 0),
+            ServeReason::kNone);
+  // a full queue rejects only when shedding is off (otherwise the EDF
+  // queue evicts a victim instead)
+  EXPECT_EQ(admission_decision(p, 0, kHugeDeadlineNs, 1, 0, 4),
+            ServeReason::kNone);
+  p.shedding = false;
+  EXPECT_EQ(admission_decision(p, 0, kHugeDeadlineNs, 1, 0, 4),
+            ServeReason::kQueueFull);
+  EXPECT_EQ(admission_decision(p, 0, kHugeDeadlineNs, 1, 0, 3),
+            ServeReason::kNone);
+}
+
+// --- WallClockServer: happy path --------------------------------------------
+
+/// The TSan smoke: 4 submitter threads race submit() against the serving
+/// loop and two executor threads; every request completes bit-exactly.
+TEST(WallClock, ServesConcurrentSubmittersBitExact) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 4;
+  cfg.executors = 2;
+  WallClockServer server(store, DispatchConfig{1, {1, 2, 4}}, cfg);
+  server.warm(m);
+  EXPECT_GT(server.ns_per_cycle(), 0.0);
+  EXPECT_GT(server.sustained_img_per_s(m), 0.0);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4;
+  std::vector<std::vector<Tensor8>> inputs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(1000 + static_cast<uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) {
+      inputs[static_cast<size_t>(t)].push_back(
+          Tensor8::random(input_shape(g), rng));
+    }
+  }
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t id =
+            static_cast<uint64_t>(t) * kPerThread + static_cast<uint64_t>(i);
+        server.submit(request(id, m,
+                              inputs[static_cast<size_t>(t)]
+                                    [static_cast<size_t>(i)]));
+      }
+    });
+  }
+  std::thread closer([&] {
+    for (std::thread& t : submitters) t.join();
+    server.close();
+  });
+  const std::vector<WallServed> done = server.serve();
+  closer.join();
+
+  ASSERT_EQ(done.size(), static_cast<size_t>(kThreads * kPerThread));
+  ExecutionEngine engine;
+  for (const WallServed& w : done) {
+    ASSERT_EQ(w.outcome, ServeOutcome::kOk)
+        << "request " << w.id << ": " << to_string(w.reason) << " "
+        << w.detail;
+    EXPECT_EQ(w.reason, ServeReason::kNone);
+    EXPECT_GE(w.group_size, 1);
+    EXPECT_GE(w.completion_ns, w.arrival_ns);
+    const int t = static_cast<int>(w.id) / kPerThread;
+    const int i = static_cast<int>(w.id) % kPerThread;
+    const NetworkRun ref = engine.run(
+        store.plan(m, 1, 1),
+        inputs[static_cast<size_t>(t)][static_cast<size_t>(i)]);
+    EXPECT_TRUE(w.output == ref.output)
+        << "request " << w.id << " output differs from sequential run";
+  }
+}
+
+TEST(WallClock, RejectsAtAdmissionWhenDeadlineIsInfeasible) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  WallClockServer server(store, DispatchConfig{1, {1}}, WallClockConfig{});
+  server.warm(m);
+
+  Rng rng(3);
+  // 1 ns to deadline: predicted service alone blows the budget
+  server.submit(request(0, m, Tensor8::random(input_shape(g), rng), 1));
+  // a generous sibling is still admitted afterwards
+  server.submit(request(1, m, Tensor8::random(input_shape(g), rng)));
+  server.close();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), 2u);
+  std::map<uint64_t, const WallServed*> by_id;
+  for (const WallServed& w : done) by_id[w.id] = &w;
+  EXPECT_EQ(by_id[0]->outcome, ServeOutcome::kRejected);
+  EXPECT_EQ(by_id[0]->reason, ServeReason::kAdmissionInfeasible);
+  EXPECT_THROW(throw by_id[0]->error(), ServeError);
+  EXPECT_EQ(by_id[1]->outcome, ServeOutcome::kOk);
+}
+
+TEST(WallClock, ShedsLowestValueUnderBurst) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 4;
+  cfg.admission.max_queue_depth = 4;
+  cfg.admission.admission_control = false;  // isolate depth shedding
+  cfg.brownout = false;
+  WallClockServer server(store, DispatchConfig{1, {1, 2, 4}}, cfg);
+  server.warm(m);
+
+  Rng rng(9);
+  constexpr int kBurst = 32;
+  for (int i = 0; i < kBurst; ++i) {
+    server.submit(
+        request(static_cast<uint64_t>(i), m,
+                Tensor8::random(input_shape(g), rng)));
+  }
+  server.close();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), static_cast<size_t>(kBurst));
+  const auto counts = outcome_counts(done);
+  EXPECT_EQ(counts.at(ServeOutcome::kShed), kBurst - 4);
+  EXPECT_EQ(counts.at(ServeOutcome::kOk), 4);
+  for (const WallServed& w : done) {
+    if (w.outcome == ServeOutcome::kShed) {
+      EXPECT_EQ(w.reason, ServeReason::kShedQueueDepth);
+    }
+  }
+}
+
+TEST(WallClock, HighValueArrivalDisplacesLowValueWaiter) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 1;
+  cfg.admission.max_queue_depth = 1;
+  cfg.admission.admission_control = false;
+  cfg.brownout = false;
+  WallClockServer server(store, DispatchConfig{1, {1}}, cfg);
+  server.warm(m);
+
+  Rng rng(11);
+  server.submit(request(0, m, Tensor8::random(input_shape(g), rng),
+                        kHugeDeadlineNs, /*value=*/1));
+  server.submit(request(1, m, Tensor8::random(input_shape(g), rng),
+                        kHugeDeadlineNs, /*value=*/10));
+  server.close();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), 2u);
+  std::map<uint64_t, const WallServed*> by_id;
+  for (const WallServed& w : done) by_id[w.id] = &w;
+  EXPECT_EQ(by_id[0]->outcome, ServeOutcome::kShed);  // low value evicted
+  EXPECT_EQ(by_id[1]->outcome, ServeOutcome::kOk);
+}
+
+TEST(WallClock, QueueFullRejectsWhenSheddingDisabled) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 2;
+  cfg.admission.max_queue_depth = 2;
+  cfg.admission.shedding = false;
+  cfg.admission.admission_control = false;
+  cfg.brownout = false;
+  WallClockServer server(store, DispatchConfig{1, {1, 2}}, cfg);
+  server.warm(m);
+
+  Rng rng(13);
+  for (int i = 0; i < 5; ++i) {
+    server.submit(
+        request(static_cast<uint64_t>(i), m,
+                Tensor8::random(input_shape(g), rng)));
+  }
+  server.close();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), 5u);
+  const auto counts = outcome_counts(done);
+  EXPECT_EQ(counts.at(ServeOutcome::kRejected), 3);
+  EXPECT_EQ(counts.at(ServeOutcome::kOk), 2);
+  for (const WallServed& w : done) {
+    if (w.outcome == ServeOutcome::kRejected) {
+      EXPECT_EQ(w.reason, ServeReason::kQueueFull);
+    }
+  }
+}
+
+// --- WallClockServer: fault-tolerance ladder --------------------------------
+
+TEST(WallClock, RetriesTransientDispatchFaultThenSucceeds) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  fault::FaultInjector inj(21);
+  fault::SitePlan plan;
+  plan.kind = fault::Kind::kException;
+  plan.period = 1;
+  plan.phase = 0;
+  plan.count = 1;  // exactly the first dispatch fails
+  inj.set_plan(fault::Site::kDispatchExec, plan);
+  Installed guard(inj);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_retries = 2;
+  cfg.retry_backoff_ns = 100'000;
+  WallClockServer server(store, DispatchConfig{1, {1}}, cfg);
+  server.warm(m);
+
+  Rng rng(17);
+  const Tensor8 input = Tensor8::random(input_shape(g), rng);
+  server.submit(request(0, m, input));
+  server.close();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].outcome, ServeOutcome::kOk);
+  EXPECT_EQ(done[0].retries, 1);
+  EXPECT_FALSE(done[0].redispatched);
+  EXPECT_EQ(inj.injected(fault::Site::kDispatchExec), 1u);
+  ExecutionEngine engine;
+  EXPECT_TRUE(done[0].output == engine.run(store.plan(m, 1, 1), input).output);
+}
+
+TEST(WallClock, ExhaustedRetriesFailWithTypedWorkerFault) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  fault::FaultInjector inj(22);
+  fault::SitePlan plan;
+  plan.kind = fault::Kind::kException;
+  plan.period = 1;  // every dispatch fails
+  inj.set_plan(fault::Site::kDispatchExec, plan);
+  Installed guard(inj);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_retries = 1;
+  cfg.retry_backoff_ns = 50'000;
+  cfg.quarantine_after = 100;  // keep quarantine out of this test
+  WallClockServer server(store, DispatchConfig{1, {1}}, cfg);
+  server.warm(m);
+
+  Rng rng(19);
+  server.submit(request(0, m, Tensor8::random(input_shape(g), rng)));
+  server.close();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].outcome, ServeOutcome::kFailed);
+  EXPECT_EQ(done[0].reason, ServeReason::kWorkerFault);
+  EXPECT_FALSE(done[0].detail.empty());
+  const ServeError err = done[0].error();
+  EXPECT_EQ(err.reason(), ServeReason::kWorkerFault);
+  EXPECT_EQ(err.request_id(), 0u);
+}
+
+TEST(WallClock, WatchdogTimeoutRecoversViaPerImageRedispatch) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  fault::FaultInjector inj(23);
+  fault::SitePlan plan;
+  plan.kind = fault::Kind::kStall;
+  plan.period = 1;
+  plan.phase = 0;
+  plan.count = 1;  // exactly the first dispatch hangs
+  inj.set_plan(fault::Site::kDispatchExec, plan);
+  inj.set_stall_ns(30'000'000'000);  // 30 s: only the cancel flag ends it
+  Installed guard(inj);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 2;
+  cfg.executors = 2;  // the second executor keeps the pipeline alive
+  cfg.watchdog_floor_ns = 5'000'000;  // abandon after ~5 ms
+  cfg.watchdog_factor = 1.0;
+  WallClockServer server(store, DispatchConfig{1, {1, 2}}, cfg);
+  server.warm(m);
+
+  Rng rng(29);
+  const Tensor8 in0 = Tensor8::random(input_shape(g), rng);
+  const Tensor8 in1 = Tensor8::random(input_shape(g), rng);
+  server.submit(request(0, m, in0));
+  server.submit(request(1, m, in1));
+  server.close();
+
+  const uint64_t timeouts_before =
+      metrics::registry().counter("serve.wall.timeouts").value();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), 2u);
+  ExecutionEngine engine;
+  std::map<uint64_t, const WallServed*> by_id;
+  for (const WallServed& w : done) by_id[w.id] = &w;
+  for (const auto& [id, w] : by_id) {
+    EXPECT_EQ(w->outcome, ServeOutcome::kOk)
+        << "request " << id << ": " << w->detail;
+    EXPECT_TRUE(w->redispatched);
+    EXPECT_EQ(w->group_size, 1);  // per-image recovery
+  }
+  EXPECT_TRUE(by_id[0]->output == engine.run(store.plan(m, 1, 1), in0).output);
+  EXPECT_TRUE(by_id[1]->output == engine.run(store.plan(m, 1, 1), in1).output);
+  EXPECT_GT(metrics::registry().counter("serve.wall.timeouts").value(),
+            timeouts_before);
+  // the abandoned stall was actually cancelled (not slept to term):
+  // server destruction joined the executor without waiting 30 s, or this
+  // test would time out
+}
+
+TEST(WallClock, QuarantinesPlansAfterConsecutiveFailures) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  fault::FaultInjector inj(31);
+  fault::SitePlan plan;
+  plan.kind = fault::Kind::kException;
+  plan.period = 1;
+  plan.phase = 0;
+  plan.count = 2;  // two dispatches fail, then the injector goes quiet
+  inj.set_plan(fault::Site::kDispatchExec, plan);
+  Installed guard(inj);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_retries = 0;       // every failure is terminal for its batch
+  cfg.quarantine_after = 2;  // the second consecutive failure quarantines
+  WallClockServer server(store, DispatchConfig{1, {1}}, cfg);
+  server.warm(m);
+  const int compiles_after_warm = store.compiles();
+
+  Rng rng(37);
+  const Tensor8 in0 = Tensor8::random(input_shape(g), rng);
+  const Tensor8 in1 = Tensor8::random(input_shape(g), rng);
+  server.submit(request(0, m, in0));
+  server.submit(request(1, m, in1));
+  server.close();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), 2u);
+  std::map<uint64_t, const WallServed*> by_id;
+  for (const WallServed& w : done) by_id[w.id] = &w;
+  // request 0: first failure, under the quarantine threshold -> kFailed
+  EXPECT_EQ(by_id[0]->outcome, ServeOutcome::kFailed);
+  EXPECT_EQ(by_id[0]->reason, ServeReason::kWorkerFault);
+  // request 1: second consecutive failure trips quarantine; the
+  // post-quarantine attempt runs on a freshly compiled plan and succeeds
+  EXPECT_EQ(by_id[1]->outcome, ServeOutcome::kOk)
+      << to_string(by_id[1]->reason) << " " << by_id[1]->detail;
+  EXPECT_GE(store.quarantines(), 1);
+  EXPECT_GT(store.compiles(), compiles_after_warm)
+      << "the post-quarantine attempt must compile fresh";
+  ExecutionEngine engine;
+  EXPECT_TRUE(by_id[1]->output == engine.run(store.plan(m, 1, 1), in1).output);
+}
+
+TEST(WallClock, CorruptRegistryArtifactFallsBackToFreshCompile) {
+  const Graph g = small_ffn();
+  TempDir dir;
+
+  // publisher: compile once, write through to the registry
+  Tensor8 expect;
+  {
+    PlanStore store(isa_options(), shared_test_cache());
+    store.attach_registry(dir.path);
+    const int m = store.add_model(g);
+    Rng rng(41);
+    const Tensor8 input = Tensor8::random(input_shape(g), rng);
+    expect = ExecutionEngine().run(store.plan(m, 1, 1), input).output;
+  }
+
+  // every registry load in the consumer sees one flipped bit in the
+  // CRC-covered weight section; the admission gate must reject it and
+  // the store must compile from the graph instead of serving garbage
+  fault::FaultInjector inj(43);
+  fault::SitePlan plan;
+  plan.kind = fault::Kind::kBitFlip;
+  plan.period = 1;
+  inj.set_plan(fault::Site::kRegistryLoad, plan);
+  Installed guard(inj);
+
+  PlanStore store(isa_options(), shared_test_cache());
+  store.attach_registry(dir.path);
+  const int m = store.add_model(g);
+  const CompiledPlan& fresh = store.plan(m, 1, 1);
+
+  EXPECT_GE(store.registry_faults(), 1);
+  EXPECT_GE(store.compiles(), 1);
+  EXPECT_EQ(store.registry_loads(), 0);
+  EXPECT_GE(inj.injected(fault::Site::kRegistryLoad), 1u);
+  Rng rng(41);
+  const Tensor8 input = Tensor8::random(input_shape(g), rng);
+  EXPECT_TRUE(ExecutionEngine().run(fresh, input).output == expect);
+}
+
+TEST(WallClock, BrownOutShrinksBatchesUnderDeepQueue) {
+  PlanStore store(isa_options(), shared_test_cache());
+  const Graph g = small_ffn();
+  const int m = store.add_model(g);
+
+  WallClockConfig cfg;
+  cfg.max_batch = 4;
+  cfg.brownout = true;
+  cfg.brownout_depth = 2;  // depth 2 -> level 1, 4 -> level 2, 6 -> level 3
+  cfg.admission.admission_control = false;
+  cfg.admission.max_queue_depth = 64;
+  WallClockServer server(store, DispatchConfig{1, {1, 2, 4}}, cfg);
+  server.warm(m);
+
+  const uint64_t transitions_before =
+      metrics::registry().counter("serve.wall.brownout_transitions").value();
+  Rng rng(47);
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    server.submit(
+        request(static_cast<uint64_t>(i), m,
+                Tensor8::random(input_shape(g), rng)));
+  }
+  server.close();
+  const auto done = server.serve();
+
+  ASSERT_EQ(done.size(), static_cast<size_t>(kBurst));
+  for (const WallServed& w : done) {
+    // huge deadlines: brown-out degrades batching, never correctness
+    EXPECT_EQ(w.outcome, ServeOutcome::kOk) << "request " << w.id;
+    EXPECT_LE(w.group_size, 2)
+        << "deep-queue dispatches must use brown-out-shrunk batches";
+  }
+  EXPECT_GT(
+      metrics::registry().counter("serve.wall.brownout_transitions").value(),
+      transitions_before);
+  EXPECT_EQ(server.brownout_level(), 0) << "level decays once drained";
+}
+
+}  // namespace
+}  // namespace decimate
